@@ -1,0 +1,53 @@
+"""Experiment ``abl_node`` — who can afford nanometre technology?
+
+The paper's §1 question quantified: for each unit-volume tier, which
+technology node minimises cost per good die once eq. (7)'s live terms
+(node-scaled silicon, masks, §2.4-scaled design cost, density-coupled
+yield) are all priced? The asserted shape: the optimal node stratifies
+by volume.
+"""
+
+from repro.cost import DEFAULT_GENERALIZED_MODEL
+from repro.optimize import evaluate_nodes, optimal_node
+from repro.report import format_table
+
+N_TR = 1e7
+VOLUMES = (1e4, 1e6, 1e8)
+LADDER = (0.35, 0.25, 0.18, 0.13, 0.07)
+
+
+def regenerate_ablation():
+    results = {}
+    for volume in VOLUMES:
+        results[volume] = evaluate_nodes(DEFAULT_GENERALIZED_MODEL, N_TR,
+                                         volume, nodes_um=LADDER)
+    return results
+
+
+def test_ablation_node_choice(benchmark, save_artifact):
+    results = benchmark(regenerate_ablation)
+
+    blocks = []
+    best_nodes = {}
+    for volume, choices in results.items():
+        rows = [(int(c.feature_um * 1000), c.sd_opt, c.silicon_per_unit,
+                 c.development_per_unit, c.cost_per_unit) for c in choices]
+        blocks.append(format_table(
+            ["node nm", "s_d*", "silicon $/u", "dev $/u", "total $/u"],
+            rows, float_spec=".4g",
+            title=f"{volume:,.0f} units of a 10M-transistor design"))
+        best = min(choices, key=lambda c: c.cost_per_unit)
+        best_nodes[volume] = best.feature_um
+        blocks.append(f"-> best node: {best.feature_um * 1000:.0f} nm")
+    save_artifact("ablation_node", "\n\n".join(blocks))
+
+    # Stratification: finer nodes as volume grows, and it actually moves.
+    nodes = [best_nodes[v] for v in VOLUMES]
+    assert all(a >= b for a, b in zip(nodes, nodes[1:]))
+    assert nodes[0] > nodes[-1]
+    # Low volume cannot afford the newest node; high volume must take it.
+    assert best_nodes[VOLUMES[0]] >= 0.18
+    assert best_nodes[VOLUMES[-1]] == min(LADDER)
+    # Development dominates the low-volume tier's bill at fine nodes.
+    fine_low = next(c for c in results[VOLUMES[0]] if c.feature_um == min(LADDER))
+    assert fine_low.development_per_unit > fine_low.silicon_per_unit

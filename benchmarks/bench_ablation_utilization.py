@@ -1,0 +1,74 @@
+"""Experiment ``abl_utilization`` — the §2.5 ``Y → uY`` substitution.
+
+Prices the same 10M-transistor function as an FPGA (pre-designed
+fabric, low utilization, zero user NRE) and as an ASIC across volumes,
+and locates the crossover. Then sweeps the fabric utilization to show
+how much ``u`` an FPGA must deliver to stay competitive at a given
+volume — the quantitative content of the paper's FPGA aside.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cost import (
+    DesignCostModel,
+    MaskSetCostModel,
+    UtilizedDevice,
+    fpga_vs_asic_crossover,
+)
+from repro.report import format_table
+
+N_TR = 1e7
+FEATURE = 0.18
+YIELD = 0.8
+CM_SQ = 8.0
+
+
+def regenerate_ablation():
+    design = DesignCostModel()
+    masks = MaskSetCostModel()
+    mask_cost = masks.cost(FEATURE)
+
+    crossovers = []
+    for u in (0.1, 0.2, 0.3, 0.5):
+        fpga = UtilizedDevice("FPGA", sd=700.0, utilization=u)
+        nw = fpga_vs_asic_crossover(N_TR, FEATURE, YIELD, CM_SQ, fpga=fpga,
+                                    asic_sd=350.0, design_model=design,
+                                    mask_cost_usd=mask_cost)
+        crossovers.append((u, nw))
+
+    fpga = UtilizedDevice("FPGA", sd=700.0, utilization=0.25)
+    asic = UtilizedDevice("ASIC", sd=350.0, utilization=1.0,
+                          design_cost_usd=design.cost(N_TR, 350.0),
+                          mask_cost_usd=mask_cost)
+    volume_rows = []
+    for nw in np.geomspace(100, 1e6, 9):
+        cf = fpga.cost_per_used_transistor(N_TR, FEATURE, nw, YIELD, CM_SQ)
+        ca = asic.cost_per_used_transistor(N_TR, FEATURE, nw, YIELD, CM_SQ)
+        volume_rows.append((nw, cf, ca, cf / ca))
+    return crossovers, volume_rows
+
+
+def test_ablation_utilization(benchmark, save_artifact):
+    crossovers, volume_rows = benchmark(regenerate_ablation)
+
+    cross_table = format_table(
+        ["fabric utilization u", "FPGA->ASIC crossover (wafers)"],
+        [(u, f"{nw:,.0f}" if nw else "never") for u, nw in crossovers],
+        title="Ablation: crossover volume vs utilization (Y -> uY)")
+    volume_table = format_table(
+        ["wafers", "FPGA $/used-tx", "ASIC $/used-tx", "FPGA/ASIC"],
+        [(f"{nw:,.0f}", cf, ca, r) for nw, cf, ca, r in volume_rows],
+        float_spec=".3e",
+        title="Cost-per-used-transistor vs volume (u = 0.25)")
+    save_artifact("ablation_utilization", cross_table + "\n\n" + volume_table)
+
+    # Shape contract: every utilization level yields a finite crossover,
+    # and better utilization keeps the FPGA viable LONGER (higher N_w).
+    nws = [nw for _, nw in crossovers]
+    assert all(nw is not None for nw in nws)
+    assert all(a < b for a, b in zip(nws, nws[1:]))
+    # At high volume the ASIC wins by roughly the u x density factor:
+    # (sd_fpga/sd_asic)/u = (700/350)/0.25 = 8x.
+    final_ratio = volume_rows[-1][3]
+    assert final_ratio == pytest.approx(8.0, rel=0.25)

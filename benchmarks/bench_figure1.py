@@ -1,0 +1,66 @@
+"""Experiment ``fig1`` — Figure 1: industrial ``s_d`` trends.
+
+Regenerates the Figure 1 scatter (logic ``s_d`` per design, grouped by
+vendor), the power-law trend fit, and the Intel-vs-AMD strategy
+comparison the §2.2.2 text walks through.
+"""
+
+import numpy as np
+
+from repro.data import DesignRegistry
+from repro.density import (
+    extract_points,
+    sd_feature_rank_correlation,
+    sd_vs_feature_fit,
+    vendor_density_advantage,
+    vendor_trends,
+)
+from repro.report import Series, format_table
+
+
+def regenerate_figure1():
+    registry = DesignRegistry.table_a1()
+    points = extract_points(registry)
+    fit = sd_vs_feature_fit(registry)
+    rho = sd_feature_rank_correlation(registry)
+    trends = vendor_trends(registry)
+    pre_k7 = registry.filter(lambda r: not (r.vendor == "AMD" and "K7" in r.device))
+    amd_vs_intel = vendor_density_advantage(pre_k7, "AMD", "Intel")
+    return registry, points, fit, rho, trends, amd_vs_intel
+
+
+def test_figure1(benchmark, save_artifact):
+    registry, points, fit, rho, trends, amd_vs_intel = benchmark(regenerate_figure1)
+
+    scatter_rows = [(p.index, p.vendor, p.device[:24], p.year, p.feature_um,
+                     p.sd_mem, p.sd_logic) for p in points]
+    scatter = format_table(
+        ["#", "vendor", "device", "year", "um", "sd_mem", "sd_logic"],
+        scatter_rows, float_spec=".4g",
+        title="Figure 1 scatter: s_d of published designs")
+
+    trend_rows = [(t.vendor, len(t.points), t.mean_sd(),
+                   t.fit_vs_year.slope if t.fit_vs_year else None)
+                  for t in trends]
+    trend_table = format_table(
+        ["vendor", "designs", "mean sd_logic", "d sd / d year"],
+        trend_rows, float_spec=".4g", title="Per-vendor series")
+
+    duel_rows = [(pa.device[:20], pb.device[:20], pa.feature_um, ratio)
+                 for pa, pb, ratio in amd_vs_intel]
+    duel_table = format_table(
+        ["AMD part", "Intel part (same node)", "um", "sd ratio AMD/Intel"],
+        duel_rows, float_spec=".4g", title="Pre-K7 AMD vs Intel (message 2)")
+
+    summary = (f"power-law fit: s_d = {fit.amplitude:.0f} * lambda^{fit.slope:.2f} "
+               f"(R^2 = {fit.r_squared:.2f});  Spearman rho(lambda, s_d) = {rho:.2f}")
+    save_artifact("figure1", "\n\n".join([scatter, trend_table, duel_table, summary]))
+
+    # Reproduction contract: rising sparseness + follower strategy.
+    assert fit.slope < -0.2
+    assert rho < -0.2
+    assert np.median([r for _, _, r in amd_vs_intel]) < 1.0
+    k7 = registry.by_device("K7")
+    assert k7.best_sd_logic() > 300
+    vendor_map = {t.vendor: t for t in trends}
+    assert vendor_map["Intel"].is_rising()

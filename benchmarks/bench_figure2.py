@@ -1,0 +1,40 @@
+"""Experiment ``fig2`` — Figure 2: ``s_d`` implied by ITRS-1999 data.
+
+Regenerates the roadmap-implied ``s_d`` series (eq. 2 applied to the
+roadmap's MPU density targets) versus minimum feature size.
+"""
+
+from repro.data import load_itrs_1999
+from repro.report import Series, format_table
+
+
+def regenerate_figure2():
+    nodes = load_itrs_1999()
+    series = Series.from_arrays(
+        "ITRS-implied s_d",
+        [n.feature_um for n in nodes],
+        [n.implied_sd() for n in nodes],
+        x_label="feature um", y_label="s_d")
+    return nodes, series
+
+
+def test_figure2(benchmark, save_artifact):
+    nodes, series = benchmark(regenerate_figure2)
+
+    rows = [(n.year, n.feature_nm, n.mpu_density_m_per_cm2, n.implied_sd(),
+             n.implied_die_area_cm2()) for n in nodes]
+    table = format_table(
+        ["year", "nm", "Mtx/cm2", "implied s_d", "implied die cm2"],
+        rows, float_spec=".4g",
+        title="Figure 2: s_d for MPUs from ITRS-1999 data")
+    save_artifact("figure2", table)
+
+    # Reproduction contract: implied s_d FALLS as lambda shrinks —
+    # i.e. rises along ascending lambda.
+    assert series.is_increasing()
+    sds = [n.implied_sd() for n in nodes]
+    # 1999 anchor near 470, horizon near 120 (reconstruction cadence).
+    assert 400 < sds[0] < 550
+    assert 90 < sds[-1] < 160
+    # Total required densification ~ 3-5x over the roadmap.
+    assert 2.5 < sds[0] / sds[-1] < 6.0

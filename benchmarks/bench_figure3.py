@@ -1,0 +1,45 @@
+"""Experiment ``fig3`` — Figure 3: the constant-die-cost ratio.
+
+Regenerates the paper's §2.2.3 computation verbatim: the ``s_d`` each
+node needs to keep the cost-performance MPU die at its 1999 cost
+(``C_ch = $34``, ``C_sq = 8 $/cm²``, ``Y = 0.8``), and the ratio of the
+ITRS-implied ``s_d`` to it — the "cost contradiction" curve.
+"""
+
+import pytest
+
+from repro.data import load_itrs_1999
+from repro.report import Series, format_table
+from repro.roadmap import PAPER_FIGURE3_ASSUMPTIONS, constant_cost_series
+
+
+def regenerate_figure3():
+    nodes = load_itrs_1999()
+    series = constant_cost_series(nodes, PAPER_FIGURE3_ASSUMPTIONS)
+    ratio = Series.from_arrays(
+        "implied/const-cost", [p.node.year for p in series],
+        [p.ratio for p in series], x_label="year", y_label="ratio")
+    return series, ratio
+
+
+def test_figure3(benchmark, save_artifact):
+    series, ratio = benchmark(regenerate_figure3)
+
+    rows = [(p.node.year, p.node.feature_nm, p.node.mpu_transistors_m,
+             p.sd_implied, p.sd_constant_cost, p.ratio,
+             "YES" if p.is_contradictory else "no") for p in series]
+    table = format_table(
+        ["year", "nm", "Mtx/chip", "ITRS s_d", "const-cost s_d", "ratio", "contradiction"],
+        rows, float_spec=".4g",
+        title=("Figure 3: s_d required for a constant $34 die "
+               f"(A_max = {PAPER_FIGURE3_ASSUMPTIONS.affordable_die_area_cm2:.1f} cm^2)"))
+    save_artifact("figure3", table)
+
+    # Reproduction contract.
+    ratios = [p.ratio for p in series]
+    assert abs(ratios[0] - 1.0) < 0.15          # aligned at the anchor
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))  # monotone growth
+    assert ratios[-1] > 1.5                     # ~2x by the horizon
+    assert all(p.is_contradictory for p in series[1:])
+    # The affordable area is exactly C*Y/C_sq at every node.
+    assert PAPER_FIGURE3_ASSUMPTIONS.affordable_die_area_cm2 == pytest.approx(3.4)

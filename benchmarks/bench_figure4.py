@@ -1,0 +1,69 @@
+"""Experiment ``fig4`` — Figure 4: C_tr(s_d) U-curves and the optimum shift.
+
+Regenerates both panels with the paper's stated parameters:
+
+* (a) ``N_tr = 10M``, ``N_w = 5 000``,  ``Y = 0.4``;
+* (b) ``N_tr = 10M``, ``N_w = 50 000``, ``Y = 0.9``;
+
+plus the `fig4_shift` trace of the optimum versus volume (§3.1's
+"location of the optimum changes substantially" claim).
+"""
+
+import numpy as np
+
+from repro.cost import PAPER_FIGURE4_MODEL
+from repro.optimize import optimal_sd, optimum_vs_volume, sd_grid, sd_sweep
+from repro.report import Series, ascii_plot, format_table
+
+FIG4A = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5_000,
+             yield_fraction=0.4, cm_sq=8.0)
+FIG4B = dict(n_transistors=1e7, feature_um=0.18, n_wafers=50_000,
+             yield_fraction=0.9, cm_sq=8.0)
+GRID = sd_grid(100.0, sd_max=1200.0, n=240)
+
+
+def regenerate_figure4():
+    sweep_a = sd_sweep(PAPER_FIGURE4_MODEL, sd_values=GRID, **FIG4A)
+    sweep_b = sd_sweep(PAPER_FIGURE4_MODEL, sd_values=GRID, **FIG4B)
+    opt_a = optimal_sd(PAPER_FIGURE4_MODEL, **FIG4A)
+    opt_b = optimal_sd(PAPER_FIGURE4_MODEL, **FIG4B)
+    shift = optimum_vs_volume(PAPER_FIGURE4_MODEL, 1e7, 0.18, 0.8, 8.0,
+                              n_wafers_values=np.geomspace(1e3, 1e6, 7))
+    return sweep_a, sweep_b, opt_a, opt_b, shift
+
+
+def test_figure4(benchmark, save_artifact):
+    sweep_a, sweep_b, opt_a, opt_b, shift = benchmark(regenerate_figure4)
+
+    # Curve samples at round s_d values, as the paper's axes show them.
+    sample_sds = [110, 150, 200, 300, 400, 500, 700, 1000]
+    rows = [(sd, sweep_a.cost_at(sd), sweep_b.cost_at(sd)) for sd in sample_sds]
+    curves = format_table(
+        ["s_d", "(a) N_w=5k Y=0.4  $/tx", "(b) N_w=50k Y=0.9  $/tx"],
+        rows, float_spec=".3e",
+        title="Figure 4: transistor cost modeled by eq. (4)")
+
+    optima = (f"(a) optimum: s_d = {opt_a.sd_opt:.0f} at {opt_a.cost_opt:.3e} $/tx\n"
+              f"(b) optimum: s_d = {opt_b.sd_opt:.0f} at {opt_b.cost_opt:.3e} $/tx\n"
+              f"optimum shift (a)/(b): {opt_a.sd_opt / opt_b.sd_opt:.2f}x in s_d")
+
+    shift_rows = [(f"{nw:,.0f}", res.sd_opt, res.cost_opt) for nw, res in shift]
+    shift_table = format_table(
+        ["wafers", "optimal s_d", "cost at optimum $/tx"],
+        shift_rows, float_spec=".4g",
+        title="fig4_shift: the optimum migrates with volume (Y=0.8)")
+
+    plot = ascii_plot([
+        Series.from_arrays("a: 5k wafers, Y=0.4", sweep_a.x, sweep_a.cost),
+        Series.from_arrays("b: 50k wafers, Y=0.9", sweep_b.x, sweep_b.cost),
+    ], logy=True)
+
+    save_artifact("figure4", "\n\n".join([curves, optima, shift_table, plot]))
+
+    # Reproduction contract.
+    assert sweep_a.is_interior_minimum()
+    assert sweep_b.is_interior_minimum()
+    assert opt_a.sd_opt / opt_b.sd_opt > 1.5      # "changes substantially"
+    assert opt_a.cost_opt > 3 * opt_b.cost_opt    # low volume is costlier
+    sds = [res.sd_opt for _, res in shift]
+    assert all(x > y for x, y in zip(sds, sds[1:]))  # monotone migration

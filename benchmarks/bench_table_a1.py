@@ -1,0 +1,50 @@
+"""Experiment ``table_a1`` — regenerate Table A1 with a consistency audit.
+
+Rebuilds the paper's 49-row table from the dataset, recomputes every
+``s_d`` via eq. (2), and reports the published-vs-recomputed agreement.
+The benchmark times the full load-validate-recompute pipeline.
+"""
+
+from repro.data import DesignRegistry, Provenance
+from repro.report import format_table
+
+
+def regenerate_table_a1():
+    registry = DesignRegistry.table_a1()
+    rows = []
+    worst_err = 0.0
+    for r in registry:
+        recomputed = r.sd_logic_recomputed()
+        published = r.sd_logic
+        err = None
+        if recomputed is not None and published is not None:
+            err = abs(recomputed - published) / published
+            worst_err = max(worst_err, err)
+        rows.append((
+            r.index, r.device[:28], r.die_area_cm2, r.feature_um,
+            r.transistors_total_m, r.sd_mem, r.best_sd_logic(),
+            r.provenance.value,
+        ))
+    return rows, worst_err, registry
+
+
+def test_table_a1(benchmark, save_artifact):
+    rows, worst_err, registry = benchmark(regenerate_table_a1)
+
+    table = format_table(
+        ["#", "device", "die cm2", "um", "Mtx", "sd_mem", "sd_logic", "prov"],
+        rows, float_spec=".4g", title="Table A1 (regenerated)")
+    audit = (f"rows: {len(rows)}  "
+             f"published rows: {sum(1 for r in registry if r.provenance is Provenance.PUBLISHED)}  "
+             f"repaired rows: {sum(1 for r in registry if r.provenance is Provenance.REPAIRED)}  "
+             f"worst published-vs-eq.(2) error: {worst_err:.1%}")
+    save_artifact("table_a1", table + "\n" + audit)
+
+    # Reproduction contract (DESIGN.md §7).
+    assert len(rows) == 49
+    assert worst_err < 0.15
+    sd_logic = registry.sd_logic_values()
+    assert 90 < min(sd_logic) < 130
+    assert max(sd_logic) > 700
+    sd_mem = registry.sd_mem_values()
+    assert 30 < min(sd_mem) < 60

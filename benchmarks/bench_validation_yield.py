@@ -1,0 +1,55 @@
+"""Experiment ``val_yield`` — validating the analytic yield substrate.
+
+Not a paper figure: a validation artifact. The eq.-(7) yield stack
+rests on the classic analytic models; this bench checks them against
+the direct Monte-Carlo defect experiment (throw defects, count killed
+dice):
+
+* uniform defect field → Poisson within MC error;
+* clustered field → above Poisson (the negative-binomial story);
+* area scaling → matches Poisson across die sizes.
+
+If this bench fails, every eq.-(7) number in the reproduction is
+suspect — which is exactly why it ships with the benches.
+"""
+
+from repro.report import format_table
+from repro.wafer import WAFER_200MM
+from repro.yieldmodels import NegativeBinomialYield, PoissonYield, simulated_yield
+
+D0 = 0.5
+AREAS = (0.5, 1.0, 2.0, 3.4)
+
+
+def regenerate_validation():
+    poisson = PoissonYield()
+    rows = []
+    for area in AREAS:
+        mc = simulated_yield(WAFER_200MM, area, D0, n_wafers=30, seed=11)
+        analytic = poisson(area, D0)
+        rows.append((area, analytic, mc, mc - analytic))
+    clustered = simulated_yield(WAFER_200MM, 1.5, 0.6, cluster_size=8.0,
+                                cluster_radius_cm=0.2, n_wafers=30, seed=11)
+    uniform = simulated_yield(WAFER_200MM, 1.5, 0.6, n_wafers=30, seed=11)
+    return rows, uniform, clustered
+
+
+def test_validation_yield(benchmark, save_artifact):
+    rows, uniform, clustered = benchmark(regenerate_validation)
+
+    table = format_table(
+        ["die cm2", "Poisson Y", "Monte-Carlo Y", "error"],
+        rows, float_spec=".4g",
+        title=f"Validation: analytic vs simulated yield (D0={D0}/cm^2, uniform defects)")
+    clustering = (f"clustered field (size 8, r=0.2cm): MC Y = {clustered:.3f} "
+                  f"vs uniform {uniform:.3f} vs Poisson "
+                  f"{PoissonYield()(1.5, 0.6):.3f} vs NB(0.7) "
+                  f"{NegativeBinomialYield(0.7)(1.5, 0.6):.3f}")
+    save_artifact("validation_yield", table + "\n\n" + clustering)
+
+    # Uniform field matches Poisson within MC noise at every die size.
+    for area, analytic, mc, _ in rows:
+        assert abs(mc - analytic) < 0.04, f"area {area}"
+    # Clustering strictly helps, and stays below the max-clustering bound.
+    assert clustered > uniform + 0.03
+    assert clustered < 0.999

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Each bench regenerates one paper artifact (table or figure), asserts
+its shape, and writes the regenerated rows/series to
+``benchmarks/output/<name>.txt`` so the numbers behind EXPERIMENTS.md
+are inspectable without re-running anything.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    """Directory collecting the regenerated tables/series."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture()
+def save_artifact(output_dir):
+    """Callable writing a named artifact and echoing it to stdout."""
+
+    def _save(name: str, text: str) -> None:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}] -> {path}\n{text}")
+
+    return _save

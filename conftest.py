@@ -1,0 +1,13 @@
+"""Repo-root pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been
+installed (e.g. a fresh offline checkout where ``pip install -e .``
+cannot reach an index).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Node selection — who can afford nanometre technology?
+
+The paper's opening question made operational: for a 10M-transistor
+product, which technology node minimises the cost per *unit* once
+silicon, masks, node-scaled design effort (§2.4: prediction degrades as
+λ shrinks) and density-coupled yield are all priced in (eq. 7)?
+
+The answer stratifies by volume: consumer-scale programs ride the
+newest node, niche programs rationally stay one or two nodes back —
+the economic sorting the high-cost era forces on the industry.
+
+Run:  python examples/node_selection.py
+"""
+
+from repro.cost import DEFAULT_GENERALIZED_MODEL
+from repro.optimize import evaluate_nodes, optimal_node
+from repro.report import format_table
+
+
+def main() -> None:
+    model = DEFAULT_GENERALIZED_MODEL
+    n_transistors = 1e7
+
+    # ------------------------------------------------------------------
+    # Full node ladder at one mid-size volume.
+    # ------------------------------------------------------------------
+    n_units = 1e6
+    choices = evaluate_nodes(model, n_transistors, n_units)
+    rows = [(int(c.feature_um * 1000), c.sd_opt, c.design_cost_scale,
+             c.silicon_per_unit, c.development_per_unit, c.cost_per_unit,
+             c.yield_at_opt) for c in choices]
+    print(format_table(
+        ["node nm", "s_d*", "design x", "silicon $/u", "dev $/u", "total $/u", "Y"],
+        rows, float_spec=".3g",
+        title=f"Node ladder for {n_units:,.0f} units of a 10M-transistor design"))
+    best = optimal_node(model, n_transistors, n_units)
+    print(f"-> best node at this volume: {best.feature_um*1000:.0f} nm "
+          f"(s_d* = {best.sd_opt:.0f}, ${best.cost_per_unit:.2f}/unit)\n")
+
+    # ------------------------------------------------------------------
+    # The stratification: optimal node vs unit volume.
+    # ------------------------------------------------------------------
+    rows = []
+    for volume in (1e4, 1e5, 1e6, 1e7, 1e8):
+        b = optimal_node(model, n_transistors, volume)
+        rows.append((f"{volume:,.0f}", int(b.feature_um * 1000), b.sd_opt,
+                     b.cost_per_unit, f"{b.wafers_needed:,.0f}"))
+    print(format_table(
+        ["units", "best node nm", "s_d*", "$/unit", "wafers"],
+        rows, float_spec=".4g",
+        title="Who can afford nanometre technology? (optimal node vs volume)"))
+    print("\nLow-volume products cannot pay nanometre NRE: the high-cost era")
+    print("stratifies the industry by volume — the paper's feasibility worry, "
+          "quantified.")
+
+
+if __name__ == "__main__":
+    main()

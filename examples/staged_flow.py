@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Staged design-flow study — where the iterations actually burn.
+
+§2.4's single design loop, upgraded to a five-stage flow (synthesis →
+floorplan → placement → routing → signoff) solved as an absorbing
+Markov chain. Shows, for a density-aggressive design:
+
+* expected visits per stage (where the loops happen),
+* how the expected cost/schedule diverge as s_d approaches the
+  full-custom bound,
+* the §3.2 lever at flow level: sharpening *pre-layout* prediction
+  (what regularity buys) vs speeding up late stages.
+
+Run:  python examples/staged_flow.py
+"""
+
+from repro.designflow import IterationCostModel, StagedFlowModel
+from repro.report import format_table
+
+
+def main() -> None:
+    model = StagedFlowModel()
+    cost_model = IterationCostModel()
+    n_transistors = 1e7
+    full_pass_cost = cost_model.cost_per_pass(n_transistors)
+    full_pass_weeks = cost_model.weeks_per_pass(n_transistors)
+
+    # ------------------------------------------------------------------
+    # Where the loops happen, for a tight design.
+    # ------------------------------------------------------------------
+    sd = 120.0
+    result = model.analyse(sd)
+    rows = [(name, p, v) for name, p, v in
+            zip(result.stage_names, result.pass_probabilities, result.expected_visits)]
+    print(format_table(
+        ["stage", "P(pass)", "E[visits]"], rows, float_spec=".3g",
+        title=f"Five-stage flow at s_d = {sd:.0f} (absorbing Markov chain)"))
+    print(f"expected flow cost: {result.expected_cost_passes:.2f} full-pass "
+          f"equivalents = ${result.expected_cost_passes * full_pass_cost / 1e6:.2f}M, "
+          f"{result.expected_weeks_passes * full_pass_weeks:.1f} weeks\n")
+
+    # ------------------------------------------------------------------
+    # The divergence towards the density bound, staged edition.
+    # ------------------------------------------------------------------
+    rows = []
+    for sd in (105, 110, 120, 150, 200, 400):
+        r = model.analyse(sd)
+        rows.append((sd, r.expected_cost_passes,
+                     r.expected_cost_passes * full_pass_cost / 1e6,
+                     r.expected_weeks_passes * full_pass_weeks))
+    print(format_table(
+        ["s_d", "full-pass equiv", "cost M$", "schedule wks"],
+        rows, float_spec=".3g",
+        title="Eq.-(6)'s divergence, reproduced by the staged flow"))
+
+    # ------------------------------------------------------------------
+    # The §3.2 lever: early prediction vs late-stage speed.
+    # ------------------------------------------------------------------
+    sd = 115.0
+    base = model.analyse(sd)
+    sharp = model.with_early_prediction_gain(4.0).analyse(sd)
+    print(f"\nAt s_d = {sd:.0f}:")
+    print(f"  baseline flow:                {base.expected_weeks_passes * full_pass_weeks:6.1f} weeks")
+    print(f"  4x sharper early prediction:  {sharp.expected_weeks_passes * full_pass_weeks:6.1f} weeks")
+    print("\nRegular, precharacterised layout sharpens exactly the early-stage")
+    print("estimates — the flow-level mechanism behind §3.2's prescription.")
+
+
+if __name__ == "__main__":
+    main()

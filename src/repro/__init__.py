@@ -1,0 +1,97 @@
+"""repro — reproduction of W. Maly, *IC Design in High-Cost
+Nanometer-Technologies Era* (DAC 2001).
+
+The library implements the paper's transistor cost-model family
+(eqs. 1-7), its design-density analytics over Table A1 and the
+ITRS-1999 roadmap (Figures 1-3), the cost-optimal design-density study
+(Figure 4), and every substrate those depend on: wafer geometry and
+cost, defect-limited yield models, interconnect/Rent estimation, a
+design-iteration simulator, and a layout-regularity analyzer.
+
+Quick start
+-----------
+>>> from repro.cost import transistor_cost
+>>> transistor_cost(cost_per_cm2=8.0, feature_um=0.18, sd=300, yield_fraction=0.8)  # doctest: +ELLIPSIS
+9.7...e-07
+
+Subpackages
+-----------
+``repro.data``
+    Table A1 (49 industrial designs) and the reconstructed ITRS-1999
+    roadmap.
+``repro.density``
+    Eq. (2): design decompression/density indices, trends (Figure 1).
+``repro.cost``
+    Eqs. (1), (3)-(7): manufacturing, design, mask, test, total and
+    generalized transistor cost.
+``repro.wafer`` / ``repro.yieldmodels``
+    The process-side substrates: wafer formats/cost, die-per-wafer,
+    yield statistics, critical area, learning.
+``repro.optimize``
+    Cost-optimal ``s_d`` (Figure 4), sensitivities, Pareto fronts.
+``repro.roadmap``
+    Scaling laws, constant-die-cost analysis (Figures 2-3).
+``repro.interconnect`` / ``repro.designflow``
+    Rent/Donath/delay prediction and the design-iteration simulator
+    behind eq. (6).
+``repro.layout``
+    Layout geometry, repetitive-pattern extraction (ref [33]) and the
+    §3.2 regularity economics.
+``repro.analysis`` / ``repro.report``
+    Fitting/statistics helpers and text rendering.
+"""
+
+from . import (  # noqa: F401
+    analysis,
+    cost,
+    data,
+    density,
+    designflow,
+    economics,
+    interconnect,
+    layout,
+    optimize,
+    report,
+    roadmap,
+    wafer,
+    yieldmodels,
+)
+from .errors import (
+    CalibrationError,
+    ConvergenceError,
+    DataError,
+    DomainError,
+    InconsistentRecordError,
+    LayoutError,
+    ReproError,
+    UnitError,
+    UnknownRecordError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "data",
+    "density",
+    "cost",
+    "economics",
+    "wafer",
+    "yieldmodels",
+    "optimize",
+    "roadmap",
+    "interconnect",
+    "designflow",
+    "layout",
+    "analysis",
+    "report",
+    "ReproError",
+    "DomainError",
+    "UnitError",
+    "DataError",
+    "UnknownRecordError",
+    "InconsistentRecordError",
+    "CalibrationError",
+    "ConvergenceError",
+    "LayoutError",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Command-line summary: ``python -m repro [report]``.
+
+Prints a one-screen reproduction summary — the paper's headline numbers
+regenerated live — so a fresh checkout can be sanity-checked without
+running the full bench suite.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .cost import PAPER_FIGURE4_MODEL
+from .data import DesignRegistry, load_itrs_1999
+from .density import sd_vs_feature_fit
+from .optimize import optimal_sd
+from .report import format_table
+from .roadmap import constant_cost_series
+
+
+def build_report() -> str:
+    """Assemble the summary text (importable for testing)."""
+    lines = []
+    lines.append("repro - Maly, 'IC Design in High-Cost Nanometer-Technologies "
+                 "Era' (DAC 2001)")
+    lines.append("=" * 74)
+
+    registry = DesignRegistry.table_a1()
+    sd_logic = registry.sd_logic_values()
+    fit = sd_vs_feature_fit(registry)
+    lines.append(f"\nTable A1: {len(registry)} designs | logic s_d "
+                 f"{min(sd_logic):.0f}-{max(sd_logic):.0f} | trend s_d ~ "
+                 f"lambda^{fit.slope:.2f} (rising as features shrink)")
+
+    series = constant_cost_series(load_itrs_1999())
+    rows = [(p.node.year, p.node.feature_nm, p.sd_implied, p.sd_constant_cost,
+             p.ratio) for p in series]
+    lines.append("\n" + format_table(
+        ["year", "nm", "ITRS s_d", "const-cost s_d", "ratio"],
+        rows, float_spec=".4g",
+        title="Figures 2-3: the cost contradiction ($34 die, 8 $/cm2, Y=0.8)"))
+
+    fig4a = optimal_sd(PAPER_FIGURE4_MODEL, 1e7, 0.18, 5_000, 0.4, 8.0)
+    fig4b = optimal_sd(PAPER_FIGURE4_MODEL, 1e7, 0.18, 50_000, 0.9, 8.0)
+    lines.append(f"\nFigure 4 optima (10M tx, 0.18 um): "
+                 f"s_d = {fig4a.sd_opt:.0f} at 5k wafers/Y=0.4 vs "
+                 f"{fig4b.sd_opt:.0f} at 50k wafers/Y=0.9")
+    lines.append("-> neither the smallest die nor maximum yield minimises "
+                 "transistor cost (#3.1).")
+    lines.append("\nFull regeneration: pytest benchmarks/ --benchmark-only "
+                 "(artifacts in benchmarks/output/).")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] not in ("report",):
+        print(f"unknown command {argv[0]!r}; usage: python -m repro [report]",
+              file=sys.stderr)
+        return 2
+    print(build_report())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

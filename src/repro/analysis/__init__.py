@@ -1,0 +1,17 @@
+"""Regression and statistics helpers shared by the trend analyses."""
+
+from .regression import FitResult, linear_fit, loglog_fit, semilog_fit, theil_sen_fit
+from .stats import Summary, bootstrap_ci, geometric_mean, spearman_rho, summarize
+
+__all__ = [
+    "FitResult",
+    "linear_fit",
+    "loglog_fit",
+    "semilog_fit",
+    "theil_sen_fit",
+    "Summary",
+    "summarize",
+    "bootstrap_ci",
+    "geometric_mean",
+    "spearman_rho",
+]

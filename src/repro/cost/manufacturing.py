@@ -1,0 +1,141 @@
+"""Manufacturing cost of a transistor — eqs. (1)–(3) of the paper.
+
+Two equivalent formulations are provided:
+
+* the **wafer view** (eq. 1): ``C_tr = C_w / (N_tr · N_ch · Y)`` —
+  price the wafer, divide by good transistors;
+* the **density view** (eq. 3): ``C_tr = C_sq · λ² · s_d / Y`` —
+  price the silicon per cm², multiply by the area an average transistor
+  occupies, divide by yield.
+
+The density view is the paper's analytical workhorse because it factors
+the cost into a *process* part (``C_sq``, ``λ``, ``Y``) and a pure
+*design* part (``s_d``); the wafer view is what a fab quotes. They
+agree exactly when ``N_ch = A_usable/A_ch`` prices only usable silicon;
+with realistic die-per-wafer edge losses (see
+:mod:`repro.wafer.geometry`) the wafer view is slightly more expensive
+— eq. (3) is, as §2.5 stresses, a deliberately *optimistic lower
+bound*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..density.metrics import area_from_sd
+from ..units import um_to_cm
+from ..validation import check_fraction, check_positive
+
+__all__ = [
+    "transistor_cost_wafer_view",
+    "transistor_cost",
+    "die_cost",
+    "good_transistors_per_wafer",
+    "sd_for_transistor_cost",
+]
+
+
+def transistor_cost_wafer_view(wafer_cost_usd, n_transistors, dice_per_wafer, yield_fraction):
+    """Eq. (1): ``C_tr = C_w / (N_tr · N_ch · Y)`` in $/transistor.
+
+    Parameters
+    ----------
+    wafer_cost_usd:
+        Cost of one fully processed wafer ``C_w`` ($).
+    n_transistors:
+        Transistors per chip ``N_tr``.
+    dice_per_wafer:
+        Chips per wafer ``N_ch``.
+    yield_fraction:
+        Manufacturing yield ``Y`` in (0, 1].
+    """
+    wafer_cost_usd = check_positive(wafer_cost_usd, "wafer_cost_usd")
+    n_transistors = check_positive(n_transistors, "n_transistors")
+    dice_per_wafer = check_positive(dice_per_wafer, "dice_per_wafer")
+    yield_fraction = check_fraction(yield_fraction, "yield_fraction")
+    result = np.asarray(wafer_cost_usd, dtype=float) / (
+        np.asarray(n_transistors, dtype=float)
+        * np.asarray(dice_per_wafer, dtype=float)
+        * np.asarray(yield_fraction, dtype=float)
+    )
+    args = (wafer_cost_usd, n_transistors, dice_per_wafer, yield_fraction)
+    return result if any(np.ndim(a) for a in args) else float(result)
+
+
+def transistor_cost(cost_per_cm2, feature_um, sd, yield_fraction):
+    """Eq. (3): ``C_tr = C_sq · λ² · s_d / Y`` in $/transistor.
+
+    Parameters
+    ----------
+    cost_per_cm2:
+        Manufacturing cost per cm² of fabricated wafer ``C_sq`` ($/cm²).
+    feature_um:
+        Minimum feature size λ in µm.
+    sd:
+        Design decompression index (λ² squares per transistor).
+    yield_fraction:
+        Manufacturing yield ``Y`` in (0, 1].
+    """
+    cost_per_cm2 = check_positive(cost_per_cm2, "cost_per_cm2")
+    feature_cm = um_to_cm(check_positive(feature_um, "feature_um"))
+    sd = check_positive(sd, "sd")
+    yield_fraction = check_fraction(yield_fraction, "yield_fraction")
+    result = (
+        np.asarray(cost_per_cm2, dtype=float)
+        * np.asarray(feature_cm, dtype=float) ** 2
+        * np.asarray(sd, dtype=float)
+        / np.asarray(yield_fraction, dtype=float)
+    )
+    args = (cost_per_cm2, feature_um, sd, yield_fraction)
+    return result if any(np.ndim(a) for a in args) else float(result)
+
+
+def die_cost(cost_per_cm2, feature_um, sd, n_transistors, yield_fraction):
+    """Cost of one *good* die: ``C_ch = C_sq · A_ch / Y`` ($).
+
+    ``A_ch = N_tr · s_d · λ²`` per eq. (2). This is the quantity the
+    paper's Figure 3 holds at its 1999 level ($34).
+    """
+    area = area_from_sd(sd, n_transistors, feature_um)
+    cost_per_cm2 = check_positive(cost_per_cm2, "cost_per_cm2")
+    yield_fraction = check_fraction(yield_fraction, "yield_fraction")
+    result = np.asarray(cost_per_cm2, dtype=float) * np.asarray(area) / np.asarray(yield_fraction, dtype=float)
+    args = (cost_per_cm2, feature_um, sd, n_transistors, yield_fraction)
+    return result if any(np.ndim(a) for a in args) else float(result)
+
+
+def good_transistors_per_wafer(wafer_area_cm2, feature_um, sd, yield_fraction):
+    """Functional transistors harvested per cm²-priced wafer.
+
+    ``N = A_w · Y / (λ² s_d)`` — the reciprocal structure of eq. (3).
+    """
+    wafer_area_cm2 = check_positive(wafer_area_cm2, "wafer_area_cm2")
+    feature_cm = um_to_cm(check_positive(feature_um, "feature_um"))
+    sd = check_positive(sd, "sd")
+    yield_fraction = check_fraction(yield_fraction, "yield_fraction")
+    result = (
+        np.asarray(wafer_area_cm2, dtype=float)
+        * np.asarray(yield_fraction, dtype=float)
+        / (np.asarray(feature_cm, dtype=float) ** 2 * np.asarray(sd, dtype=float))
+    )
+    args = (wafer_area_cm2, feature_um, sd, yield_fraction)
+    return result if any(np.ndim(a) for a in args) else float(result)
+
+
+def sd_for_transistor_cost(target_cost_usd, cost_per_cm2, feature_um, yield_fraction):
+    """Invert eq. (3) for ``s_d``: the sparseness budget a cost target buys.
+
+    ``s_d = C_tr · Y / (C_sq · λ²)`` — used by the Figure 3 style
+    "what density does the roadmap *require*" computations.
+    """
+    target_cost_usd = check_positive(target_cost_usd, "target_cost_usd")
+    cost_per_cm2 = check_positive(cost_per_cm2, "cost_per_cm2")
+    feature_cm = um_to_cm(check_positive(feature_um, "feature_um"))
+    yield_fraction = check_fraction(yield_fraction, "yield_fraction")
+    result = (
+        np.asarray(target_cost_usd, dtype=float)
+        * np.asarray(yield_fraction, dtype=float)
+        / (np.asarray(cost_per_cm2, dtype=float) * np.asarray(feature_cm, dtype=float) ** 2)
+    )
+    args = (target_cost_usd, cost_per_cm2, feature_um, yield_fraction)
+    return result if any(np.ndim(a) for a in args) else float(result)

@@ -1,0 +1,177 @@
+"""Total transistor cost — eqs. (4) and (5) of the paper.
+
+Eq. (4) extends the manufacturing-only eq. (3) with the development
+costs amortised over the fabricated silicon:
+
+    ``C_tr = (λ² s_d / Y) · (Cm_sq + Cd_sq)``
+    ``Cd_sq = (C_MA + C_DE) / (N_w · A_w)``            (eq. 5)
+
+For high-volume products (``N_w`` large) ``Cd_sq → 0`` and eq. (4)
+degenerates to eq. (3), exactly as the paper notes.
+
+:class:`TotalCostModel` wires eq. (6) (design cost) and the mask model
+into this structure and optionally folds in the §2.5 extensions (test
+cost and hardware utilization ``u``, the latter by the paper's own
+``Y → u·Y`` substitution). :meth:`TotalCostModel.breakdown` exposes the
+per-component split the Figure 4 discussion reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..units import um_to_cm
+from ..validation import check_fraction, check_positive
+from ..wafer.specs import WAFER_200MM, WaferSpec
+from .design import DesignCostModel
+from .masks import MaskSetCostModel
+from .test import TestCostModel
+
+__all__ = ["CostBreakdown", "TotalCostModel", "PAPER_FIGURE4_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-transistor cost split at one operating point (all $/transistor)."""
+
+    manufacturing: float
+    design: float
+    masks: float
+    test: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all components."""
+        return self.manufacturing + self.design + self.masks + self.test
+
+    @property
+    def development_share(self) -> float:
+        """Fraction of the total that is development (design + masks)."""
+        return (self.design + self.masks) / self.total
+
+
+@dataclass(frozen=True)
+class TotalCostModel:
+    """Eq. (4)/(5) with pluggable component models.
+
+    Attributes
+    ----------
+    design_model:
+        Eq.-(6) design cost model (paper constants by default).
+    mask_model:
+        Mask-set cost model for ``C_MA``; set ``include_masks=False``
+        to reproduce the bare eq. (4) with ``C_MA = 0`` (the paper's
+        Figure 4 presentation does not separate it).
+    wafer:
+        Wafer format supplying ``A_w`` for eq. (5).
+    include_masks:
+        Whether ``C_MA`` enters ``Cd_sq``.
+    test_model:
+        Optional §2.5 test-cost extension; ``None`` omits it (the
+        paper's lower-bound configuration).
+    utilization:
+        Hardware utilization ``u`` in (0, 1]; enters as ``Y → u·Y``
+        per §2.5. Default 1.0 (every fabricated transistor is used).
+    """
+
+    design_model: DesignCostModel = field(default_factory=DesignCostModel)
+    mask_model: MaskSetCostModel = field(default_factory=MaskSetCostModel)
+    wafer: WaferSpec = WAFER_200MM
+    include_masks: bool = True
+    test_model: TestCostModel | None = None
+    utilization: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_fraction(self.utilization, "utilization")
+
+    # -- eq. (5) ---------------------------------------------------------
+    def mask_cost(self, feature_um) -> float:
+        """``C_MA`` for the node ($); zero when masks are excluded."""
+        if not self.include_masks:
+            return 0.0
+        return self.mask_model.cost(feature_um)
+
+    def design_cost_per_cm2(self, n_transistors, sd, feature_um, n_wafers):
+        """Eq. (5): ``Cd_sq = (C_MA + C_DE)/(N_w A_w)`` in $/cm²."""
+        n_wafers = check_positive(n_wafers, "n_wafers")
+        c_de = self.design_model.cost(n_transistors, sd)
+        c_ma = self.mask_cost(feature_um)
+        result = (np.asarray(c_de) + c_ma) / (np.asarray(n_wafers, dtype=float) * self.wafer.area_cm2)
+        args = (n_transistors, sd, n_wafers)
+        return result if any(np.ndim(a) for a in args) else float(result)
+
+    # -- eq. (4) -----------------------------------------------------------
+    def transistor_cost(self, sd, n_transistors, feature_um, n_wafers,
+                        yield_fraction, cm_sq):
+        """Eq. (4): total cost per functional (and used) transistor ($).
+
+        Parameters
+        ----------
+        sd:
+            Design decompression index (> ``design_model.sd0``).
+        n_transistors:
+            Transistors per die ``N_tr``.
+        feature_um:
+            Minimum feature size λ (µm).
+        n_wafers:
+            Wafer run size ``N_w``.
+        yield_fraction:
+            Manufacturing yield ``Y``.
+        cm_sq:
+            Manufacturing cost per cm² ``Cm_sq`` ($/cm²).
+        """
+        sd_arr = check_positive(sd, "sd")
+        feature_cm = um_to_cm(check_positive(feature_um, "feature_um"))
+        yield_fraction = check_fraction(yield_fraction, "yield_fraction")
+        cm_sq = check_positive(cm_sq, "cm_sq")
+        cd_sq = self.design_cost_per_cm2(n_transistors, sd, feature_um, n_wafers)
+        ct_sq = 0.0
+        if self.test_model is not None:
+            ct_sq = self.test_model.cost_per_cm2(sd, feature_um, n_transistors)
+        effective_yield = np.asarray(yield_fraction, dtype=float) * self.utilization
+        result = (
+            np.asarray(feature_cm, dtype=float) ** 2
+            * np.asarray(sd_arr, dtype=float)
+            / effective_yield
+            * (np.asarray(cm_sq, dtype=float) + np.asarray(cd_sq) + np.asarray(ct_sq))
+        )
+        args = (sd, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq)
+        return result if any(np.ndim(a) for a in args) else float(result)
+
+    def breakdown(self, sd, n_transistors, feature_um, n_wafers,
+                  yield_fraction, cm_sq) -> CostBreakdown:
+        """Component-wise split of eq. (4) at a scalar operating point."""
+        sd = check_positive(sd, "sd")
+        feature_cm = um_to_cm(check_positive(feature_um, "feature_um"))
+        yield_fraction = check_fraction(yield_fraction, "yield_fraction")
+        cm_sq = check_positive(cm_sq, "cm_sq")
+        n_wafers = check_positive(n_wafers, "n_wafers")
+        silicon = feature_cm**2 * sd / (yield_fraction * self.utilization)
+        wafer_cm2 = n_wafers * self.wafer.area_cm2
+        design_sq = self.design_model.cost(n_transistors, sd) / wafer_cm2
+        mask_sq = self.mask_cost(feature_um) / wafer_cm2
+        test_sq = 0.0
+        if self.test_model is not None:
+            test_sq = self.test_model.cost_per_cm2(sd, feature_um, n_transistors)
+        return CostBreakdown(
+            manufacturing=float(silicon * cm_sq),
+            design=float(silicon * design_sq),
+            masks=float(silicon * mask_sq),
+            test=float(silicon * test_sq),
+        )
+
+    def project_cost(self, sd, n_transistors, feature_um, n_wafers, cm_sq) -> float:
+        """Total program spend ($): silicon + design + masks for the run."""
+        n_wafers = check_positive(n_wafers, "n_wafers")
+        cm_sq = check_positive(cm_sq, "cm_sq")
+        silicon = cm_sq * self.wafer.area_cm2 * n_wafers
+        return float(
+            silicon + self.design_model.cost(n_transistors, sd) + self.mask_cost(feature_um)
+        )
+
+
+#: The configuration behind Figure 4: eq. (4) with the paper's eq.-(6)
+#: constants, 200 mm wafers, no mask/test terms, full utilization.
+PAPER_FIGURE4_MODEL = TotalCostModel(include_masks=False)

@@ -1,0 +1,177 @@
+"""CSV import/export for the datasets.
+
+Lets downstream users extend Table A1 with their own designs (the whole
+point of a figure-of-merit like ``s_d`` is tracking *your* products
+against the industry) and re-run every analysis on the merged data.
+The format is plain ``csv`` with a fixed header; empty cells encode the
+optional split columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable
+
+from ..errors import DataError
+from .records import DesignRecord, DeviceCategory, Provenance, RoadmapNode
+
+__all__ = [
+    "DESIGN_CSV_HEADER",
+    "designs_to_csv",
+    "designs_from_csv",
+    "roadmap_to_csv",
+    "roadmap_from_csv",
+]
+
+DESIGN_CSV_HEADER = [
+    "index", "device", "vendor", "category", "year",
+    "die_area_cm2", "feature_um", "transistors_total_m",
+    "transistors_mem_m", "transistors_logic_m",
+    "area_mem_cm2", "area_logic_cm2", "sd_mem", "sd_logic",
+    "provenance", "note",
+]
+
+ROADMAP_CSV_HEADER = [
+    "year", "feature_nm", "mpu_transistors_m", "mpu_density_m_per_cm2",
+    "mpu_die_cost_usd", "note",
+]
+
+
+def _opt(value) -> str:
+    return "" if value is None else repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _parse_opt_float(cell: str):
+    cell = cell.strip()
+    return None if not cell else float(cell)
+
+
+def designs_to_csv(records: Iterable[DesignRecord], path: str | Path | None = None) -> str:
+    """Serialise design records; returns the CSV text (and writes ``path``)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(DESIGN_CSV_HEADER)
+    for r in records:
+        writer.writerow([
+            r.index, r.device, r.vendor, r.category.value, r.year,
+            r.die_area_cm2, r.feature_um, r.transistors_total_m,
+            _opt(r.transistors_mem_m), _opt(r.transistors_logic_m),
+            _opt(r.area_mem_cm2), _opt(r.area_logic_cm2),
+            _opt(r.sd_mem), _opt(r.sd_logic),
+            r.provenance.value, r.note,
+        ])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def designs_from_csv(source: str | Path, validate: bool = True) -> list[DesignRecord]:
+    """Parse design records from CSV text or a file path.
+
+    Parameters
+    ----------
+    source:
+        CSV text (if it contains a newline) or a path to a CSV file.
+    validate:
+        Run :meth:`DesignRecord.validate` on every parsed row.
+
+    Raises
+    ------
+    DataError
+        On a malformed header or unparseable row.
+    """
+    text = str(source)
+    if "\n" not in text:
+        text = Path(source).read_text()
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration as exc:
+        raise DataError("empty CSV") from exc
+    if not header:
+        raise DataError("empty CSV")
+    if header != DESIGN_CSV_HEADER:
+        raise DataError(
+            f"unexpected design CSV header {header!r}; expected {DESIGN_CSV_HEADER!r}")
+    records = []
+    for line_no, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(DESIGN_CSV_HEADER):
+            raise DataError(f"line {line_no}: expected {len(DESIGN_CSV_HEADER)} cells, "
+                            f"got {len(row)}")
+        try:
+            record = DesignRecord(
+                index=int(row[0]),
+                device=row[1],
+                vendor=row[2],
+                category=DeviceCategory(row[3]),
+                year=int(row[4]),
+                die_area_cm2=float(row[5]),
+                feature_um=float(row[6]),
+                transistors_total_m=float(row[7]),
+                transistors_mem_m=_parse_opt_float(row[8]),
+                transistors_logic_m=_parse_opt_float(row[9]),
+                area_mem_cm2=_parse_opt_float(row[10]),
+                area_logic_cm2=_parse_opt_float(row[11]),
+                sd_mem=_parse_opt_float(row[12]),
+                sd_logic=_parse_opt_float(row[13]),
+                provenance=Provenance(row[14]),
+                note=row[15],
+            )
+        except (ValueError, KeyError) as exc:
+            raise DataError(f"line {line_no}: {exc}") from exc
+        if validate:
+            record.validate()
+        records.append(record)
+    return records
+
+
+def roadmap_to_csv(nodes: Iterable[RoadmapNode], path: str | Path | None = None) -> str:
+    """Serialise roadmap nodes; returns the CSV text (and writes ``path``)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(ROADMAP_CSV_HEADER)
+    for n in nodes:
+        writer.writerow([n.year, n.feature_nm, n.mpu_transistors_m,
+                         n.mpu_density_m_per_cm2, n.mpu_die_cost_usd, n.note])
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def roadmap_from_csv(source: str | Path) -> list[RoadmapNode]:
+    """Parse roadmap nodes from CSV text or a file path."""
+    text = str(source)
+    if "\n" not in text:
+        text = Path(source).read_text()
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration as exc:
+        raise DataError("empty CSV") from exc
+    if not header:
+        raise DataError("empty CSV")
+    if header != ROADMAP_CSV_HEADER:
+        raise DataError(
+            f"unexpected roadmap CSV header {header!r}; expected {ROADMAP_CSV_HEADER!r}")
+    nodes = []
+    for line_no, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        try:
+            nodes.append(RoadmapNode(
+                year=int(row[0]),
+                feature_nm=float(row[1]),
+                mpu_transistors_m=float(row[2]),
+                mpu_density_m_per_cm2=float(row[3]),
+                mpu_die_cost_usd=float(row[4]),
+                note=row[5] if len(row) > 5 else "",
+            ))
+        except (ValueError, IndexError) as exc:
+            raise DataError(f"line {line_no}: {exc}") from exc
+    return nodes

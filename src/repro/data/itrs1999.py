@@ -1,0 +1,90 @@
+"""Reconstructed ITRS-1999 roadmap data (Figures 2 and 3 inputs).
+
+The paper computes two ``s_d`` trajectories from the 1999 edition of
+the International Technology Roadmap for Semiconductors [2]:
+
+* Figure 2 — the ``s_d`` *implied* by the roadmap's MPU transistor
+  density targets, via eq. (2): ``s_d = 1/(λ² T_d)``;
+* Figure 3 — the ``s_d`` *required* to keep the cost-performance MPU
+  die at its 1999 cost level ($34 with ``C_sq = 8 $/cm²``, ``Y = 0.8``),
+  via eq. (3).
+
+We do not have the original ITRS tables (the 1999 edition is not
+redistributable), so this module reconstructs the Overall Roadmap
+Technology Characteristics from its published cadence:
+
+* technology node calendar 180 nm (1999) → 130 → 100 → 70 → 50 →
+  35 nm (2014), i.e. ×0.7 linear shrink per 3-year node;
+* cost-performance MPU functions per chip growing ≈ ×3.6 per node
+  (doubling every ~1.7 years, the ITRS-99 "functions/chip" cadence);
+* MPU logic transistor density growing ≈ ×2.5 per node (the roadmap's
+  density line, slightly slower than the functions line because die
+  size is allowed to grow).
+
+The resulting trajectories reproduce the paper's qualitative findings:
+the roadmap-implied ``s_d`` **falls** node over node (the opposite of
+the industrial trend in Figure 1), and the ratio of implied to
+constant-cost ``s_d`` grows past 1 through the horizon (Figure 3's
+"cost contradiction"). See ``DESIGN.md`` §2 for the substitution
+rationale.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnknownRecordError
+from .records import RoadmapNode
+
+__all__ = [
+    "ITRS_1999",
+    "load_itrs_1999",
+    "node_for_year",
+    "MPU_DIE_COST_1999_USD",
+    "MANUFACTURING_COST_PER_CM2_USD",
+    "ASSUMED_YIELD",
+]
+
+#: Figure 3's cost anchors, quoted verbatim from §2.2.3 of the paper.
+MPU_DIE_COST_1999_USD = 34.0
+MANUFACTURING_COST_PER_CM2_USD = 8.0
+ASSUMED_YIELD = 0.8
+
+#: Reconstructed ITRS-1999 ORTC, main nodes only (see module docstring).
+ITRS_1999: tuple[RoadmapNode, ...] = (
+    RoadmapNode(year=1999, feature_nm=180.0, mpu_transistors_m=21.0,
+                mpu_density_m_per_cm2=6.6,
+                note="anchor node; cost-performance MPU at production"),
+    RoadmapNode(year=2002, feature_nm=130.0, mpu_transistors_m=76.0,
+                mpu_density_m_per_cm2=18.0),
+    RoadmapNode(year=2005, feature_nm=100.0, mpu_transistors_m=200.0,
+                mpu_density_m_per_cm2=44.0),
+    RoadmapNode(year=2008, feature_nm=70.0, mpu_transistors_m=539.0,
+                mpu_density_m_per_cm2=109.0),
+    RoadmapNode(year=2011, feature_nm=50.0, mpu_transistors_m=1430.0,
+                mpu_density_m_per_cm2=269.0),
+    RoadmapNode(year=2014, feature_nm=35.0, mpu_transistors_m=4310.0,
+                mpu_density_m_per_cm2=664.0,
+                note="roadmap horizon"),
+)
+
+
+def load_itrs_1999() -> list[RoadmapNode]:
+    """Return the reconstructed ITRS-1999 node list (chronological)."""
+    return list(ITRS_1999)
+
+
+def node_for_year(year: int) -> RoadmapNode:
+    """Return the roadmap node for a given calendar year.
+
+    Only the main node years (1999, 2002, ..., 2014) are defined; the
+    paper's figures are drawn at those nodes.
+
+    Raises
+    ------
+    UnknownRecordError
+        If ``year`` is not a main ITRS-1999 node year.
+    """
+    for node in ITRS_1999:
+        if node.year == year:
+            return node
+    known = ", ".join(str(n.year) for n in ITRS_1999)
+    raise UnknownRecordError(f"no ITRS-1999 node for year {year}; nodes: {known}")

@@ -1,0 +1,275 @@
+"""Typed records for the paper's datasets.
+
+Two record families live here:
+
+* :class:`DesignRecord` — one row of the paper's Table A1: a published
+  industrial design with die size, feature size, transistor counts and
+  (where the source paper reported them) the memory/logic split. These
+  are the designs behind Figure 1.
+* :class:`RoadmapNode` — one technology node of the reconstructed
+  ITRS-1999 roadmap (behind Figures 2 and 3).
+
+Provenance
+----------
+The DAC-2001 paper's Table A1 reaches us through an imperfect scan, so
+each numeric cell of a :class:`DesignRecord` carries a record-level
+``provenance`` tag:
+
+``published``
+    every digit was legible in the source table;
+``repaired``
+    one or more cells were illegible and have been reconstructed from
+    the remaining cells using the paper's own identity
+    ``s_d = A / (N_tr λ²)`` (eq. 2) plus the publicly documented
+    specifications of the named device;
+``derived``
+    the record was computed by this library (not part of Table A1).
+
+The identity above is also enforced as a *consistency invariant*:
+:meth:`DesignRecord.validate` recomputes every reported ``s_d`` and
+raises :class:`repro.errors.InconsistentRecordError` when a published
+value disagrees with the reconstruction by more than ``rtol``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..errors import InconsistentRecordError
+from ..units import um_to_cm
+
+__all__ = ["Provenance", "DeviceCategory", "DesignRecord", "RoadmapNode"]
+
+
+class Provenance(str, Enum):
+    """How a dataset record's numbers were obtained (see module docs)."""
+
+    PUBLISHED = "published"
+    REPAIRED = "repaired"
+    DERIVED = "derived"
+
+
+class DeviceCategory(str, Enum):
+    """Coarse device taxonomy used when grouping Table A1 (Figure 1)."""
+
+    MICROPROCESSOR = "microprocessor"
+    DSP = "dsp"
+    ASIC = "asic"
+    MEMORY = "memory"
+    MULTIMEDIA = "multimedia"
+    NETWORKING = "networking"
+
+
+@dataclass(frozen=True)
+class DesignRecord:
+    """One row of Table A1: a published IC design.
+
+    Attributes
+    ----------
+    index:
+        Row number in the paper's Table A1 (1-based).
+    device:
+        Device name as printed (e.g. ``"Pentium Pro"``).
+    vendor:
+        Manufacturer, inferred from the device name (``"Intel"``,
+        ``"AMD"``, ``"IBM"``, ...). Used for the Figure 1 vendor-strategy
+        analysis (§2.2.2: AMD tracked below Intel until the K7).
+    category:
+        Coarse taxonomy bucket.
+    year:
+        Approximate publication year of the source paper (ISSCC/JSSC).
+    die_area_cm2:
+        Total die area ``A_ch`` in cm².
+    feature_um:
+        Minimum feature size ``λ`` in µm.
+    transistors_total_m:
+        Total transistor count in millions.
+    transistors_mem_m / transistors_logic_m:
+        Memory/logic split in millions, where the source reported it.
+    area_mem_cm2 / area_logic_cm2:
+        Corresponding area split in cm².
+    sd_mem / sd_logic:
+        Design decompression index of the memory and logic portions as
+        printed in Table A1 (λ² squares per transistor).
+    provenance:
+        See module docstring.
+    note:
+        Free-form remark (what was repaired, source reference, ...).
+    """
+
+    index: int
+    device: str
+    vendor: str
+    category: DeviceCategory
+    year: int
+    die_area_cm2: float
+    feature_um: float
+    transistors_total_m: float
+    transistors_mem_m: Optional[float] = None
+    transistors_logic_m: Optional[float] = None
+    area_mem_cm2: Optional[float] = None
+    area_logic_cm2: Optional[float] = None
+    sd_mem: Optional[float] = None
+    sd_logic: Optional[float] = None
+    provenance: Provenance = Provenance.PUBLISHED
+    note: str = ""
+
+    # ------------------------------------------------------------------
+    # Derived quantities (eq. 2 of the paper)
+    # ------------------------------------------------------------------
+    @property
+    def feature_cm(self) -> float:
+        """Minimum feature size λ in cm."""
+        return um_to_cm(self.feature_um)
+
+    @property
+    def transistors_total(self) -> float:
+        """Total transistor count (absolute, not millions)."""
+        return self.transistors_total_m * 1.0e6
+
+    @property
+    def transistor_density_per_cm2(self) -> float:
+        """Transistor density ``T_d = N_tr / A_ch`` in transistors/cm²."""
+        return self.transistors_total / self.die_area_cm2
+
+    def sd_overall(self) -> float:
+        """Whole-die design decompression index ``s_d = A_ch/(N_tr λ²)``."""
+        return self.die_area_cm2 / (self.transistors_total * self.feature_cm**2)
+
+    def sd_logic_recomputed(self) -> Optional[float]:
+        """Logic-portion ``s_d`` recomputed from the area/count split.
+
+        Returns ``None`` when the row has no logic split.
+        """
+        if self.transistors_logic_m is None or self.area_logic_cm2 is None:
+            return None
+        return self.area_logic_cm2 / (self.transistors_logic_m * 1.0e6 * self.feature_cm**2)
+
+    def sd_mem_recomputed(self) -> Optional[float]:
+        """Memory-portion ``s_d`` recomputed from the area/count split."""
+        if self.transistors_mem_m is None or self.area_mem_cm2 is None:
+            return None
+        return self.area_mem_cm2 / (self.transistors_mem_m * 1.0e6 * self.feature_cm**2)
+
+    def best_sd_logic(self) -> Optional[float]:
+        """The logic ``s_d`` to use in analyses.
+
+        Prefers the printed Table A1 value; falls back to the recomputed
+        split value; for rows with no split at all, falls back to the
+        whole-die ``s_d`` (these rows are pure-logic in the paper's
+        table — their printed ``s_d`` sits in the logic column).
+        """
+        if self.sd_logic is not None:
+            return self.sd_logic
+        recomputed = self.sd_logic_recomputed()
+        if recomputed is not None:
+            return recomputed
+        if self.transistors_mem_m is None:
+            return self.sd_overall()
+        return None
+
+    def has_split(self) -> bool:
+        """Whether the row reports a separate memory/logic breakdown."""
+        return self.transistors_mem_m is not None and self.transistors_logic_m is not None
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+    def validate(self, rtol: float = 0.15) -> None:
+        """Check the eq.-(2) identity between areas, counts and ``s_d``.
+
+        Parameters
+        ----------
+        rtol:
+            Relative tolerance. The default 15 % absorbs the rounding in
+            the paper's two-significant-digit area columns.
+
+        Raises
+        ------
+        InconsistentRecordError
+            If a printed ``s_d`` disagrees with its reconstruction, the
+            split areas exceed the die, or the split counts exceed the
+            total.
+        """
+        if self.die_area_cm2 <= 0 or self.feature_um <= 0 or self.transistors_total_m <= 0:
+            raise InconsistentRecordError(
+                f"row {self.index} ({self.device}): non-positive die area, feature size or count"
+            )
+        checks = [
+            ("sd_logic", self.sd_logic, self.sd_logic_recomputed()),
+            ("sd_mem", self.sd_mem, self.sd_mem_recomputed()),
+        ]
+        for name, printed, recomputed in checks:
+            if printed is None or recomputed is None:
+                continue
+            if not math.isclose(printed, recomputed, rel_tol=rtol):
+                raise InconsistentRecordError(
+                    f"row {self.index} ({self.device}): printed {name}={printed:.1f} but "
+                    f"A/(N λ²) gives {recomputed:.1f} (rtol={rtol})"
+                )
+        if self.area_mem_cm2 is not None and self.area_logic_cm2 is not None:
+            if self.area_mem_cm2 + self.area_logic_cm2 > self.die_area_cm2 * (1 + rtol):
+                raise InconsistentRecordError(
+                    f"row {self.index} ({self.device}): mem+logic area exceeds die area"
+                )
+        if self.transistors_mem_m is not None and self.transistors_logic_m is not None:
+            if self.transistors_mem_m + self.transistors_logic_m > self.transistors_total_m * (1 + rtol):
+                raise InconsistentRecordError(
+                    f"row {self.index} ({self.device}): mem+logic counts exceed total"
+                )
+
+
+@dataclass(frozen=True)
+class RoadmapNode:
+    """One technology node of the reconstructed ITRS-1999 roadmap.
+
+    Attributes
+    ----------
+    year:
+        Calendar year of the node.
+    feature_nm:
+        Minimum feature size (DRAM half-pitch) in nm.
+    mpu_transistors_m:
+        Cost-performance MPU functions (transistors) per chip, millions.
+    mpu_density_m_per_cm2:
+        MPU logic transistor density, millions per cm².
+    mpu_die_cost_usd:
+        Affordable cost-performance MPU die cost the roadmap targets
+        (constant "cost per function" anchor; $34 at the 1999 node in
+        the paper's Figure 3 calculation).
+    note:
+        Reconstruction remark.
+    """
+
+    year: int
+    feature_nm: float
+    mpu_transistors_m: float
+    mpu_density_m_per_cm2: float
+    mpu_die_cost_usd: float = 34.0
+    note: str = ""
+
+    @property
+    def feature_um(self) -> float:
+        """Feature size in µm."""
+        return self.feature_nm / 1.0e3
+
+    @property
+    def feature_cm(self) -> float:
+        """Feature size in cm."""
+        return self.feature_nm / 1.0e7
+
+    def implied_sd(self) -> float:
+        """``s_d`` implied by the roadmap's density target (Figure 2).
+
+        From eq. (2): ``T_d = 1/(λ² s_d)`` so
+        ``s_d = 1/(λ² T_d)`` with ``T_d`` in transistors/cm² and λ in cm.
+        """
+        density_per_cm2 = self.mpu_density_m_per_cm2 * 1.0e6
+        return 1.0 / (self.feature_cm**2 * density_per_cm2)
+
+    def implied_die_area_cm2(self) -> float:
+        """Die area implied by the node's count and density targets."""
+        return self.mpu_transistors_m / self.mpu_density_m_per_cm2

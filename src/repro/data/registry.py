@@ -1,0 +1,126 @@
+"""Query API over the Table A1 dataset.
+
+:class:`DesignRegistry` wraps the raw row tuple with the selections the
+paper's analysis needs: by vendor (the Intel-vs-AMD strategy contrast
+of §2.2.2), by device category, by feature-size window, and the
+memory/logic-split subset used for the dual-series part of Figure 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Sequence
+
+from ..errors import UnknownRecordError
+from .records import DesignRecord, DeviceCategory
+from .table_a1 import load_table_a1
+
+__all__ = ["DesignRegistry"]
+
+
+class DesignRegistry(Sequence[DesignRecord]):
+    """An immutable, queryable collection of :class:`DesignRecord` rows.
+
+    Examples
+    --------
+    >>> reg = DesignRegistry.table_a1()
+    >>> len(reg)
+    49
+    >>> intel = reg.by_vendor("Intel")
+    >>> sorted(r.feature_um for r in intel)[0]
+    0.25
+    """
+
+    def __init__(self, records: Iterable[DesignRecord]):
+        self._records: tuple[DesignRecord, ...] = tuple(records)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def table_a1(cls, validate: bool = True) -> "DesignRegistry":
+        """The paper's Table A1 dataset (49 rows)."""
+        return cls(load_table_a1(validate=validate))
+
+    # -- Sequence protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return DesignRegistry(self._records[item])
+        return self._records[item]
+
+    def __iter__(self) -> Iterator[DesignRecord]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return f"DesignRegistry({len(self._records)} records)"
+
+    # -- lookups ----------------------------------------------------------
+    def by_index(self, index: int) -> DesignRecord:
+        """Return the row with the given Table A1 row number (1-based)."""
+        for record in self._records:
+            if record.index == index:
+                return record
+        raise UnknownRecordError(f"no Table A1 row with index {index}")
+
+    def by_device(self, name: str) -> DesignRecord:
+        """Return the first row whose device name contains ``name``.
+
+        Matching is case-insensitive substring match, so
+        ``by_device("K7")`` finds ``"K7 (Athlon)"``.
+        """
+        needle = name.lower()
+        for record in self._records:
+            if needle in record.device.lower():
+                return record
+        raise UnknownRecordError(f"no Table A1 device matching {name!r}")
+
+    # -- filters (all return a new registry) -----------------------------
+    def filter(self, predicate: Callable[[DesignRecord], bool]) -> "DesignRegistry":
+        """Rows satisfying an arbitrary predicate."""
+        return DesignRegistry(r for r in self._records if predicate(r))
+
+    def by_vendor(self, vendor: str) -> "DesignRegistry":
+        """Rows from a vendor (case-insensitive substring match)."""
+        needle = vendor.lower()
+        return self.filter(lambda r: needle in r.vendor.lower())
+
+    def by_category(self, category: DeviceCategory) -> "DesignRegistry":
+        """Rows in one device-taxonomy bucket."""
+        return self.filter(lambda r: r.category is category)
+
+    def feature_between(self, low_um: float, high_um: float) -> "DesignRegistry":
+        """Rows with ``low_um <= λ <= high_um``."""
+        return self.filter(lambda r: low_um <= r.feature_um <= high_um)
+
+    def with_split(self) -> "DesignRegistry":
+        """Rows that report a separate memory/logic breakdown.
+
+        These are the rows behind the paper's observation that memory
+        ``s_d`` (~38-175) sits far below logic ``s_d`` (~100-765).
+        """
+        return self.filter(DesignRecord.has_split)
+
+    def sorted_by(self, key: Callable[[DesignRecord], float], reverse: bool = False) -> "DesignRegistry":
+        """Rows sorted by an arbitrary key."""
+        return DesignRegistry(sorted(self._records, key=key, reverse=reverse))
+
+    # -- convenience extracts ---------------------------------------------
+    def vendors(self) -> list[str]:
+        """Distinct vendor names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self._records:
+            seen.setdefault(record.vendor, None)
+        return list(seen)
+
+    def sd_logic_values(self) -> list[float]:
+        """Logic ``s_d`` for every row (see :meth:`DesignRecord.best_sd_logic`)."""
+        values = []
+        for record in self._records:
+            sd = record.best_sd_logic()
+            if sd is not None:
+                values.append(sd)
+        return values
+
+    def sd_mem_values(self) -> list[float]:
+        """Memory ``s_d`` for the rows that report a split."""
+        return [r.sd_mem for r in self._records if r.sd_mem is not None]

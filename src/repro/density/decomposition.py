@@ -1,0 +1,171 @@
+"""Memory/logic density decomposition (§2.2.2).
+
+Table A1 reports, for the designs whose source papers disclosed it, a
+split of the die into a *memory* portion (caches, register files) and
+a *logic* portion. The paper's observations:
+
+* memory ``s_d`` is small (~30-175) and stable — SRAM arrays are the
+  densest layouts made;
+* logic ``s_d`` is large (~100-765) and **rising** with newer products,
+  which the paper attributes to interconnect growth plus
+  time-to-market pressure;
+* therefore a *whole-die* transistor density mixes two very different
+  populations, and comparing chips by raw ``T_d`` rewards cache-heavy
+  architectures.
+
+:class:`SplitDensity` performs the mixture accounting: given a split
+record it reports portion densities, the whole-die ``s_d`` they
+compose to, and what-if recompositions (e.g. "what would the die
+``s_d`` be if the logic were drawn at full-custom density?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.records import DesignRecord
+from ..errors import DomainError
+from ..units import um_to_cm
+from ..validation import check_fraction, check_positive
+from .metrics import decompression_index
+
+__all__ = ["SplitDensity", "blend_sd", "memory_fraction_for_target_sd"]
+
+
+def blend_sd(sd_mem: float, sd_logic: float, mem_transistor_fraction: float) -> float:
+    """Whole-die ``s_d`` of a memory/logic mixture.
+
+    ``s_d`` is area per transistor (in λ² units), so the die value is
+    the **transistor-count-weighted mean** of the portion values:
+
+        ``s_d = f_mem · s_d_mem + (1 - f_mem) · s_d_logic``
+
+    where ``f_mem`` is the fraction of transistors in memory.
+    """
+    sd_mem = check_positive(sd_mem, "sd_mem")
+    sd_logic = check_positive(sd_logic, "sd_logic")
+    f = check_fraction(mem_transistor_fraction, "mem_transistor_fraction")
+    return f * sd_mem + (1.0 - f) * sd_logic
+
+
+def memory_fraction_for_target_sd(sd_mem: float, sd_logic: float, sd_target: float) -> float:
+    """Memory transistor fraction that brings the die ``s_d`` to a target.
+
+    Inverts :func:`blend_sd`. Architects use exactly this lever: adding
+    cache is the cheapest way to improve the die's average density.
+
+    Raises
+    ------
+    DomainError
+        If the target is outside the achievable interval
+        ``[min(sd_mem, sd_logic), max(sd_mem, sd_logic)]``.
+    """
+    sd_mem = check_positive(sd_mem, "sd_mem")
+    sd_logic = check_positive(sd_logic, "sd_logic")
+    sd_target = check_positive(sd_target, "sd_target")
+    lo, hi = min(sd_mem, sd_logic), max(sd_mem, sd_logic)
+    if not lo <= sd_target <= hi:
+        raise DomainError(
+            f"sd_target={sd_target} unreachable by blending sd_mem={sd_mem} "
+            f"and sd_logic={sd_logic} (achievable: [{lo}, {hi}])"
+        )
+    if sd_mem == sd_logic:
+        return 1.0
+    return (sd_target - sd_logic) / (sd_mem - sd_logic)
+
+
+@dataclass(frozen=True)
+class SplitDensity:
+    """Density accounting for a die split into memory and logic portions.
+
+    Attributes mirror Table A1's split columns; all areas in cm²,
+    counts in absolute transistors, λ in µm.
+    """
+
+    feature_um: float
+    mem_area_cm2: float
+    mem_transistors: float
+    logic_area_cm2: float
+    logic_transistors: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.feature_um, "feature_um")
+        check_positive(self.mem_area_cm2, "mem_area_cm2")
+        check_positive(self.mem_transistors, "mem_transistors")
+        check_positive(self.logic_area_cm2, "logic_area_cm2")
+        check_positive(self.logic_transistors, "logic_transistors")
+
+    @classmethod
+    def from_record(cls, record: DesignRecord) -> "SplitDensity":
+        """Build from a Table A1 row that reports a split.
+
+        Raises
+        ------
+        DomainError
+            If the record has no memory/logic breakdown.
+        """
+        if not record.has_split() or record.area_mem_cm2 is None or record.area_logic_cm2 is None:
+            raise DomainError(
+                f"Table A1 row {record.index} ({record.device}) has no memory/logic split"
+            )
+        return cls(
+            feature_um=record.feature_um,
+            mem_area_cm2=record.area_mem_cm2,
+            mem_transistors=record.transistors_mem_m * 1.0e6,
+            logic_area_cm2=record.area_logic_cm2,
+            logic_transistors=record.transistors_logic_m * 1.0e6,
+        )
+
+    # -- portion metrics -------------------------------------------------
+    def sd_mem(self) -> float:
+        """Memory-portion decompression index."""
+        return decompression_index(self.mem_area_cm2, self.mem_transistors, self.feature_um)
+
+    def sd_logic(self) -> float:
+        """Logic-portion decompression index."""
+        return decompression_index(self.logic_area_cm2, self.logic_transistors, self.feature_um)
+
+    def sd_overall(self) -> float:
+        """Whole-die decompression index of the two portions combined."""
+        return decompression_index(
+            self.mem_area_cm2 + self.logic_area_cm2,
+            self.mem_transistors + self.logic_transistors,
+            self.feature_um,
+        )
+
+    def mem_transistor_fraction(self) -> float:
+        """Fraction of all transistors that sit in the memory portion."""
+        total = self.mem_transistors + self.logic_transistors
+        return self.mem_transistors / total
+
+    def mem_area_fraction(self) -> float:
+        """Fraction of the accounted area occupied by memory."""
+        total = self.mem_area_cm2 + self.logic_area_cm2
+        return self.mem_area_cm2 / total
+
+    # -- what-if recompositions -------------------------------------------
+    def sd_overall_with_logic_at(self, sd_logic_target: float) -> float:
+        """Die ``s_d`` if the logic portion were drawn at a target density.
+
+        The memory portion is left untouched; the logic area is rescaled
+        to ``N_logic · s_d_target · λ²``. This quantifies how much die
+        the industrial logic-sparseness trend costs (§2.2.2).
+        """
+        sd_logic_target = check_positive(sd_logic_target, "sd_logic_target")
+        feature_cm = um_to_cm(self.feature_um)
+        new_logic_area = self.logic_transistors * sd_logic_target * feature_cm**2
+        return decompression_index(
+            self.mem_area_cm2 + new_logic_area,
+            self.mem_transistors + self.logic_transistors,
+            self.feature_um,
+        )
+
+    def area_saved_by_logic_at(self, sd_logic_target: float) -> float:
+        """Area (cm²) saved by redrawing logic at ``sd_logic_target``.
+
+        Negative when the target is sparser than the design as built.
+        """
+        sd_logic_target = check_positive(sd_logic_target, "sd_logic_target")
+        feature_cm = um_to_cm(self.feature_um)
+        new_logic_area = self.logic_transistors * sd_logic_target * feature_cm**2
+        return self.logic_area_cm2 - new_logic_area

@@ -1,0 +1,242 @@
+"""Trend analysis over Table A1 — the analytics behind Figure 1.
+
+Figure 1 plots the extracted ``s_d`` values of the Table A1 designs and
+carries two messages (§2.2.2):
+
+1. **Rising sparseness** — major microprocessor producers introduce
+   products with *worsening* (growing) logic ``s_d`` as feature size
+   shrinks; interconnect alone cannot explain a 2×+ rise on 6+-metal
+   processes, so time-to-market pressure must be a factor.
+2. **Strategy signature** — AMD, the market follower, shipped denser
+   (cheaper-transistor) designs than Intel for years, until the K7
+   entered the performance race with ``s_d`` well above 300.
+
+This module turns those claims into numbers: per-vendor series,
+power-law/temporal trend fits of ``s_d``, and a head-to-head vendor
+comparison on overlapping nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.regression import FitResult, linear_fit, loglog_fit, semilog_fit
+from ..analysis.stats import spearman_rho
+from ..data.records import DesignRecord
+from ..data.registry import DesignRegistry
+from ..errors import DomainError
+
+__all__ = [
+    "TrendPoint",
+    "VendorTrend",
+    "extract_points",
+    "vendor_trends",
+    "sd_vs_feature_fit",
+    "sd_vs_year_fit",
+    "sd_feature_rank_correlation",
+    "vendor_density_advantage",
+    "DensityProgress",
+    "density_progress_decomposition",
+]
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One (design, s_d) sample of the Figure 1 scatter."""
+
+    index: int
+    device: str
+    vendor: str
+    year: int
+    feature_um: float
+    sd_logic: float
+    sd_mem: float | None
+
+
+@dataclass(frozen=True)
+class VendorTrend:
+    """A vendor's s_d series with its temporal trend fit."""
+
+    vendor: str
+    points: tuple[TrendPoint, ...]
+    fit_vs_year: FitResult | None
+
+    def mean_sd(self) -> float:
+        """Mean logic ``s_d`` across the vendor's designs."""
+        return float(np.mean([p.sd_logic for p in self.points]))
+
+    def is_rising(self) -> bool:
+        """Whether the fitted temporal trend has positive slope."""
+        return self.fit_vs_year is not None and self.fit_vs_year.slope > 0
+
+
+def extract_points(registry: DesignRegistry) -> list[TrendPoint]:
+    """Flatten a registry into Figure-1 scatter points.
+
+    Rows with no usable logic ``s_d`` are skipped (none in Table A1).
+    """
+    points = []
+    for record in registry:
+        sd_logic = record.best_sd_logic()
+        if sd_logic is None:
+            continue
+        points.append(
+            TrendPoint(
+                index=record.index,
+                device=record.device,
+                vendor=record.vendor,
+                year=record.year,
+                feature_um=record.feature_um,
+                sd_logic=sd_logic,
+                sd_mem=record.sd_mem,
+            )
+        )
+    return points
+
+
+def vendor_trends(registry: DesignRegistry, min_points: int = 2) -> list[VendorTrend]:
+    """Per-vendor ``s_d`` series with temporal fits.
+
+    Vendors with fewer than ``min_points`` designs get ``fit_vs_year=None``
+    (a slope through one point is meaningless); vendors whose designs all
+    share a year likewise.
+    """
+    trends = []
+    for vendor in registry.vendors():
+        pts = tuple(extract_points(registry.by_vendor(vendor)))
+        fit: FitResult | None = None
+        years = [p.year for p in pts]
+        if len(pts) >= min_points and len(set(years)) >= 2:
+            fit = linear_fit(years, [p.sd_logic for p in pts])
+        trends.append(VendorTrend(vendor=vendor, points=pts, fit_vs_year=fit))
+    return trends
+
+
+def sd_vs_feature_fit(registry: DesignRegistry) -> FitResult:
+    """Power-law fit ``s_d = c · λ^p`` over all logic points.
+
+    A *negative* exponent ``p`` quantifies message 1 of Figure 1:
+    ``s_d`` grows as feature size shrinks.
+    """
+    points = extract_points(registry)
+    if len(points) < 3:
+        raise DomainError("need at least 3 designs for a trend fit")
+    return loglog_fit([p.feature_um for p in points], [p.sd_logic for p in points])
+
+
+def sd_vs_year_fit(registry: DesignRegistry) -> FitResult:
+    """Exponential time-trend fit ``s_d = c · exp(b·year)``."""
+    points = extract_points(registry)
+    if len(points) < 3:
+        raise DomainError("need at least 3 designs for a trend fit")
+    return semilog_fit([p.year for p in points], [p.sd_logic for p in points])
+
+
+def sd_feature_rank_correlation(registry: DesignRegistry) -> float:
+    """Spearman ρ between λ and logic ``s_d`` (expected negative)."""
+    points = extract_points(registry)
+    return spearman_rho([p.feature_um for p in points], [p.sd_logic for p in points])
+
+
+@dataclass(frozen=True)
+class DensityProgress:
+    """Decomposition of transistor-density progress between two designs.
+
+    From eq. (2), ``T_d = 1/(λ² s_d)``, so between two designs
+
+        ``Δln T_d = −2·Δln λ − Δln s_d``:
+
+    the *process* contributes ``−2·Δln λ`` (the shrink), the *design*
+    contributes ``−Δln s_d`` (densification — negative contribution
+    when ``s_d`` worsened). §2.2.1's complaint is precisely that the
+    industry reports only ``Δln T_d`` and cannot see the split; this
+    class computes it.
+    """
+
+    from_device: str
+    to_device: str
+    total_log_gain: float
+    process_log_gain: float
+    design_log_gain: float
+
+    @property
+    def density_ratio(self) -> float:
+        """``T_d(to)/T_d(from)``."""
+        import math
+        return math.exp(self.total_log_gain)
+
+    @property
+    def design_share(self) -> float:
+        """Fraction of the log-gain contributed by design densification.
+
+        Negative when the design got *sparser* and dragged against the
+        shrink — the Figure-1 regime.
+        """
+        if self.total_log_gain == 0:
+            raise DomainError("no density change to decompose")
+        return self.design_log_gain / self.total_log_gain
+
+    def consistent(self, rtol: float = 1e-9) -> bool:
+        """Whether the parts sum to the total (they must, by eq. 2)."""
+        import math
+        return math.isclose(self.total_log_gain,
+                            self.process_log_gain + self.design_log_gain,
+                            rel_tol=rtol, abs_tol=1e-12)
+
+
+def density_progress_decomposition(record_from: DesignRecord,
+                                   record_to: DesignRecord) -> DensityProgress:
+    """Split the density progress between two designs (eq. 2).
+
+    Uses the whole-die ``s_d`` and the published feature sizes; the two
+    records may come from any vendor/generation pair.
+    """
+    import math
+    td_from = record_from.transistor_density_per_cm2
+    td_to = record_to.transistor_density_per_cm2
+    total = math.log(td_to / td_from)
+    process = -2.0 * math.log(record_to.feature_um / record_from.feature_um)
+    design = -math.log(record_to.sd_overall() / record_from.sd_overall())
+    return DensityProgress(
+        from_device=record_from.device,
+        to_device=record_to.device,
+        total_log_gain=total,
+        process_log_gain=process,
+        design_log_gain=design,
+    )
+
+
+def vendor_density_advantage(
+    registry: DesignRegistry,
+    vendor_a: str,
+    vendor_b: str,
+    feature_tolerance: float = 0.10,
+) -> list[tuple[TrendPoint, TrendPoint, float]]:
+    """Head-to-head ``s_d`` comparison on overlapping nodes (§2.2.2).
+
+    For each design of ``vendor_a``, finds the ``vendor_b`` design at the
+    nearest feature size within ``feature_tolerance`` (relative) and
+    reports the ratio ``sd_a / sd_b``. Ratios below 1 mean vendor A drew
+    denser (cheaper) transistors at that node — the paper's AMD-vs-Intel
+    observation.
+
+    Returns a list of ``(point_a, point_b, ratio)`` tuples; empty when
+    the vendors share no node within tolerance.
+    """
+    points_a = extract_points(registry.by_vendor(vendor_a))
+    points_b = extract_points(registry.by_vendor(vendor_b))
+    if not points_a or not points_b:
+        raise DomainError(f"no designs found for {vendor_a!r} and/or {vendor_b!r}")
+    matches = []
+    for pa in points_a:
+        best: tuple[TrendPoint, float] | None = None
+        for pb in points_b:
+            rel = abs(pa.feature_um - pb.feature_um) / pb.feature_um
+            if rel <= feature_tolerance and (best is None or rel < best[1]):
+                best = (pb, rel)
+        if best is not None:
+            pb = best[0]
+            matches.append((pa, pb, pa.sd_logic / pb.sd_logic))
+    return matches

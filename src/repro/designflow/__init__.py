@@ -1,0 +1,26 @@
+"""Design-flow substrate: iterations, timing closure, cost calibration.
+
+Implements §2.4's causal chain — prediction error → failed iterations
+→ design cost — and recovers eq.-(6) constants from simulated projects
+(the substitution for the paper's private calibration data).
+"""
+
+from .timing import TimingClosureModel, normal_cdf
+from .iteration import IterationCostModel
+from .simulator import DesignFlowSimulator, ProjectSample
+from .calibration import CalibrationResult, fit_design_cost_model
+from .stages import DEFAULT_STAGES, Stage, StagedFlowModel, StagedFlowResult
+
+__all__ = [
+    "TimingClosureModel",
+    "normal_cdf",
+    "IterationCostModel",
+    "DesignFlowSimulator",
+    "ProjectSample",
+    "CalibrationResult",
+    "fit_design_cost_model",
+    "Stage",
+    "StagedFlowModel",
+    "StagedFlowResult",
+    "DEFAULT_STAGES",
+]

@@ -1,0 +1,98 @@
+"""Design-iteration economics: what one loop around the flow costs.
+
+The other half of §2.4's cost chain: each pass through
+synthesis→place→route→verify occupies the team and the CAD farm for a
+time that grows with design size. :class:`IterationCostModel` prices
+one pass as
+
+    ``cost = team_rate · weeks(N_tr) + compute + (mask set, if the pass
+    reached silicon)``
+
+with ``weeks(N_tr) = weeks_ref · (N_tr/N_ref)^size_exponent``. The
+sub-linear default exponent 0.75 reflects hierarchy/reuse: a 10×
+larger design does not take 10× longer per pass (eq. (6)'s overall
+``N_tr^p1`` then emerges as size-per-pass × pass-count scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import check_fraction, check_nonnegative, check_positive
+
+__all__ = ["IterationCostModel"]
+
+
+@dataclass(frozen=True)
+class IterationCostModel:
+    """Cost of one design iteration.
+
+    Attributes
+    ----------
+    team_rate_usd_per_week:
+        Loaded team cost per calendar week (engineers + EDA licences).
+        Default $150 k/week (a ~30-engineer team of the era).
+    weeks_at_reference:
+        Weeks per pass at the reference design size. Default 6.
+    reference_transistors:
+        Design size the reference weeks are quoted at (10 M).
+    size_exponent:
+        Growth of per-pass effort with design size (default 0.75).
+    compute_usd_per_pass:
+        CAD-farm cost per pass (simulation, extraction). Default $50 k.
+    silicon_fraction:
+        Fraction of failed iterations that are discovered *in silicon*
+        (a respin — §3.2's "failing manufacturing experiments") rather
+        than caught by verification. Each of those burns a mask set.
+    mask_set_usd:
+        Mask-set price charged to silicon respins.
+    """
+
+    team_rate_usd_per_week: float = 150_000.0
+    weeks_at_reference: float = 6.0
+    reference_transistors: float = 1.0e7
+    size_exponent: float = 0.75
+    compute_usd_per_pass: float = 50_000.0
+    silicon_fraction: float = 0.1
+    mask_set_usd: float = 1.0e6
+
+    def __post_init__(self) -> None:
+        check_positive(self.team_rate_usd_per_week, "team_rate_usd_per_week")
+        check_positive(self.weeks_at_reference, "weeks_at_reference")
+        check_positive(self.reference_transistors, "reference_transistors")
+        check_positive(self.size_exponent, "size_exponent")
+        check_nonnegative(self.compute_usd_per_pass, "compute_usd_per_pass")
+        check_fraction(self.silicon_fraction + 1e-300, "silicon_fraction")  # allow 0
+        check_nonnegative(self.mask_set_usd, "mask_set_usd")
+
+    def weeks_per_pass(self, n_transistors):
+        """Calendar weeks one pass takes at a design size."""
+        n_transistors = check_positive(n_transistors, "n_transistors")
+        ratio = np.asarray(n_transistors, dtype=float) / self.reference_transistors
+        result = self.weeks_at_reference * ratio**self.size_exponent
+        return result if np.ndim(n_transistors) else float(result)
+
+    def cost_per_pass(self, n_transistors):
+        """Expected cost of one pass ($), excluding silicon respins."""
+        weeks = np.asarray(self.weeks_per_pass(n_transistors))
+        result = weeks * self.team_rate_usd_per_week + self.compute_usd_per_pass
+        return result if np.ndim(n_transistors) else float(result)
+
+    def expected_cost(self, n_transistors, expected_iterations):
+        """Expected project design cost ($) for a mean iteration count.
+
+        Adds the expected mask burn of silicon respins: every failed
+        iteration (count − 1 of them) has ``silicon_fraction`` odds of
+        having reached silicon.
+        """
+        expected_iterations = check_positive(expected_iterations, "expected_iterations")
+        iters = np.asarray(expected_iterations, dtype=float)
+        if np.any(iters < 1.0):
+            raise ValueError("expected_iterations must be >= 1")
+        passes = iters * np.asarray(self.cost_per_pass(n_transistors))
+        respins = (iters - 1.0) * self.silicon_fraction * self.mask_set_usd
+        result = passes + respins
+        args = (n_transistors, expected_iterations)
+        return result if any(np.ndim(a) for a in args) else float(result)

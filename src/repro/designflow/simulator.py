@@ -1,0 +1,148 @@
+"""Monte-Carlo design-project simulator.
+
+Ties :class:`TimingClosureModel` (how likely a pass closes) to
+:class:`IterationCostModel` (what a pass costs) and rolls complete
+design projects: per project, draw geometric iteration counts, price
+the passes and any silicon respins, and return the cost sample.
+
+This is the library's stand-in for the author's private design/cost
+dataset (footnote 1): the simulator generates (N_tr, s_d) → C_DE
+samples from the *mechanism* the paper describes, and
+:mod:`repro.designflow.calibration` then fits eq.-(6) constants to
+them — closing the loop between the narrative model and the analytic
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DomainError
+from ..validation import check_positive, check_positive_int
+from .iteration import IterationCostModel
+from .timing import TimingClosureModel
+
+__all__ = ["ProjectSample", "DesignFlowSimulator"]
+
+
+@dataclass(frozen=True)
+class ProjectSample:
+    """Outcome of one simulated design project."""
+
+    n_transistors: float
+    sd: float
+    feature_um: float
+    regularity: float
+    iterations: int
+    silicon_respins: int
+    cost_usd: float
+    schedule_weeks: float
+
+
+@dataclass(frozen=True)
+class DesignFlowSimulator:
+    """Monte-Carlo generator of design-project cost samples.
+
+    Attributes
+    ----------
+    closure:
+        Per-iteration timing-closure model.
+    iteration_cost:
+        Per-pass cost model.
+    max_iterations:
+        Hard cap per project (projects this bad get cancelled or
+        re-scoped in reality; the cap also bounds the simulation).
+    """
+
+    closure: TimingClosureModel = field(default_factory=TimingClosureModel)
+    iteration_cost: IterationCostModel = field(default_factory=IterationCostModel)
+    max_iterations: int = 1000
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.max_iterations, "max_iterations")
+
+    def simulate_project(self, n_transistors: float, sd: float, feature_um: float,
+                         regularity: float = 0.0,
+                         rng: np.random.Generator | None = None) -> ProjectSample:
+        """Roll one project: iterate until timing closes (or the cap hits)."""
+        rng = rng if rng is not None else np.random.default_rng()
+        n_transistors = check_positive(n_transistors, "n_transistors")
+        p = self.closure.closure_probability(sd, feature_um, regularity)
+        iterations = 0
+        respins = 0
+        closed = False
+        while iterations < self.max_iterations:
+            iterations += 1
+            if rng.random() < p:
+                closed = True
+                break
+            # A failed pass may have reached silicon (a respin).
+            if rng.random() < self.iteration_cost.silicon_fraction:
+                respins += 1
+        if not closed:
+            # The cap emulates project cancellation — still pay for the passes.
+            pass
+        weeks = iterations * self.iteration_cost.weeks_per_pass(n_transistors)
+        cost = (
+            iterations * self.iteration_cost.cost_per_pass(n_transistors)
+            + respins * self.iteration_cost.mask_set_usd
+        )
+        return ProjectSample(
+            n_transistors=float(n_transistors),
+            sd=float(sd),
+            feature_um=float(feature_um),
+            regularity=float(regularity),
+            iterations=iterations,
+            silicon_respins=respins,
+            cost_usd=float(cost),
+            schedule_weeks=float(weeks),
+        )
+
+    def simulate_many(self, n_transistors: float, sd: float, feature_um: float,
+                      n_projects: int = 100, regularity: float = 0.0,
+                      seed: int = 0) -> list[ProjectSample]:
+        """Roll ``n_projects`` i.i.d. projects at one design point."""
+        check_positive_int(n_projects, "n_projects")
+        rng = np.random.default_rng(seed)
+        return [
+            self.simulate_project(n_transistors, sd, feature_um, regularity, rng)
+            for _ in range(n_projects)
+        ]
+
+    def mean_cost(self, n_transistors: float, sd: float, feature_um: float,
+                  n_projects: int = 100, regularity: float = 0.0,
+                  seed: int = 0) -> float:
+        """Monte-Carlo mean project cost ($) at one design point."""
+        samples = self.simulate_many(n_transistors, sd, feature_um, n_projects,
+                                     regularity, seed)
+        return float(np.mean([s.cost_usd for s in samples]))
+
+    def expected_cost_analytic(self, n_transistors: float, sd: float,
+                               feature_um: float, regularity: float = 0.0) -> float:
+        """Closed-form expectation (geometric mean iteration count).
+
+        Used by tests to check the Monte-Carlo estimator and by the
+        calibration grid where sampling noise would slow convergence.
+        """
+        expected_iters = self.closure.expected_iterations(sd, feature_um, regularity)
+        if expected_iters > self.max_iterations:
+            raise DomainError(
+                f"expected iterations {expected_iters:.0f} exceeds the cap "
+                f"{self.max_iterations}; this design point is not simulable"
+            )
+        return float(self.iteration_cost.expected_cost(n_transistors, expected_iters))
+
+    def sample_grid(self, n_transistors_values, sd_values, feature_um: float,
+                    n_projects: int = 50, regularity: float = 0.0,
+                    seed: int = 0) -> list[ProjectSample]:
+        """Cross-product sampling used to build calibration datasets."""
+        samples: list[ProjectSample] = []
+        rng = np.random.default_rng(seed)
+        for n_tr in np.asarray(n_transistors_values, dtype=float):
+            for sd in np.asarray(sd_values, dtype=float):
+                for _ in range(n_projects):
+                    samples.append(self.simulate_project(float(n_tr), float(sd),
+                                                         feature_um, regularity, rng))
+        return samples

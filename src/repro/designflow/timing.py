@@ -1,0 +1,112 @@
+"""Timing-closure probability model.
+
+§2.4: "the cost of the design must be strongly correlated to the number
+of design iterations. And that this number, in turn, is a direct
+derivative of our ability to correctly predict all the consequences of
+design decisions." We model one pass through the
+synthesis→place→route→extract loop as a Bernoulli trial:
+
+* the team plans with a pre-layout delay *estimate*; the post-layout
+  truth differs by a relative error ``ε ~ N(0, σ)`` with σ from
+  :class:`repro.interconnect.delay.PredictionErrorModel`;
+* the pass **closes** when the realised error lands inside the timing
+  *margin window* the design style left on the table — overshoot fails
+  timing outright; undershoot beyond the window means the plan was
+  built on a wrong estimate too (over-buffered, over-sized, off-spec
+  power/area) and the pass is reworked as well.
+
+The margin is where design density enters: a team chasing the
+full-custom bound ``s_d0`` hand-packs everything and leaves no slack,
+while a sparser design style (larger ``s_d``) buys slack with area —
+relaxed placement, buffered wires, conservative libraries. We take the
+margin proportional to the *relative density headroom*
+
+    ``m(s_d) = margin_per_headroom · (s_d − s_d0)/s_d``,
+
+which is 0 at the bound and saturates for very sparse designs, giving
+the two-sided closure probability
+
+    ``P(close) = P(|ε| ≤ m) = 2Φ(m/σ) − 1``.
+
+For tight margins ``2Φ(m/σ) − 1 ≈ m·√(2/π)/σ`` is *linear* in the
+headroom, so the expected iteration count — and hence cost — diverges
+as ``1/(s_d − s_d0)``: precisely the eq.-(6) mechanism with ``p2 ≈ 1``
+near the bound (the paper's 1.2 adds mild superlinearity). The
+Monte-Carlo simulator and the calibration module quantify this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DomainError
+from ..interconnect.delay import PredictionErrorModel
+from ..validation import check_positive
+
+__all__ = ["normal_cdf", "TimingClosureModel"]
+
+
+def normal_cdf(x):
+    """Standard normal CDF Φ(x) via erf (scalar or array)."""
+    arr = np.asarray(x, dtype=float)
+    result = 0.5 * (1.0 + np.vectorize(math.erf)(arr / math.sqrt(2.0)))
+    return result if np.ndim(x) else float(result)
+
+
+@dataclass(frozen=True)
+class TimingClosureModel:
+    """Per-iteration closure probability as a function of design point.
+
+    Attributes
+    ----------
+    prediction_error:
+        The pre-layout estimate error model (node + regularity aware).
+    sd0:
+        Full-custom density bound (margin is zero there).
+    margin_per_headroom:
+        Converts relative density headroom into relative timing margin.
+        Default 0.35: a design 2× sparser than the bound
+        (headroom 0.5) carries ~17.5 % timing slack.
+    floor_probability:
+        Lower bound on the closure probability (some passes succeed by
+        luck/heroics even with no margin); keeps expectations finite.
+    """
+
+    prediction_error: PredictionErrorModel = PredictionErrorModel()
+    sd0: float = 100.0
+    margin_per_headroom: float = 0.35
+    floor_probability: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        check_positive(self.sd0, "sd0")
+        check_positive(self.margin_per_headroom, "margin_per_headroom")
+        if not 0 < self.floor_probability < 1:
+            raise DomainError("floor_probability must be in (0,1)")
+
+    def margin(self, sd):
+        """Relative timing margin left by a design style at ``s_d``."""
+        sd = check_positive(sd, "sd")
+        arr = np.asarray(sd, dtype=float)
+        if np.any(arr <= self.sd0):
+            raise DomainError(f"s_d must exceed sd0={self.sd0}; got {sd!r}")
+        result = self.margin_per_headroom * (arr - self.sd0) / arr
+        return result if np.ndim(sd) else float(result)
+
+    def closure_probability(self, sd, feature_um, regularity: float = 0.0):
+        """``P(one iteration closes) = max(2Φ(m/σ) − 1, floor)``."""
+        m = self.margin(sd)
+        sigma = self.prediction_error.sigma(feature_um, regularity)
+        p = 2.0 * normal_cdf(np.asarray(m) / np.asarray(sigma)) - 1.0
+        result = np.maximum(p, self.floor_probability)
+        args = (sd, feature_um)
+        return result if any(np.ndim(a) for a in args) else float(result)
+
+    def expected_iterations(self, sd, feature_um, regularity: float = 0.0):
+        """Mean iterations to closure (geometric distribution): ``1/P``."""
+        p = self.closure_probability(sd, feature_um, regularity)
+        result = 1.0 / np.asarray(p)
+        args = (sd, feature_um)
+        return result if any(np.ndim(a) for a in args) else float(result)

@@ -1,0 +1,132 @@
+"""Fab economics — where the "high-cost era" numbers come from.
+
+The paper's premise is the headline of its title: nanometre fablines
+"will cost a lot" — capital cost growing exponentially node over node
+towards "many billions of dollars" (§1). The body then *uses* a wafer
+cost (`Cm_sq`) without deriving it. This module closes that gap with
+the standard fab-economics decomposition, so the 8 $/cm² anchor (and
+its growth) can be traced to capex:
+
+    wafer cost = (depreciation + operating) / good wafer starts
+
+* **capex** follows "Moore's second law": fab cost grows ~1.5× per
+  node — $1.5B-class at 0.18 µm (1999), multi-$B for nanometre nodes;
+* **depreciation** is straight-line over the equipment life (~5 y);
+* **throughput** is wafer starts/month at a utilization factor;
+* **operating cost** (labour, materials, energy) is modelled as a
+  fraction of annual depreciation.
+
+:meth:`FabModel.cost_per_cm2` is directly comparable to (and with
+defaults, consistent with) :class:`repro.wafer.cost.WaferCostModel`'s
+anchored 8 $/cm².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..validation import check_fraction, check_positive
+from ..wafer.specs import WAFER_200MM, WaferSpec
+
+__all__ = ["FabModel", "moores_second_law_capex"]
+
+
+def moores_second_law_capex(feature_um: float, anchor_capex_usd: float = 1.5e9,
+                            anchor_feature_um: float = 0.18,
+                            growth_per_node: float = 1.5,
+                            shrink_per_node: float = 0.7) -> float:
+    """Fab capital cost at a node, per "Moore's second law".
+
+    Capex multiplies by ``growth_per_node`` for every ×``shrink_per_node``
+    linear shrink. Defaults: $1.5 B at 0.18 µm growing 1.5× per node —
+    reaching ≈ $10 B at the 35 nm roadmap horizon, the paper's "many
+    billions of dollars".
+    """
+    feature_um = check_positive(feature_um, "feature_um")
+    check_positive(anchor_capex_usd, "anchor_capex_usd")
+    check_positive(growth_per_node, "growth_per_node")
+    if not 0 < shrink_per_node < 1:
+        raise ValueError(f"shrink_per_node must be in (0,1); got {shrink_per_node}")
+    import math
+    nodes = math.log(anchor_feature_um / feature_um) / math.log(1.0 / shrink_per_node)
+    return anchor_capex_usd * growth_per_node**nodes
+
+
+@dataclass(frozen=True)
+class FabModel:
+    """A fabline's cost structure.
+
+    Attributes
+    ----------
+    capex_usd:
+        Capital cost of the fab (equipment + shell).
+    depreciation_years:
+        Straight-line depreciation horizon (≈ 5 years).
+    wafer_starts_per_month:
+        Nameplate capacity (≈ 25 000-40 000 for a 1999 megafab).
+    utilization:
+        Fraction of nameplate capacity actually started.
+    operating_cost_fraction:
+        Annual operating cost as a fraction of annual depreciation
+        (labour, materials, energy; ≈ 0.8-1.2).
+    wafer:
+        Wafer format processed.
+    """
+
+    capex_usd: float = 1.5e9
+    depreciation_years: float = 5.0
+    wafer_starts_per_month: float = 30_000.0
+    utilization: float = 0.85
+    operating_cost_fraction: float = 1.0
+    wafer: WaferSpec = WAFER_200MM
+
+    def __post_init__(self) -> None:
+        check_positive(self.capex_usd, "capex_usd")
+        check_positive(self.depreciation_years, "depreciation_years")
+        check_positive(self.wafer_starts_per_month, "wafer_starts_per_month")
+        check_fraction(self.utilization, "utilization")
+        check_positive(self.operating_cost_fraction, "operating_cost_fraction")
+
+    @classmethod
+    def at_node(cls, feature_um: float, **overrides) -> "FabModel":
+        """A fab sized for a node via :func:`moores_second_law_capex`."""
+        capex = overrides.pop("capex_usd", moores_second_law_capex(feature_um))
+        return cls(capex_usd=capex, **overrides)
+
+    # -- annual flows ------------------------------------------------------
+    def annual_depreciation_usd(self) -> float:
+        """Straight-line depreciation per year ($)."""
+        return self.capex_usd / self.depreciation_years
+
+    def annual_operating_usd(self) -> float:
+        """Operating cost per year ($)."""
+        return self.operating_cost_fraction * self.annual_depreciation_usd()
+
+    def annual_wafers(self) -> float:
+        """Wafers actually started per year."""
+        return self.wafer_starts_per_month * 12.0 * self.utilization
+
+    # -- unit costs ----------------------------------------------------------
+    def cost_per_wafer(self) -> float:
+        """Fully loaded cost per processed wafer ($)."""
+        return (self.annual_depreciation_usd() + self.annual_operating_usd()) / self.annual_wafers()
+
+    def cost_per_cm2(self) -> float:
+        """``Cm_sq`` implied by the fab's economics ($/cm²)."""
+        return self.cost_per_wafer() / self.wafer.area_cm2
+
+    def breakeven_wafer_price(self, margin: float = 0.0) -> float:
+        """Wafer price covering costs plus a gross margin fraction."""
+        if margin < 0 or margin >= 1:
+            raise ValueError(f"margin must be in [0,1); got {margin}")
+        return self.cost_per_wafer() / (1.0 - margin)
+
+    def idle_cost_per_year(self, actual_utilization: float) -> float:
+        """Depreciation burnt by running below plan ($/year).
+
+        The empty-fab problem behind the paper's volume argument: the
+        depreciation clock runs whether wafers move or not.
+        """
+        actual_utilization = check_fraction(actual_utilization, "actual_utilization")
+        idle_fraction = max(0.0, 1.0 - actual_utilization / self.utilization)
+        return idle_fraction * self.annual_depreciation_usd()

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``AttributeError`` and
+friends propagate untouched).
+
+The split mirrors the two ways a cost-model call can go wrong:
+
+* the *arguments* are outside the model's mathematical domain
+  (:class:`DomainError`) — e.g. a yield of 1.3, or a design density
+  target denser than the full-custom bound ``s_d0`` of Maly's eq. (6);
+* the *data* requested does not exist or is internally inconsistent
+  (:class:`DataError` and its subclasses) — e.g. asking the Table A1
+  registry for an unknown device, or an ITRS node outside the 1999
+  roadmap horizon.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DomainError",
+    "UnitError",
+    "DataError",
+    "UnknownRecordError",
+    "InconsistentRecordError",
+    "CalibrationError",
+    "ConvergenceError",
+    "LayoutError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class DomainError(ReproError, ValueError):
+    """An argument lies outside the mathematical domain of a model.
+
+    Also a :class:`ValueError` so that generic numeric call sites that
+    guard with ``except ValueError`` keep working.
+    """
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity was supplied in an unknown or incompatible unit."""
+
+
+class DataError(ReproError):
+    """Base class for dataset access and consistency failures."""
+
+
+class UnknownRecordError(DataError, KeyError):
+    """A dataset lookup referenced a record that does not exist."""
+
+    def __str__(self) -> str:  # KeyError.__str__ repr()s its arg; undo that.
+        return ", ".join(str(a) for a in self.args)
+
+
+class InconsistentRecordError(DataError, ValueError):
+    """A dataset record violates an internal consistency invariant."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """Model calibration failed (degenerate data, no feasible fit)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge within its budget."""
+
+
+class LayoutError(ReproError, ValueError):
+    """A layout object is malformed (negative extent, empty cell, ...)."""

@@ -1,0 +1,180 @@
+"""Interconnect delay and its *pre-layout prediction error*.
+
+§2.4's causal chain: design cost ∝ iterations ∝ failed timing
+predictions. "Timing closure would be much easier... if it were
+possible during logic synthesis to predict interconnect delays. But
+often this can only be done successfully after synthesis." And §3.2
+adds the nanometre twist: electrical characteristics become functions
+of an "increasingly larger neighborhood", so prediction degrades as λ
+shrinks.
+
+This module supplies both halves:
+
+* a first-order RC delay model with node-scaled wire parasitics
+  (:class:`WireTechnology`, :func:`wire_delay`, :func:`gate_delay`),
+  showing the wire-dominance crossover that makes prediction matter;
+* :class:`PredictionErrorModel` — the standard deviation of the
+  pre-layout delay estimate as a function of feature size and layout
+  regularity, the quantity the design-flow simulator consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import check_fraction, check_in_range, check_positive
+
+__all__ = ["WireTechnology", "wire_delay_ps", "gate_delay_ps",
+           "wire_dominance_length_um", "PredictionErrorModel"]
+
+
+@dataclass(frozen=True)
+class WireTechnology:
+    """Per-node wire parasitics, scaled from a reference node.
+
+    First-order scaling: resistance per µm grows as ``1/λ²`` (cross
+    section shrinks both ways, partially offset by copper/low-k —
+    folded into the exponent), capacitance per µm is roughly constant
+    (~0.2 fF/µm across generations).
+
+    Attributes
+    ----------
+    feature_um:
+        Node feature size λ.
+    r_per_um_ohm:
+        Wire resistance per µm at this node.
+    c_per_um_ff:
+        Wire capacitance per µm at this node.
+    """
+
+    feature_um: float
+    r_per_um_ohm: float
+    c_per_um_ff: float
+
+    @classmethod
+    def at_node(cls, feature_um: float, reference_um: float = 0.18,
+                r_ref: float = 0.08, c_ref: float = 0.2,
+                resistance_exponent: float = 1.8) -> "WireTechnology":
+        """Scale parasitics to a node from 0.18 µm reference values."""
+        feature_um = check_positive(feature_um, "feature_um")
+        return cls(
+            feature_um=feature_um,
+            r_per_um_ohm=r_ref * (reference_um / feature_um) ** resistance_exponent,
+            c_per_um_ff=c_ref,
+        )
+
+
+def wire_delay_ps(tech: WireTechnology, length_um, driver_ohm: float = 500.0,
+                  load_ff: float = 2.0):
+    """Elmore delay of a driven wire, in ps.
+
+    ``t = R_drv·(C_w + C_L) + R_w·(C_w/2 + C_L)`` — the quadratic
+    ``R_w·C_w`` term is what makes long-wire delay unpredictable before
+    layout (length is unknown until routing).
+    """
+    length_um = check_positive(length_um, "length_um")
+    driver_ohm = check_positive(driver_ohm, "driver_ohm")
+    if load_ff < 0:
+        raise ValueError(f"load_ff must be >= 0; got {load_ff}")
+    length = np.asarray(length_um, dtype=float)
+    rw = tech.r_per_um_ohm * length
+    cw = tech.c_per_um_ff * length
+    delay_fs_ohm = driver_ohm * (cw + load_ff) + rw * (cw / 2.0 + load_ff)
+    result = delay_fs_ohm * 1.0e-3  # Ω·fF = fs; → ps
+    return result if np.ndim(length_um) else float(result)
+
+
+def gate_delay_ps(feature_um, fo4_at_ref_ps: float = 80.0, reference_um: float = 0.18):
+    """Fanout-of-4 gate delay, scaling linearly with λ (classic scaling)."""
+    feature_um = check_positive(feature_um, "feature_um")
+    check_positive(fo4_at_ref_ps, "fo4_at_ref_ps")
+    result = fo4_at_ref_ps * np.asarray(feature_um, dtype=float) / reference_um
+    return result if np.ndim(feature_um) else float(result)
+
+
+def wire_dominance_length_um(tech: WireTechnology, driver_ohm: float = 500.0,
+                             load_ff: float = 2.0) -> float:
+    """Wire length at which wire delay equals the FO4 gate delay.
+
+    Shrinks rapidly with λ — the quantitative form of "interconnect
+    dominates nanometre timing".
+    """
+    gate = gate_delay_ps(tech.feature_um)
+    lo, hi = 1.0, 1.0
+    while wire_delay_ps(tech, hi, driver_ohm, load_ff) < gate:
+        hi *= 2.0
+        if hi > 1e9:
+            raise ValueError("wire never dominates with these parameters")
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)
+        if wire_delay_ps(tech, mid, driver_ohm, load_ff) < gate:
+            lo = mid
+        else:
+            hi = mid
+        if hi / lo < 1 + 1e-12:
+            break
+    return math.sqrt(lo * hi)
+
+
+@dataclass(frozen=True)
+class PredictionErrorModel:
+    """Relative σ of the pre-layout interconnect-delay estimate.
+
+    The model encodes the paper's two drivers:
+
+    * **feature size** — the electrically relevant neighbourhood grows
+      as λ shrinks (§3.2 / ref [33]'s optical-deformation example), so
+      the error grows as ``(λ_ref/λ)^exponent``;
+    * **regularity** — precharacterised, repeated patterns (§3.2's
+      prescription) are predictable: a fully regular layout divides the
+      error by ``regularity_gain``.
+
+    Attributes
+    ----------
+    sigma_at_reference:
+        Relative error (σ/estimate) at the reference node for an
+        irregular layout. Default 0.10 (10 % pre-layout error at
+        0.18 µm).
+    reference_um:
+        Reference node.
+    exponent:
+        Error growth per linear shrink. Default 1.0.
+    regularity_gain:
+        Error division factor for a fully regular (regularity = 1)
+        layout. Default 4.0.
+    """
+
+    sigma_at_reference: float = 0.10
+    reference_um: float = 0.18
+    exponent: float = 1.0
+    regularity_gain: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.sigma_at_reference, "sigma_at_reference")
+        check_positive(self.reference_um, "reference_um")
+        check_positive(self.exponent, "exponent")
+        check_positive(self.regularity_gain, "regularity_gain")
+        if self.regularity_gain < 1.0:
+            raise ValueError("regularity_gain must be >= 1")
+
+    def sigma(self, feature_um, regularity: float = 0.0):
+        """Relative prediction error at a node and layout regularity.
+
+        Parameters
+        ----------
+        feature_um:
+            Node feature size λ (µm).
+        regularity:
+            Fraction of the layout built from precharacterised repeated
+            patterns, in [0, 1].
+        """
+        feature_um = check_positive(feature_um, "feature_um")
+        regularity = check_in_range(regularity, "regularity", 0.0, 1.0)
+        base = self.sigma_at_reference * (self.reference_um / np.asarray(feature_um, dtype=float)) ** self.exponent
+        gain = 1.0 + (self.regularity_gain - 1.0) * np.asarray(regularity, dtype=float)
+        result = base / gain
+        args = (feature_um, regularity)
+        return result if any(np.ndim(a) for a in args) else float(result)

@@ -1,0 +1,84 @@
+"""Rent's rule — the statistical backbone of interconnect estimation.
+
+§2.4 singles out interconnect-delay prediction as the canonical source
+of failed design iterations, and §2.2.2 attributes part of the rising
+``s_d`` to "the growing need for more interconnect". Both claims need a
+model of how much wiring a logic block demands; the classical answer is
+Rent's rule:
+
+    ``T = t · g^p``
+
+with ``T`` external terminals of a block of ``g`` gates, ``t`` the
+terminals per gate (~3-4) and ``p`` the Rent exponent (~0.55-0.75 for
+random logic; lower for regular structures like memories — which is
+*why* memories pack denser, connecting this module back to Table A1's
+memory/logic split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DomainError
+from ..validation import check_in_range, check_positive
+
+__all__ = ["RentModel", "RENT_RANDOM_LOGIC", "RENT_REGULAR_FABRIC", "RENT_MEMORY"]
+
+
+@dataclass(frozen=True)
+class RentModel:
+    """Rent's rule ``T = t·g^p`` for one design style.
+
+    Attributes
+    ----------
+    terminals_per_gate:
+        ``t`` — average pins per gate.
+    exponent:
+        ``p`` — the Rent exponent, in (0, 1). High p = rich, global
+        connectivity (hard to wire); low p = local/regular.
+    """
+
+    terminals_per_gate: float = 3.5
+    exponent: float = 0.65
+
+    def __post_init__(self) -> None:
+        check_positive(self.terminals_per_gate, "terminals_per_gate")
+        check_in_range(self.exponent, "exponent", 0.0, 1.0, inclusive=False)
+
+    def terminals(self, gates):
+        """External terminal count of a block of ``gates`` gates."""
+        gates = check_positive(gates, "gates")
+        result = self.terminals_per_gate * np.asarray(gates, dtype=float) ** self.exponent
+        return result if np.ndim(gates) else float(result)
+
+    def gates_for_terminals(self, terminals):
+        """Invert Rent's rule: block size with a given terminal budget."""
+        terminals = check_positive(terminals, "terminals")
+        result = (np.asarray(terminals, dtype=float) / self.terminals_per_gate) ** (1.0 / self.exponent)
+        return result if np.ndim(terminals) else float(result)
+
+    def region_crossings(self, gates_inside, total_gates):
+        """Nets crossing a region boundary (Rent region partition count).
+
+        For a region of ``g`` gates inside a design of ``G`` gates the
+        expected boundary crossings follow the same power law, clipped
+        by the whole-design terminal count.
+        """
+        gates_inside = check_positive(gates_inside, "gates_inside")
+        total_gates = check_positive(total_gates, "total_gates")
+        if np.any(np.asarray(gates_inside) > np.asarray(total_gates)):
+            raise DomainError("region cannot contain more gates than the design")
+        inner = self.terminals(gates_inside)
+        outer = self.terminals(total_gates)
+        result = np.minimum(np.asarray(inner), np.asarray(outer))
+        return result if (np.ndim(gates_inside) or np.ndim(total_gates)) else float(result)
+
+
+#: Random (synthesised) logic: rich global connectivity.
+RENT_RANDOM_LOGIC = RentModel(terminals_per_gate=3.5, exponent=0.65)
+#: Regular fabrics (§3.2 style): mostly nearest-neighbour wiring.
+RENT_REGULAR_FABRIC = RentModel(terminals_per_gate=3.0, exponent=0.45)
+#: Memory arrays: almost purely local word/bit-line wiring.
+RENT_MEMORY = RentModel(terminals_per_gate=2.5, exponent=0.15)

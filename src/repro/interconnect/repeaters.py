@@ -1,0 +1,131 @@
+"""Optimal repeater insertion — the era's fix for wire-dominated delay.
+
+:mod:`repro.interconnect.delay` shows the quadratic ``R_w C_w`` term
+overtaking gate delay at ever-shorter lengths as λ shrinks. The
+standard countermeasure is repeater insertion: breaking a wire of
+length ``L`` into ``k`` segments driven by buffers of size ``h``
+linearises the delay. The classic closed forms (Bakoglu):
+
+    ``k* = L · sqrt(r_w c_w / (2 R0 C0))``
+    ``h* = sqrt(R0 c_w / (r_w C0))``
+    ``t/L |_opt = 2 · sqrt(2 R0 C0 r_w c_w) · (1 + ...) ≈ 2.5 sqrt(R0 C0 r_w c_w)``
+
+with ``R0, C0`` the unit inverter's output resistance and input
+capacitance, ``r_w, c_w`` the wire's per-µm parasitics.
+
+Why it matters to the paper's argument: repeaters rescue *delay* but
+cost area, power and — critically for §2.4 — **predictability**: the
+repeater count explodes at fine nodes, each insertion is a placement/
+routing perturbation, and pre-layout estimates of where buffers will
+land degrade exactly as the prediction-error model assumes. The module
+quantifies the repeater explosion that motivates that assumption.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..validation import check_positive
+from .delay import WireTechnology, gate_delay_ps
+
+__all__ = ["RepeaterDesign", "optimal_repeaters", "repeater_count_per_chip"]
+
+
+@dataclass(frozen=True)
+class RepeaterDesign:
+    """An optimally repeated wire.
+
+    Attributes
+    ----------
+    length_um:
+        Total wire length.
+    n_repeaters:
+        Number of inserted buffers ``k*`` (integer, ≥ 0).
+    size_factor:
+        Buffer size ``h*`` in unit-inverter multiples.
+    delay_ps:
+        Total repeated-wire delay.
+    unrepeated_delay_ps:
+        Delay of the same wire with a single unit driver.
+    """
+
+    length_um: float
+    n_repeaters: int
+    size_factor: float
+    delay_ps: float
+    unrepeated_delay_ps: float
+
+    @property
+    def speedup(self) -> float:
+        """Unrepeated / repeated delay (≥ 1 for long wires)."""
+        return self.unrepeated_delay_ps / self.delay_ps
+
+
+def optimal_repeaters(tech: WireTechnology, length_um: float,
+                      r0_ohm: float = 2000.0, c0_ff: float = 1.0) -> RepeaterDesign:
+    """Bakoglu-optimal repeater insertion for one wire.
+
+    Parameters
+    ----------
+    tech:
+        Node wire parasitics.
+    length_um:
+        Wire length (µm).
+    r0_ohm / c0_ff:
+        Unit inverter output resistance and input capacitance.
+    """
+    length_um = check_positive(length_um, "length_um")
+    r0 = check_positive(r0_ohm, "r0_ohm")
+    c0 = check_positive(c0_ff, "c0_ff")
+    rw = tech.r_per_um_ohm
+    cw = tech.c_per_um_ff
+
+    k_star = length_um * math.sqrt(rw * cw / (2.0 * r0 * c0))
+    h_star = math.sqrt(r0 * cw / (rw * c0))
+    k = max(int(round(k_star)), 0)
+
+    # Unrepeated Elmore delay with the same unit driver.
+    unrepeated = (r0 * (cw * length_um + c0)
+                  + rw * length_um * (cw * length_um / 2.0 + c0)) * 1e-3
+
+    if k == 0:
+        delay = unrepeated
+    else:
+        seg = length_um / k
+        # Per segment: sized driver R0/h drives its wire + next buffer h*C0.
+        per_segment = ((r0 / h_star) * (cw * seg + h_star * c0)
+                       + rw * seg * (cw * seg / 2.0 + h_star * c0)) * 1e-3
+        delay = k * per_segment
+    return RepeaterDesign(
+        length_um=float(length_um),
+        n_repeaters=k,
+        size_factor=float(h_star),
+        delay_ps=float(delay),
+        unrepeated_delay_ps=float(unrepeated),
+    )
+
+
+def repeater_count_per_chip(
+    tech: WireTechnology,
+    die_edge_um: float,
+    n_global_wires: float,
+    mean_length_fraction: float = 0.5,
+    r0_ohm: float = 2000.0,
+    c0_ff: float = 1.0,
+) -> float:
+    """Estimated repeater population of a chip's global wiring.
+
+    ``n_global_wires`` wires of mean length
+    ``mean_length_fraction × die_edge`` each get their Bakoglu-optimal
+    repeater count. The explosion of this number at fine nodes (it
+    scales as ``L·sqrt(r_w)`` with ``r_w ∝ λ^-1.8``) is the §2.4
+    unpredictability driver made concrete.
+    """
+    die_edge_um = check_positive(die_edge_um, "die_edge_um")
+    n_global_wires = check_positive(n_global_wires, "n_global_wires")
+    if not 0 < mean_length_fraction <= 1:
+        raise ValueError(f"mean_length_fraction must be in (0,1]; got {mean_length_fraction}")
+    length = die_edge_um * mean_length_fraction
+    design = optimal_repeaters(tech, length, r0_ohm, c0_ff)
+    return float(design.n_repeaters) * n_global_wires

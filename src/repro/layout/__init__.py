@@ -1,0 +1,44 @@
+"""Layout substrate: geometry, pattern extraction, regularity economics.
+
+Implements the §3.2 program (regular structures from few unique
+patterns) and the ref-[33] repetitive-pattern analysis it relies on.
+"""
+
+from .geometry import Rect, bounding_box, total_area
+from .cells import Cell, Instance, Layout
+from .patterns import Pattern, PatternLibrary, Window, extract_patterns, recommended_window
+from .regularity import CharacterizationCostModel, RegularityReport, regularity_report
+from .fabrics import (
+    memory_array,
+    random_logic_layout,
+    regular_fabric,
+    sram_cell,
+    standard_cell,
+)
+from .drc import MEAD_CONWAY_RULES, DesignRules, Violation, check_rules
+
+__all__ = [
+    "Rect",
+    "bounding_box",
+    "total_area",
+    "Cell",
+    "Instance",
+    "Layout",
+    "Window",
+    "Pattern",
+    "PatternLibrary",
+    "extract_patterns",
+    "recommended_window",
+    "CharacterizationCostModel",
+    "RegularityReport",
+    "regularity_report",
+    "sram_cell",
+    "standard_cell",
+    "memory_array",
+    "regular_fabric",
+    "random_logic_layout",
+    "DesignRules",
+    "Violation",
+    "check_rules",
+    "MEAD_CONWAY_RULES",
+]

@@ -1,0 +1,155 @@
+"""Cells and hierarchical layouts.
+
+A :class:`Cell` is a named bag of rectangles (a leaf layout); a
+:class:`Layout` places cell instances by translation. Flattening a
+layout yields the mask geometry the pattern extractor and the density
+metrics operate on. Transistor counting is by the drawn ``poly``∩
+``diff`` convention: each poly rect crossing a diff rect gates one
+transistor — crude but monotone, and sufficient to compute layout-level
+``s_d`` values that can be compared across styles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import LayoutError
+from .geometry import Rect, bounding_box
+
+__all__ = ["Cell", "Instance", "Layout"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A leaf cell: a name and its mask rectangles."""
+
+    name: str
+    rects: tuple[Rect, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LayoutError("cell name must be non-empty")
+        if not self.rects:
+            raise LayoutError(f"cell {self.name!r} has no geometry")
+        object.__setattr__(self, "rects", tuple(self.rects))
+
+    @property
+    def bbox(self) -> tuple[int, int, int, int]:
+        """Cell bounding box."""
+        return bounding_box(self.rects)
+
+    @property
+    def width(self) -> int:
+        """Bounding-box width in λ."""
+        x0, _, x1, _ = self.bbox
+        return x1 - x0
+
+    @property
+    def height(self) -> int:
+        """Bounding-box height in λ."""
+        _, y0, _, y1 = self.bbox
+        return y1 - y0
+
+    def transistor_count(self) -> int:
+        """Drawn transistors: poly rects crossing diff rects."""
+        polys = [r for r in self.rects if r.layer == "poly"]
+        diffs = [r for r in self.rects if r.layer == "diff"]
+        count = 0
+        for p in polys:
+            for d in diffs:
+                # Gate: poly and diff share interior area (layers differ,
+                # so compare boxes directly).
+                if p.x0 < d.x1 and d.x0 < p.x1 and p.y0 < d.y1 and d.y0 < p.y1:
+                    count += 1
+        return count
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A translated placement of a cell."""
+
+    cell: Cell
+    dx: int
+    dy: int
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.dx, int) and isinstance(self.dy, int)):
+            raise LayoutError("instance offsets must be λ-grid integers")
+
+    def rects(self) -> list[Rect]:
+        """The instance's geometry in layout coordinates."""
+        return [r.translated(self.dx, self.dy) for r in self.cell.rects]
+
+
+@dataclass
+class Layout:
+    """A flat-hierarchy layout: a list of cell instances.
+
+    (One level of hierarchy suffices for the regularity studies; deep
+    hierarchies flatten to the same geometry.)
+    """
+
+    name: str
+    instances: list[Instance] = field(default_factory=list)
+
+    def add(self, cell: Cell, dx: int, dy: int) -> None:
+        """Place ``cell`` at (dx, dy)."""
+        self.instances.append(Instance(cell, dx, dy))
+
+    def flatten(self) -> list[Rect]:
+        """All mask rectangles in layout coordinates.
+
+        Raises
+        ------
+        LayoutError
+            If the layout is empty.
+        """
+        if not self.instances:
+            raise LayoutError(f"layout {self.name!r} is empty")
+        rects: list[Rect] = []
+        for inst in self.instances:
+            rects.extend(inst.rects())
+        return rects
+
+    @property
+    def bbox(self) -> tuple[int, int, int, int]:
+        """Layout bounding box."""
+        return bounding_box(self.flatten())
+
+    def area_lambda2(self) -> int:
+        """Bounding-box area in λ²."""
+        x0, y0, x1, y1 = self.bbox
+        return (x1 - x0) * (y1 - y0)
+
+    def transistor_count(self) -> int:
+        """Total drawn transistors over all instances."""
+        return sum(inst.cell.transistor_count() for inst in self.instances)
+
+    def sd(self) -> float:
+        """Layout-level design decompression index (λ²/transistor).
+
+        Raises
+        ------
+        LayoutError
+            If the layout draws no transistors.
+        """
+        n = self.transistor_count()
+        if n == 0:
+            raise LayoutError(f"layout {self.name!r} draws no transistors; s_d undefined")
+        return self.area_lambda2() / n
+
+    def cell_usage(self) -> dict[str, int]:
+        """Instance count per cell name."""
+        usage: dict[str, int] = {}
+        for inst in self.instances:
+            usage[inst.cell.name] = usage.get(inst.cell.name, 0) + 1
+        return usage
+
+    @staticmethod
+    def unique_cells(instances: Iterable[Instance]) -> list[Cell]:
+        """Distinct cells among instances (by name, first wins)."""
+        seen: dict[str, Cell] = {}
+        for inst in instances:
+            seen.setdefault(inst.cell.name, inst.cell)
+        return list(seen.values())

@@ -1,0 +1,130 @@
+"""λ-rule design-rule checking for the layout substrate.
+
+The layout engine generates geometry in Mead–Conway λ units; this
+module checks it against λ design rules (minimum width, minimum
+same-layer spacing), the way any real layout flow gates its output.
+Two uses inside the reproduction:
+
+* the fabric generators are *tested* DRC-clean — synthetic layouts that
+  violate their own grid would corrupt every density/pattern result;
+* the spacing report feeds the geometric critical-area analysis (a
+  layout at minimum spacing everywhere maximises its short-critical
+  area — density costs yield, §3.1's coupling).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..errors import LayoutError
+from .geometry import Rect
+
+__all__ = ["DesignRules", "Violation", "check_rules", "MEAD_CONWAY_RULES"]
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Per-layer λ rules.
+
+    Attributes
+    ----------
+    min_width:
+        Minimum drawn width per layer (λ); layers absent fall back to
+        ``default_min_width``.
+    min_spacing:
+        Minimum same-layer facing spacing (λ); fallback
+        ``default_min_spacing``.
+    """
+
+    min_width: dict = field(default_factory=dict)
+    min_spacing: dict = field(default_factory=dict)
+    default_min_width: int = 2
+    default_min_spacing: int = 2
+
+    def width_rule(self, layer: str) -> int:
+        """Minimum width for a layer (λ)."""
+        return int(self.min_width.get(layer, self.default_min_width))
+
+    def spacing_rule(self, layer: str) -> int:
+        """Minimum spacing for a layer (λ)."""
+        return int(self.min_spacing.get(layer, self.default_min_spacing))
+
+
+#: Classic Mead-Conway λ rules for the layers the generators draw.
+MEAD_CONWAY_RULES = DesignRules(
+    min_width={"diff": 2, "poly": 2, "m1": 2, "m2": 2},
+    min_spacing={"diff": 2, "poly": 2, "m1": 2, "m2": 3},
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One design-rule violation."""
+
+    rule: str          # "width" or "spacing"
+    layer: str
+    measured: float
+    required: float
+    where: tuple       # offending rect(s)
+
+    def __str__(self) -> str:
+        return (f"{self.rule} violation on {self.layer}: measured {self.measured}, "
+                f"required >= {self.required}")
+
+
+def _width_violations(rects: list[Rect], rules: DesignRules) -> list[Violation]:
+    out = []
+    for rect in rects:
+        required = rules.width_rule(rect.layer)
+        measured = min(rect.width, rect.height)
+        if measured < required:
+            out.append(Violation("width", rect.layer, float(measured),
+                                 float(required), (rect,)))
+    return out
+
+
+def _spacing_violations(rects: list[Rect], rules: DesignRules) -> list[Violation]:
+    by_layer: dict[str, list[Rect]] = defaultdict(list)
+    for rect in rects:
+        by_layer[rect.layer].append(rect)
+    out = []
+    for layer, layer_rects in by_layer.items():
+        required = rules.spacing_rule(layer)
+        n = len(layer_rects)
+        for i in range(n):
+            a = layer_rects[i]
+            for j in range(i + 1, n):
+                b = layer_rects[j]
+                # Touching or overlapping shapes merge electrically — no
+                # spacing rule applies between them.
+                if a.x0 <= b.x1 and b.x0 <= a.x1 and a.y0 <= b.y1 and b.y0 <= a.y1:
+                    continue
+                # Facing horizontal gap.
+                if min(a.y1, b.y1) > max(a.y0, b.y0):
+                    gap = b.x0 - a.x1 if b.x0 >= a.x1 else a.x0 - b.x1
+                    if 0 < gap < required:
+                        out.append(Violation("spacing", layer, float(gap),
+                                             float(required), (a, b)))
+                        continue
+                # Facing vertical gap.
+                if min(a.x1, b.x1) > max(a.x0, b.x0):
+                    gap = b.y0 - a.y1 if b.y0 >= a.y1 else a.y0 - b.y1
+                    if 0 < gap < required:
+                        out.append(Violation("spacing", layer, float(gap),
+                                             float(required), (a, b)))
+    return out
+
+
+def check_rules(rects: list[Rect], rules: DesignRules = MEAD_CONWAY_RULES) -> list[Violation]:
+    """Run width and spacing checks; returns all violations (empty = clean).
+
+    Raises
+    ------
+    LayoutError
+        If the layout is empty (nothing to check is almost always a
+        caller bug, not a clean result).
+    """
+    if not rects:
+        raise LayoutError("cannot DRC an empty layout")
+    return _width_violations(rects, rules) + _spacing_violations(rects, rules)

@@ -1,0 +1,174 @@
+"""Layout generators: regular fabrics vs ad-hoc placements.
+
+Synthetic layouts for the regularity studies. Three styles spanning the
+§3.2 spectrum:
+
+* :func:`sram_cell` + :func:`memory_array` — the maximally regular
+  extreme (Table A1's dense-memory population);
+* :func:`standard_cell` + :func:`regular_fabric` — a tiled logic fabric
+  built from a tiny cell library on a uniform pitch (the §3.2
+  prescription);
+* :func:`random_logic_layout` — an irregular placement with randomised
+  cell variants and jittered rows (the time-to-market ASIC style the
+  paper says industry drifted into).
+
+All geometry is in λ-grid integers; transistor counts follow the
+poly-over-diff convention of :mod:`repro.layout.cells`, so each
+generated layout has a measurable ``s_d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import LayoutError
+from ..validation import check_positive_int
+from .cells import Cell, Layout
+from .geometry import Rect
+
+__all__ = [
+    "sram_cell",
+    "standard_cell",
+    "memory_array",
+    "regular_fabric",
+    "random_logic_layout",
+]
+
+
+def sram_cell(name: str = "sram6t") -> Cell:
+    """A stylised 6-transistor SRAM cell, 12×12 λ footprint.
+
+    Six poly-over-diff crossings on a tight pitch — the densest layout
+    style made (Table A1 memory ``s_d`` ≈ 30-60). The square footprint
+    means arrays tile perfectly under square analysis windows.
+    """
+    rects = [
+        # Two diffusion strips.
+        Rect("diff", 0, 2, 12, 4),
+        Rect("diff", 0, 8, 12, 10),
+        # Three poly gates crossing both strips (6 transistors).
+        Rect("poly", 1, 0, 3, 12),
+        Rect("poly", 5, 0, 7, 12),
+        Rect("poly", 9, 0, 11, 12),
+        # Bit/word wiring.
+        Rect("m1", 0, 5, 12, 7),
+    ]
+    return Cell(name, tuple(rects))
+
+
+def standard_cell(name: str, n_gates: int = 2, width_per_gate: int = 8,
+                  height: int = 24, variant: int = 0) -> Cell:
+    """A stylised standard cell: ``n_gates`` poly gates over two diff rows.
+
+    Each gate contributes two transistors (NMOS + PMOS row), giving
+    ``2·n_gates`` transistors in ``n_gates·width_per_gate × height`` λ².
+    ``variant`` places an internal m1 strap at a variant-specific x
+    position, so cells of the same footprint but different variants are
+    geometrically distinct (distinct patterns for the §3.2 census).
+    """
+    check_positive_int(n_gates, "n_gates")
+    check_positive_int(width_per_gate, "width_per_gate")
+    check_positive_int(height, "height")
+    if variant < 0:
+        raise LayoutError(f"variant must be >= 0; got {variant}")
+    if height < 16:
+        raise LayoutError("standard cell height must be >= 16 λ")
+    width = n_gates * width_per_gate
+    rects = [
+        Rect("diff", 0, 2, width, 6),                    # NMOS row
+        Rect("diff", 0, height - 6, width, height - 2),  # PMOS row
+        Rect("m1", 0, height // 2 - 1, width, height // 2 + 1),
+    ]
+    for g in range(n_gates):
+        x = g * width_per_gate + width_per_gate // 2 - 1
+        rects.append(Rect("poly", x, 0, x + 2, height))
+    # Variant-specific internal strap (intra-cell connectivity stand-in).
+    # Kept on the even-λ grid so cell abutment stays DRC-legal.
+    strap_x = (variant * 4) % max(width - 2, 1)
+    strap_x -= strap_x % 2
+    rects.append(Rect("m1", strap_x, 7, strap_x + 2, height - 7))
+    return Cell(name, tuple(rects))
+
+
+def memory_array(rows: int, cols: int) -> Layout:
+    """Tile the SRAM cell into a ``rows × cols`` array."""
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    cell = sram_cell()
+    layout = Layout(f"sram_{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            layout.add(cell, c * cell.width, r * cell.height)
+    return layout
+
+
+def regular_fabric(rows: int, cols: int, library_size: int = 2,
+                   seed: int = 0) -> Layout:
+    """A §3.2-style fabric: a tiny cell library tiled on one uniform pitch.
+
+    All cells share the same footprint, so every site is
+    pitch-aligned; ``library_size`` controls the unique-pattern count
+    (1 = perfectly regular, like a gate array).
+    """
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    check_positive_int(library_size, "library_size")
+    rng = np.random.default_rng(seed)
+    library = [standard_cell(f"fab{i}", n_gates=3, variant=i) for i in range(library_size)]
+    pitch_x = library[0].width
+    pitch_y = library[0].height
+    layout = Layout(f"fabric_{rows}x{cols}_lib{library_size}")
+    for r in range(rows):
+        for c in range(cols):
+            cell = library[int(rng.integers(0, library_size))]
+            layout.add(cell, c * pitch_x, r * pitch_y)
+    return layout
+
+
+def random_logic_layout(rows: int, cols: int, library_size: int = 12,
+                        seed: int = 0, max_jitter: int = 5,
+                        whitespace_fraction: float = 0.3) -> Layout:
+    """An irregular ASIC-style placement.
+
+    Cells come from a larger library with varying widths, rows are
+    jittered by up to ``max_jitter`` λ, and ``whitespace_fraction`` of
+    sites are left empty (routing/TTM slack) — all three of which
+    destroy window-level repetition and inflate ``s_d``.
+
+    Jitter is drawn on an even-λ grid and rows carry a 2 λ guard band,
+    so the generated placement is clean under the Mead-Conway 2 λ
+    spacing rules (see :mod:`repro.layout.drc`) — gaps are either 0
+    (abutting, electrically merged) or ≥ 2 λ.
+    """
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    check_positive_int(library_size, "library_size")
+    if not 0 <= whitespace_fraction < 1:
+        raise LayoutError(f"whitespace_fraction must be in [0,1); got {whitespace_fraction}")
+    rng = np.random.default_rng(seed)
+    library = [
+        standard_cell(f"rnd{i}", n_gates=int(rng.integers(1, 5)),
+                      width_per_gate=2 * int(rng.integers(4, 6)), variant=i)
+        for i in range(library_size)
+    ]
+
+    def even_jitter() -> int:
+        # Even values in [0, max_jitter]: resulting gaps stay DRC-legal.
+        return 2 * int(rng.integers(0, max_jitter // 2 + 1))
+
+    row_pitch = max(c.height for c in library) + 2 * (max_jitter // 2) + 2
+    layout = Layout(f"random_{rows}x{cols}_lib{library_size}")
+    placed = 0
+    for r in range(rows):
+        x = even_jitter()
+        y = r * row_pitch + even_jitter()
+        for _ in range(cols):
+            cell = library[int(rng.integers(0, library_size))]
+            if rng.random() >= whitespace_fraction:
+                layout.add(cell, x, y)
+                placed += 1
+            x += cell.width + even_jitter()
+    if placed == 0:
+        # Pathological draw: guarantee a non-empty layout.
+        layout.add(library[0], 0, 0)
+    return layout

@@ -1,0 +1,112 @@
+"""Rectilinear layout geometry primitives.
+
+The §3.2 prescription — "highly geometrically regular structures,
+created out of the limited smallest possible number of unique
+geometrical patterns" — needs an actual layout representation to be
+measurable. We use the standard mask-geometry abstraction: axis-aligned
+rectangles on named layers, in integer **λ-grid** coordinates (all
+mask data of the era was snapped to a manufacturing grid; integers make
+pattern matching exact instead of epsilon-ridden).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import LayoutError
+
+__all__ = ["Rect", "bounding_box", "total_area"]
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """An axis-aligned rectangle on a mask layer (λ-grid integers).
+
+    Attributes
+    ----------
+    layer:
+        Mask layer name (``"poly"``, ``"diff"``, ``"m1"``, ...).
+    x0, y0:
+        Lower-left corner.
+    x1, y1:
+        Upper-right corner (exclusive extent; must be > lower-left).
+    """
+
+    layer: str
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if not (isinstance(self.x0, int) and isinstance(self.y0, int)
+                and isinstance(self.x1, int) and isinstance(self.y1, int)):
+            raise LayoutError(f"rect coordinates must be λ-grid integers; got {self!r}")
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise LayoutError(
+                f"rect must have positive extent; got ({self.x0},{self.y0})-({self.x1},{self.y1})"
+            )
+        if not self.layer:
+            raise LayoutError("rect layer name must be non-empty")
+
+    @property
+    def width(self) -> int:
+        """Extent along x, in λ."""
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        """Extent along y, in λ."""
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> int:
+        """Area in λ²."""
+        return self.width * self.height
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        """A copy shifted by (dx, dy) λ."""
+        return Rect(self.layer, self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Whether the two rects share interior area on the same layer."""
+        if self.layer != other.layer:
+            return False
+        return (self.x0 < other.x1 and other.x0 < self.x1
+                and self.y0 < other.y1 and other.y0 < self.y1)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Whether (x, y) lies inside (half-open box)."""
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    def relative_to(self, ox: int, oy: int) -> tuple[str, int, int, int, int]:
+        """Canonical tuple with coordinates relative to an origin.
+
+        Used as the unit of pattern signatures.
+        """
+        return (self.layer, self.x0 - ox, self.y0 - oy, self.x1 - ox, self.y1 - oy)
+
+
+def bounding_box(rects: Iterable[Rect]) -> tuple[int, int, int, int]:
+    """Bounding box (x0, y0, x1, y1) of a rect collection.
+
+    Raises
+    ------
+    LayoutError
+        If the collection is empty.
+    """
+    rects = list(rects)
+    if not rects:
+        raise LayoutError("bounding box of an empty rect collection is undefined")
+    return (
+        min(r.x0 for r in rects),
+        min(r.y0 for r in rects),
+        max(r.x1 for r in rects),
+        max(r.y1 for r in rects),
+    )
+
+
+def total_area(rects: Iterable[Rect]) -> int:
+    """Sum of rect areas in λ² (overlaps counted twice — drawn area)."""
+    return sum(r.area for r in rects)

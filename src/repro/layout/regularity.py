@@ -1,0 +1,126 @@
+"""Regularity economics — §3.2's characterization-reuse argument.
+
+The paper's closing prescription: contain nanometre design cost by
+building layouts from "the limited smallest possible number of unique
+geometrical patterns", because each unique pattern must be accurately
+(expensively) simulated/precharacterised, and repeated patterns reuse
+that work across a product — or a whole product *family*, which "will
+increase the effective volume used in the computation of C_DE".
+
+:class:`CharacterizationCostModel` prices that argument:
+
+* brute force: simulate everything → cost ∝ occupied windows;
+* pattern reuse: simulate unique patterns once → cost ∝ unique
+  patterns (+ a cheap per-instance stitch check);
+* family reuse: divide the unique-pattern bill by the number of
+  products sharing the pattern library.
+
+The model also feeds back into the design-cost story: regularity
+improves prediction (see
+:class:`repro.interconnect.delay.PredictionErrorModel`), which raises
+per-iteration closure probability, which cuts eq.-(6) cost — the full
+§3.2 loop, exercised end-to-end in
+``benchmarks/bench_ablation_regularity.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LayoutError
+from ..validation import check_nonnegative, check_positive, check_positive_int
+from .patterns import PatternLibrary
+
+__all__ = ["CharacterizationCostModel", "regularity_report", "RegularityReport"]
+
+
+@dataclass(frozen=True)
+class CharacterizationCostModel:
+    """Cost of precharacterising a layout's patterns.
+
+    Attributes
+    ----------
+    cost_per_pattern_usd:
+        Accurate (field-solver/litho) simulation of one unique pattern
+        with its neighbourhood. Default $20 k.
+    cost_per_instance_usd:
+        Cheap per-occurrence stitch/context check. Default $10.
+    brute_force_per_window_usd:
+        Accurate simulation of one window without reuse (same physics
+        as a unique pattern, minus the library bookkeeping discount).
+        Default $15 k.
+    """
+
+    cost_per_pattern_usd: float = 20_000.0
+    cost_per_instance_usd: float = 10.0
+    brute_force_per_window_usd: float = 15_000.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.cost_per_pattern_usd, "cost_per_pattern_usd")
+        check_nonnegative(self.cost_per_instance_usd, "cost_per_instance_usd")
+        check_positive(self.brute_force_per_window_usd, "brute_force_per_window_usd")
+
+    def brute_force_cost(self, library: PatternLibrary) -> float:
+        """Simulate every occupied window independently ($)."""
+        return self.brute_force_per_window_usd * library.n_occupied_windows
+
+    def reuse_cost(self, library: PatternLibrary, n_products: int = 1) -> float:
+        """Pattern-library cost ($): unique sims (amortised) + stitches.
+
+        Parameters
+        ----------
+        library:
+            Pattern census of the layout.
+        n_products:
+            Products sharing the precharacterised library (§3.2's
+            family reuse, "increasing the effective volume").
+        """
+        n_products = check_positive_int(n_products, "n_products")
+        unique = self.cost_per_pattern_usd * library.n_unique / n_products
+        stitches = self.cost_per_instance_usd * library.n_occupied_windows
+        return unique + stitches
+
+    def savings_factor(self, library: PatternLibrary, n_products: int = 1) -> float:
+        """Brute-force cost / reuse cost — the §3.2 payoff multiple."""
+        reuse = self.reuse_cost(library, n_products)
+        if reuse == 0:
+            raise LayoutError("degenerate zero reuse cost")
+        return self.brute_force_cost(library) / reuse
+
+
+@dataclass(frozen=True)
+class RegularityReport:
+    """Summary of a layout's regularity and its economic value."""
+
+    window_size: int
+    n_windows: int
+    n_occupied: int
+    n_unique_patterns: int
+    regularity_index: float
+    top8_coverage: float
+    brute_force_cost_usd: float
+    reuse_cost_usd: float
+
+    @property
+    def savings_factor(self) -> float:
+        """Characterization-cost multiple saved by pattern reuse."""
+        return self.brute_force_cost_usd / self.reuse_cost_usd
+
+
+def regularity_report(
+    library: PatternLibrary,
+    cost_model: CharacterizationCostModel | None = None,
+    n_products: int = 1,
+) -> RegularityReport:
+    """Bundle a pattern census with its §3.2 economics."""
+    cost_model = cost_model if cost_model is not None else CharacterizationCostModel()
+    return RegularityReport(
+        window_size=library.window_size,
+        n_windows=library.n_windows,
+        n_occupied=library.n_occupied_windows,
+        n_unique_patterns=library.n_unique,
+        regularity_index=library.regularity_index(),
+        top8_coverage=library.coverage_by_top(8),
+        brute_force_cost_usd=cost_model.brute_force_cost(library),
+        reuse_cost_usd=cost_model.reuse_cost(library, n_products),
+    )

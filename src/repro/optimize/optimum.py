@@ -1,0 +1,188 @@
+"""Optimal design density — §3.1's new design objective.
+
+The paper's central prescription: stop minimising die size (``s_d``) or
+maximising yield in isolation; minimise ``C_tr``. The eq.-(4) U-curve
+has a unique interior optimum balancing
+
+* manufacturing cost, rising linearly in ``s_d`` (sparser die = more
+  silicon), against
+* design cost, diverging as ``s_d → s_d0⁺`` (denser design = more
+  failed iterations).
+
+:func:`optimal_sd` finds it with a golden-section search (the curve is
+strictly unimodal on ``(s_d0, ∞)``); :func:`optimal_sd_condition`
+verifies the analytic first-order condition; :func:`optimum_vs_volume`
+traces how the optimum migrates with wafer volume — the paper's
+Figure 4(a)→(b) contrast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost.generalized import GeneralizedCostModel
+from ..cost.total import TotalCostModel
+from ..errors import ConvergenceError, DomainError
+from ..validation import check_positive
+
+__all__ = ["OptimumResult", "optimal_sd", "optimal_sd_generalized",
+           "optimal_sd_condition", "optimum_vs_volume"]
+
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass(frozen=True)
+class OptimumResult:
+    """An optimal design point.
+
+    Attributes
+    ----------
+    sd_opt:
+        Cost-minimising design decompression index.
+    cost_opt:
+        Transistor cost at the optimum ($).
+    iterations:
+        Golden-section iterations used.
+    bracket:
+        The search interval (lo, hi).
+    """
+
+    sd_opt: float
+    cost_opt: float
+    iterations: int
+    bracket: tuple[float, float]
+
+
+def _golden_min(fn, lo: float, hi: float, tol: float, max_iter: int) -> tuple[float, float, int]:
+    """Golden-section minimisation of a unimodal scalar function."""
+    a, b = lo, hi
+    c = b - _INVPHI * (b - a)
+    d = a + _INVPHI * (b - a)
+    fc, fd = fn(c), fn(d)
+    for i in range(max_iter):
+        if abs(b - a) <= tol * (abs(a) + abs(b)):
+            x = 0.5 * (a + b)
+            return x, fn(x), i
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - _INVPHI * (b - a)
+            fc = fn(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INVPHI * (b - a)
+            fd = fn(d)
+    raise ConvergenceError(f"golden-section search did not converge in {max_iter} iterations")
+
+
+def optimal_sd(
+    model: TotalCostModel,
+    n_transistors: float,
+    feature_um: float,
+    n_wafers: float,
+    yield_fraction: float,
+    cm_sq: float,
+    sd_max: float = 5000.0,
+    tol: float = 1e-10,
+    max_iter: int = 500,
+) -> OptimumResult:
+    """Cost-minimising ``s_d`` for eq. (4) at a fixed operating point.
+
+    Searches ``(s_d0, sd_max]``. Raises :class:`DomainError` when the
+    minimum sits on the upper boundary (i.e. ``sd_max`` clipped it —
+    physically, design cost dominates so completely that ever-sparser
+    design keeps paying; widen ``sd_max``).
+    """
+    sd0 = model.design_model.sd0
+    lo = sd0 * (1 + 1e-6) + 1e-9
+    if sd_max <= lo:
+        raise DomainError(f"sd_max={sd_max} must exceed sd0={sd0}")
+
+    def fn(sd: float) -> float:
+        return float(model.transistor_cost(sd, n_transistors, feature_um,
+                                           n_wafers, yield_fraction, cm_sq))
+
+    sd_opt, cost_opt, iters = _golden_min(fn, lo, sd_max, tol, max_iter)
+    if sd_opt > sd_max * (1 - 1e-3):
+        raise DomainError(
+            f"optimum clipped at sd_max={sd_max}; design cost still dominates — widen the bracket"
+        )
+    return OptimumResult(sd_opt=sd_opt, cost_opt=cost_opt, iterations=iters, bracket=(lo, sd_max))
+
+
+def optimal_sd_generalized(
+    model: GeneralizedCostModel,
+    n_transistors: float,
+    feature_um: float,
+    n_wafers: float,
+    sd_max: float = 5000.0,
+    tol: float = 1e-10,
+    max_iter: int = 500,
+) -> OptimumResult:
+    """Cost-minimising ``s_d`` for the eq.-(7) model (yield coupled)."""
+    sd0 = model.design_model.sd0
+    lo = sd0 * (1 + 1e-6) + 1e-9
+    if sd_max <= lo:
+        raise DomainError(f"sd_max={sd_max} must exceed sd0={sd0}")
+
+    def fn(sd: float) -> float:
+        return float(model.transistor_cost(sd, n_transistors, feature_um, n_wafers))
+
+    sd_opt, cost_opt, iters = _golden_min(fn, lo, sd_max, tol, max_iter)
+    return OptimumResult(sd_opt=sd_opt, cost_opt=cost_opt, iterations=iters, bracket=(lo, sd_max))
+
+
+def optimal_sd_condition(
+    model: TotalCostModel,
+    sd: float,
+    n_transistors: float,
+    feature_um: float,
+    n_wafers: float,
+    yield_fraction: float,
+    cm_sq: float,
+) -> float:
+    """First-order optimality residual of eq. (4) at ``sd``.
+
+    Writing eq. (4) as ``C_tr ∝ s_d (Cm + (C_MA + C_DE(s_d))/W)`` with
+    ``W = N_w A_w``, the stationarity condition is
+
+        ``Cm + (C_MA + C_DE)/W + s_d · C_DE'(s_d)/W = 0``.
+
+    Returns the left-hand side (in $/cm²); ≈ 0 at the optimum, negative
+    on the design-cost-dominated side, positive on the
+    manufacturing-dominated side. Used by tests to cross-check the
+    numeric optimiser against the calculus.
+    """
+    sd = check_positive(sd, "sd")
+    wafer_cm2 = n_wafers * model.wafer.area_cm2
+    c_de = model.design_model.cost(n_transistors, sd)
+    c_ma = model.mask_cost(feature_um)
+    dc_de = model.design_model.marginal_cost_wrt_sd(n_transistors, sd)
+    return float(cm_sq + (c_ma + c_de) / wafer_cm2 + sd * dc_de / wafer_cm2)
+
+
+def optimum_vs_volume(
+    model: TotalCostModel,
+    n_transistors: float,
+    feature_um: float,
+    yield_fraction: float,
+    cm_sq: float,
+    n_wafers_values=None,
+    sd_max: float = 5000.0,
+) -> list[tuple[float, OptimumResult]]:
+    """Trace the optimal ``s_d`` across wafer volumes.
+
+    Returns ``[(n_wafers, OptimumResult), ...]``. The paper's Figure 4
+    message appears as a monotone fall of ``sd_opt`` with volume: high
+    volume amortises design cost, so dense (small-``s_d``) design pays.
+    """
+    if n_wafers_values is None:
+        n_wafers_values = np.geomspace(1e3, 1e6, 13)
+    out = []
+    for nw in np.asarray(n_wafers_values, dtype=float):
+        res = optimal_sd(model, n_transistors, feature_um, float(nw),
+                         yield_fraction, cm_sq, sd_max=sd_max)
+        out.append((float(nw), res))
+    return out

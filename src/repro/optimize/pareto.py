@@ -1,0 +1,102 @@
+"""Pareto analysis over (die area, transistor cost, design cost).
+
+§3.1's conclusion — "it is the appropriate ratio of both [die size and
+yield] which can provide the minimum transistor cost" — is a statement
+about a trade-off frontier. This module makes the frontier explicit:
+each candidate ``s_d`` maps to a vector of objectives (die area, total
+transistor cost, design budget), and :func:`pareto_front` extracts the
+non-dominated set. A designer can then see exactly which ``s_d`` values
+are rational choices under *any* weighting of the objectives, and
+:func:`knee_point` picks the balanced one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost.total import TotalCostModel
+from ..density.metrics import area_from_sd
+from ..errors import DomainError
+from .sweep import sd_grid
+
+__all__ = ["DesignPoint", "evaluate_points", "pareto_front", "knee_point"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate design density and its objective vector."""
+
+    sd: float
+    die_area_cm2: float
+    transistor_cost_usd: float
+    design_cost_usd: float
+
+    def objectives(self) -> tuple[float, float, float]:
+        """The minimised objective vector."""
+        return (self.die_area_cm2, self.transistor_cost_usd, self.design_cost_usd)
+
+
+def evaluate_points(
+    model: TotalCostModel,
+    n_transistors: float,
+    feature_um: float,
+    n_wafers: float,
+    yield_fraction: float,
+    cm_sq: float,
+    sd_values=None,
+) -> list[DesignPoint]:
+    """Objective vectors for a grid of candidate ``s_d`` values."""
+    if sd_values is None:
+        sd_values = sd_grid(model.design_model.sd0, n=200)
+    points = []
+    for sd in np.asarray(sd_values, dtype=float):
+        points.append(DesignPoint(
+            sd=float(sd),
+            die_area_cm2=float(area_from_sd(sd, n_transistors, feature_um)),
+            transistor_cost_usd=float(model.transistor_cost(
+                sd, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq)),
+            design_cost_usd=float(model.design_model.cost(n_transistors, sd)),
+        ))
+    return points
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated subset (all objectives minimised), sorted by ``s_d``.
+
+    Point A dominates B when A is ≤ B in every objective and < in at
+    least one.
+    """
+    if not points:
+        raise DomainError("cannot take the Pareto front of an empty set")
+    objs = np.array([p.objectives() for p in points])
+    keep = []
+    for i, p in enumerate(points):
+        dominated = np.any(
+            np.all(objs <= objs[i], axis=1) & np.any(objs < objs[i], axis=1)
+        )
+        if not dominated:
+            keep.append(p)
+    keep.sort(key=lambda p: p.sd)
+    return keep
+
+
+def knee_point(front: list[DesignPoint]) -> DesignPoint:
+    """Balanced point of a Pareto front.
+
+    Normalises each objective to [0, 1] over the front and returns the
+    point with the smallest Euclidean distance to the ideal (all-zero)
+    corner — the standard knee heuristic.
+    """
+    if not front:
+        raise DomainError("empty Pareto front")
+    if len(front) == 1:
+        return front[0]
+    objs = np.array([p.objectives() for p in front])
+    lo = objs.min(axis=0)
+    span = objs.max(axis=0) - lo
+    span[span == 0] = 1.0
+    norm = (objs - lo) / span
+    distances = np.linalg.norm(norm, axis=1)
+    return front[int(np.argmin(distances))]

@@ -1,0 +1,149 @@
+"""Sensitivity analysis of the cost optimum.
+
+§2.4's footnote concedes that the eq.-(6) constants come from a
+private, illustration-grade dataset. Before trusting the optimum they
+imply, a user should know how much it moves when those constants (and
+the other operating-point parameters) wiggle. This module provides:
+
+* :func:`parameter_elasticities` — local log-log sensitivities
+  ``∂ln(sd_opt)/∂ln(θ)`` of the optimal density to each model
+  parameter;
+* :func:`tornado` — one-at-a-time low/high excursions of the optimum
+  and its cost (the classic tornado-chart data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..cost.total import TotalCostModel
+from ..errors import DomainError
+from .optimum import optimal_sd
+
+__all__ = ["SensitivityEntry", "parameter_elasticities", "tornado"]
+
+#: Operating-point parameters the sensitivities are taken over.
+_POINT_PARAMS = ("n_transistors", "feature_um", "n_wafers", "yield_fraction", "cm_sq")
+#: Eq.-(6) parameters (perturbed through a modified design model).
+_MODEL_PARAMS = ("a0", "p1", "p2", "sd0")
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Effect of one parameter excursion on the optimum."""
+
+    parameter: str
+    low_value: float
+    high_value: float
+    sd_opt_low: float
+    sd_opt_high: float
+    cost_opt_low: float
+    cost_opt_high: float
+
+    @property
+    def sd_swing(self) -> float:
+        """Absolute swing of the optimal ``s_d`` across the excursion."""
+        return abs(self.sd_opt_high - self.sd_opt_low)
+
+    @property
+    def cost_swing(self) -> float:
+        """Absolute swing of the optimal cost across the excursion ($)."""
+        return abs(self.cost_opt_high - self.cost_opt_low)
+
+
+def _solve(model: TotalCostModel, point: dict, sd_max: float) -> tuple[float, float]:
+    res = optimal_sd(model, point["n_transistors"], point["feature_um"],
+                     point["n_wafers"], point["yield_fraction"], point["cm_sq"],
+                     sd_max=sd_max)
+    return res.sd_opt, res.cost_opt
+
+
+def _perturbed(model: TotalCostModel, point: dict, parameter: str,
+               value: float, sd_max: float) -> tuple[float, float]:
+    if parameter in _POINT_PARAMS:
+        new_point = dict(point)
+        new_point[parameter] = value
+        return _solve(model, new_point, sd_max)
+    if parameter in _MODEL_PARAMS:
+        new_design = replace(model.design_model, **{parameter: value})
+        new_model = replace(model, design_model=new_design)
+        return _solve(new_model, point, sd_max)
+    raise DomainError(
+        f"unknown parameter {parameter!r}; operating-point params: {_POINT_PARAMS}, "
+        f"design-model params: {_MODEL_PARAMS}"
+    )
+
+
+def _base_value(model: TotalCostModel, point: dict, parameter: str) -> float:
+    if parameter in _POINT_PARAMS:
+        return float(point[parameter])
+    if parameter in _MODEL_PARAMS:
+        return float(getattr(model.design_model, parameter))
+    raise DomainError(
+        f"unknown parameter {parameter!r}; operating-point params: {_POINT_PARAMS}, "
+        f"design-model params: {_MODEL_PARAMS}"
+    )
+
+
+def parameter_elasticities(
+    model: TotalCostModel,
+    point: dict,
+    parameters=None,
+    rel_step: float = 0.05,
+    sd_max: float = 5000.0,
+) -> dict[str, float]:
+    """Local elasticities ``d ln(sd_opt) / d ln(θ)`` (central differences).
+
+    Parameters
+    ----------
+    model:
+        The eq.-(4) model.
+    point:
+        Operating point dict with keys ``n_transistors``, ``feature_um``,
+        ``n_wafers``, ``yield_fraction``, ``cm_sq``.
+    parameters:
+        Names to analyse; defaults to every numeric parameter except
+        ``yield_fraction`` when a +5 % step would exceed 1.
+    rel_step:
+        Relative perturbation for the central difference.
+    """
+    import math
+
+    if parameters is None:
+        parameters = list(_POINT_PARAMS) + list(_MODEL_PARAMS)
+    out: dict[str, float] = {}
+    for name in parameters:
+        base = _base_value(model, point, name)
+        lo_v, hi_v = base * (1 - rel_step), base * (1 + rel_step)
+        if name == "yield_fraction" and hi_v > 1.0:
+            hi_v = 1.0
+            lo_v = base * base / hi_v  # keep geometric symmetry
+        sd_lo, _ = _perturbed(model, point, name, lo_v, sd_max)
+        sd_hi, _ = _perturbed(model, point, name, hi_v, sd_max)
+        out[name] = (math.log(sd_hi) - math.log(sd_lo)) / (math.log(hi_v) - math.log(lo_v))
+    return out
+
+
+def tornado(
+    model: TotalCostModel,
+    point: dict,
+    excursions: dict[str, tuple[float, float]],
+    sd_max: float = 5000.0,
+) -> list[SensitivityEntry]:
+    """One-at-a-time excursion analysis, sorted by cost swing (largest first).
+
+    ``excursions`` maps parameter name → (low, high) values to try.
+    """
+    entries = []
+    for name, (lo_v, hi_v) in excursions.items():
+        if lo_v >= hi_v:
+            raise DomainError(f"excursion for {name!r} must have low < high; got {lo_v}, {hi_v}")
+        sd_lo, cost_lo = _perturbed(model, point, name, lo_v, sd_max)
+        sd_hi, cost_hi = _perturbed(model, point, name, hi_v, sd_max)
+        entries.append(SensitivityEntry(
+            parameter=name, low_value=lo_v, high_value=hi_v,
+            sd_opt_low=sd_lo, sd_opt_high=sd_hi,
+            cost_opt_low=cost_lo, cost_opt_high=cost_hi,
+        ))
+    entries.sort(key=lambda e: e.cost_swing, reverse=True)
+    return entries

@@ -1,0 +1,183 @@
+"""Parameter sweeps over the cost models — the engine behind Figure 4.
+
+:func:`sd_sweep` evaluates eq. (4) (or eq. 7) over a grid of ``s_d``
+values and returns a :class:`SweepResult` carrying the curve, its
+minimum, and convenience accessors used by the plots/benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost.generalized import GeneralizedCostModel
+from ..cost.total import TotalCostModel
+from ..errors import DomainError
+from ..validation import check_positive
+
+__all__ = ["SweepResult", "sd_grid", "sd_sweep", "sd_sweep_generalized", "volume_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A 1-D cost sweep: ``cost[i] = C_tr(x[i])``.
+
+    Attributes
+    ----------
+    parameter:
+        Name of the swept variable (``"sd"``, ``"n_wafers"``, ...).
+    x:
+        Grid values.
+    cost:
+        Transistor cost at each grid point ($).
+    meta:
+        The fixed operating point (for reporting).
+    """
+
+    parameter: str
+    x: np.ndarray
+    cost: np.ndarray
+    meta: dict
+
+    def __post_init__(self) -> None:
+        if self.x.shape != self.cost.shape:
+            raise DomainError("x and cost must have matching shapes")
+        if self.x.size < 2:
+            raise DomainError("a sweep needs at least 2 grid points")
+
+    @property
+    def argmin(self) -> int:
+        """Index of the cheapest grid point."""
+        return int(np.argmin(self.cost))
+
+    @property
+    def x_opt(self) -> float:
+        """Grid value minimising the cost."""
+        return float(self.x[self.argmin])
+
+    @property
+    def cost_opt(self) -> float:
+        """Minimum cost on the grid ($/transistor)."""
+        return float(self.cost[self.argmin])
+
+    def is_interior_minimum(self) -> bool:
+        """Whether the minimum falls strictly inside the grid.
+
+        A boundary minimum means the grid clipped the U-curve — widen it.
+        """
+        return 0 < self.argmin < self.x.size - 1
+
+    def cost_at(self, x_value: float) -> float:
+        """Cost at an arbitrary point by linear interpolation."""
+        if not (self.x.min() <= x_value <= self.x.max()):
+            raise DomainError(f"{x_value} outside sweep range [{self.x.min()}, {self.x.max()}]")
+        return float(np.interp(x_value, self.x, self.cost))
+
+    def penalty_vs_optimum(self, x_value: float) -> float:
+        """Relative cost penalty of operating at ``x_value`` vs the optimum."""
+        return self.cost_at(x_value) / self.cost_opt - 1.0
+
+
+def sd_grid(sd0: float, sd_max: float = 1000.0, n: int = 400, margin: float = 5.0) -> np.ndarray:
+    """A grid of ``s_d`` values safely above the divergence at ``s_d0``.
+
+    Starts at ``s_d0 + margin`` (the design cost diverges at ``s_d0``)
+    and spaces points geometrically, which resolves the steep left wall
+    of the U-curve better than a linear grid.
+    """
+    sd0 = check_positive(sd0, "sd0")
+    if sd_max <= sd0 + margin:
+        raise DomainError(f"sd_max={sd_max} must exceed sd0+margin={sd0 + margin}")
+    if n < 2:
+        raise DomainError("n must be >= 2")
+    return sd0 + np.geomspace(margin, sd_max - sd0, n)
+
+
+def sd_sweep(
+    model: TotalCostModel,
+    n_transistors: float,
+    feature_um: float,
+    n_wafers: float,
+    yield_fraction: float,
+    cm_sq: float,
+    sd_values: np.ndarray | None = None,
+) -> SweepResult:
+    """Figure 4's sweep: eq. (4) cost versus ``s_d`` at a fixed point."""
+    if sd_values is None:
+        sd_values = sd_grid(model.design_model.sd0)
+    sd_values = np.asarray(sd_values, dtype=float)
+    cost = model.transistor_cost(
+        sd_values, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq
+    )
+    return SweepResult(
+        parameter="sd",
+        x=sd_values,
+        cost=np.asarray(cost, dtype=float),
+        meta={
+            "n_transistors": n_transistors,
+            "feature_um": feature_um,
+            "n_wafers": n_wafers,
+            "yield_fraction": yield_fraction,
+            "cm_sq": cm_sq,
+        },
+    )
+
+
+def sd_sweep_generalized(
+    model: GeneralizedCostModel,
+    n_transistors: float,
+    feature_um: float,
+    n_wafers: float,
+    sd_values: np.ndarray | None = None,
+) -> SweepResult:
+    """The eq.-(7) version of the sweep — yield responds to ``s_d``."""
+    if sd_values is None:
+        sd_values = sd_grid(model.design_model.sd0)
+    sd_values = np.asarray(sd_values, dtype=float)
+    cost = model.transistor_cost(sd_values, n_transistors, feature_um, n_wafers)
+    return SweepResult(
+        parameter="sd",
+        x=sd_values,
+        cost=np.asarray(cost, dtype=float),
+        meta={
+            "n_transistors": n_transistors,
+            "feature_um": feature_um,
+            "n_wafers": n_wafers,
+            "model": "generalized",
+        },
+    )
+
+
+def volume_sweep(
+    model: TotalCostModel,
+    sd: float,
+    n_transistors: float,
+    feature_um: float,
+    yield_fraction: float,
+    cm_sq: float,
+    n_wafers_values: np.ndarray | None = None,
+) -> SweepResult:
+    """Cost versus wafer volume at a fixed design point.
+
+    Shows the eq.-(5) amortisation: cost falls hyperbolically towards
+    the eq.-(3) manufacturing floor as ``N_w`` grows.
+    """
+    if n_wafers_values is None:
+        n_wafers_values = np.geomspace(100, 1e6, 200)
+    n_wafers_values = np.asarray(n_wafers_values, dtype=float)
+    cost = model.transistor_cost(
+        sd, n_transistors, feature_um, n_wafers_values, yield_fraction, cm_sq
+    )
+    return SweepResult(
+        parameter="n_wafers",
+        x=n_wafers_values,
+        cost=np.asarray(cost, dtype=float),
+        meta={
+            "sd": sd,
+            "n_transistors": n_transistors,
+            "feature_um": feature_um,
+            "yield_fraction": yield_fraction,
+            "cm_sq": cm_sq,
+        },
+    )

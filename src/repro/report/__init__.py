@@ -1,0 +1,6 @@
+"""Text rendering of tables, series and rough plots for the benches."""
+
+from .tables import format_csv, format_markdown, format_table
+from .series import Series, ascii_plot
+
+__all__ = ["format_table", "format_csv", "format_markdown", "Series", "ascii_plot"]

@@ -1,0 +1,122 @@
+"""Named numeric series — the unit of figure reproduction.
+
+Each paper figure is, at bottom, a handful of (x, y) series. The
+benches build :class:`Series` objects, print them, and assert their
+*shape* properties (monotonicity, crossings, ranges) — the reproduction
+contract for figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DomainError
+from .tables import format_table
+
+__all__ = ["Series", "ascii_plot"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named (x, y) series with shape-inspection helpers."""
+
+    name: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise DomainError(f"series {self.name!r}: x and y length mismatch")
+        if len(self.x) < 2:
+            raise DomainError(f"series {self.name!r}: need at least 2 points")
+
+    @classmethod
+    def from_arrays(cls, name: str, x, y, x_label: str = "x", y_label: str = "y") -> "Series":
+        """Build from array-likes."""
+        return cls(name, tuple(float(v) for v in x), tuple(float(v) for v in y),
+                   x_label, y_label)
+
+    def is_increasing(self, strict: bool = True) -> bool:
+        """Whether y rises along the series (in x order)."""
+        order = np.argsort(self.x)
+        y = np.asarray(self.y)[order]
+        diffs = np.diff(y)
+        return bool(np.all(diffs > 0)) if strict else bool(np.all(diffs >= 0))
+
+    def is_decreasing(self, strict: bool = True) -> bool:
+        """Whether y falls along the series (in x order)."""
+        order = np.argsort(self.x)
+        y = np.asarray(self.y)[order]
+        diffs = np.diff(y)
+        return bool(np.all(diffs < 0)) if strict else bool(np.all(diffs <= 0))
+
+    def argmin_x(self) -> float:
+        """x at the series minimum."""
+        return float(self.x[int(np.argmin(self.y))])
+
+    def y_range(self) -> tuple[float, float]:
+        """(min, max) of y."""
+        return float(min(self.y)), float(max(self.y))
+
+    def crossing_x(self, level: float) -> float | None:
+        """First x (in x order) where the series crosses ``level``.
+
+        Linear interpolation between bracketing points; ``None`` when
+        the series never crosses.
+        """
+        order = np.argsort(self.x)
+        x = np.asarray(self.x)[order]
+        y = np.asarray(self.y)[order] - level
+        for i in range(len(x) - 1):
+            if y[i] == 0:
+                return float(x[i])
+            if y[i] * y[i + 1] < 0:
+                t = y[i] / (y[i] - y[i + 1])
+                return float(x[i] + t * (x[i + 1] - x[i]))
+        if y[-1] == 0:
+            return float(x[-1])
+        return None
+
+    def to_table(self, float_spec: str = ".4g") -> str:
+        """Render as a two-column ASCII table."""
+        rows = sorted(zip(self.x, self.y))
+        return format_table([self.x_label, self.y_label], rows,
+                            float_spec=float_spec, title=self.name)
+
+
+def ascii_plot(series_list: list[Series], width: int = 72, height: int = 20,
+               logy: bool = False) -> str:
+    """A rough ASCII scatter of one or more series (benches' eyeball aid).
+
+    Each series gets a distinct marker; axes are annotated with ranges.
+    """
+    if not series_list:
+        raise DomainError("nothing to plot")
+    markers = "ox+*#@%&"
+    all_x = np.concatenate([np.asarray(s.x, dtype=float) for s in series_list])
+    all_y = np.concatenate([np.asarray(s.y, dtype=float) for s in series_list])
+    if logy:
+        if np.any(all_y <= 0):
+            raise DomainError("logy plot requires positive y")
+        all_y = np.log10(all_y)
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series_list):
+        marker = markers[si % len(markers)]
+        ys = np.log10(np.asarray(s.y, dtype=float)) if logy else np.asarray(s.y, dtype=float)
+        for xv, yv in zip(s.x, ys):
+            col = int((xv - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((yv - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(f"{markers[i % len(markers)]}={s.name}" for i, s in enumerate(series_list))
+    y_unit = "log10" if logy else ""
+    header = f"y{y_unit} in [{y_lo:.3g}, {y_hi:.3g}]   x in [{x_lo:.3g}, {x_hi:.3g}]"
+    return "\n".join([header, *lines, legend])

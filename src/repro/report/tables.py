@@ -1,0 +1,91 @@
+"""Plain-text table rendering for benches and examples.
+
+The benchmarks regenerate the paper's tables/figures as text: aligned
+ASCII tables (for eyeballs) and CSV (for plotting tools). No plotting
+dependency — the reproduction contract is about the *numbers*.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import DomainError
+
+__all__ = ["format_table", "format_csv", "format_markdown"]
+
+
+def _cell(value, spec: str) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return format(value, spec) if spec else f"{value:g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,
+                 float_spec: str = ".3g", title: str | None = None) -> str:
+    """Render an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row tuples; cells may be str, int, float or None (blank).
+    float_spec:
+        Format spec applied to float cells.
+    title:
+        Optional title line above the table.
+    """
+    if not headers:
+        raise DomainError("table needs at least one column")
+    str_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise DomainError(
+                f"row has {len(row)} cells but table has {len(headers)} columns: {row!r}"
+            )
+        str_rows.append([_cell(v, float_spec) for v in row])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_markdown(headers: Sequence[str], rows: Sequence[Sequence], *,
+                    float_spec: str = ".3g") -> str:
+    """Render a GitHub-flavoured markdown table (for docs/EXPERIMENTS)."""
+    if not headers:
+        raise DomainError("table needs at least one column")
+    lines = ["| " + " | ".join(str(h) for h in headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        if len(row) != len(headers):
+            raise DomainError(
+                f"row has {len(row)} cells but table has {len(headers)} columns: {row!r}")
+        lines.append("| " + " | ".join(_cell(v, float_spec) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render the same data as minimal CSV (no quoting of commas needed
+    by our numeric tables; header names must not contain commas)."""
+    for h in headers:
+        if "," in str(h):
+            raise DomainError(f"CSV header may not contain a comma: {h!r}")
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise DomainError(f"row/column mismatch in CSV: {row!r}")
+        lines.append(",".join("" if v is None else (f"{v:.6g}" if isinstance(v, float) else str(v))
+                              for v in row))
+    return "\n".join(lines)

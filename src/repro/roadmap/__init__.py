@@ -1,0 +1,30 @@
+"""ITRS roadmap analytics (paper §2.2.3, Figures 2-3)."""
+
+from .scaling import MOORE_DOUBLING_MONTHS, ScalingLaw, interpolate_nodes, node_sequence
+from .constant_cost import (
+    PAPER_FIGURE3_ASSUMPTIONS,
+    ConstantCostAssumptions,
+    ConstantCostPoint,
+    constant_cost_sd,
+    constant_cost_series,
+)
+from .feasibility import FeasibilityPoint, feasibility_report
+from .scenarios import SCENARIO_NAMES, Scenario, scenario, scenario_series
+
+__all__ = [
+    "ScalingLaw",
+    "MOORE_DOUBLING_MONTHS",
+    "node_sequence",
+    "interpolate_nodes",
+    "ConstantCostAssumptions",
+    "ConstantCostPoint",
+    "PAPER_FIGURE3_ASSUMPTIONS",
+    "constant_cost_sd",
+    "constant_cost_series",
+    "FeasibilityPoint",
+    "feasibility_report",
+    "Scenario",
+    "scenario",
+    "scenario_series",
+    "SCENARIO_NAMES",
+]

@@ -1,0 +1,103 @@
+"""Constant-die-cost analysis — Figure 3 of the paper.
+
+§2.2.3 asks: what ``s_d`` would each roadmap node have to achieve for
+the cost-performance MPU die to stay at its 1999 cost level? The paper
+computes this from eq. (3) with the anchors
+
+* maximum acceptable die cost ``C_ch = $34.0``,
+* manufacturing cost ``C_sq = 8.0 $/cm²`` (held flat — deliberately
+  optimistic),
+* yield ``Y = 0.8`` (held flat — ditto),
+
+and the ITRS transistor counts and feature sizes. The affordable die
+area is then fixed at ``A_max = C_ch·Y/C_sq`` and
+
+    ``s_d^cc = A_max / (N_tr · λ²)``.
+
+Figure 3 plots the **ratio** of the roadmap-implied ``s_d`` (Figure 2)
+to this constant-cost ``s_d``: a ratio above 1 means the roadmap's own
+density targets are too sparse to hold the die cost — the paper's
+"cost contradiction".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.itrs1999 import (
+    ASSUMED_YIELD,
+    MANUFACTURING_COST_PER_CM2_USD,
+    MPU_DIE_COST_1999_USD,
+)
+from ..data.records import RoadmapNode
+from ..validation import check_fraction, check_positive
+
+__all__ = ["ConstantCostAssumptions", "ConstantCostPoint", "constant_cost_sd",
+           "constant_cost_series", "PAPER_FIGURE3_ASSUMPTIONS"]
+
+
+@dataclass(frozen=True)
+class ConstantCostAssumptions:
+    """The cost anchors of the Figure 3 computation."""
+
+    die_cost_usd: float = MPU_DIE_COST_1999_USD
+    cost_per_cm2: float = MANUFACTURING_COST_PER_CM2_USD
+    yield_fraction: float = ASSUMED_YIELD
+
+    def __post_init__(self) -> None:
+        check_positive(self.die_cost_usd, "die_cost_usd")
+        check_positive(self.cost_per_cm2, "cost_per_cm2")
+        check_fraction(self.yield_fraction, "yield_fraction")
+
+    @property
+    def affordable_die_area_cm2(self) -> float:
+        """``A_max = C_ch·Y/C_sq`` — the die the budget buys (3.4 cm²)."""
+        return self.die_cost_usd * self.yield_fraction / self.cost_per_cm2
+
+
+#: The paper's exact Figure 3 anchors ($34, 8 $/cm², Y=0.8).
+PAPER_FIGURE3_ASSUMPTIONS = ConstantCostAssumptions()
+
+
+@dataclass(frozen=True)
+class ConstantCostPoint:
+    """One node of the Figure 3 series."""
+
+    node: RoadmapNode
+    sd_implied: float
+    sd_constant_cost: float
+
+    @property
+    def ratio(self) -> float:
+        """``s_d^ITRS / s_d^const-cost`` — Figure 3's plotted quantity."""
+        return self.sd_implied / self.sd_constant_cost
+
+    @property
+    def is_contradictory(self) -> bool:
+        """True when the roadmap density target cannot hold the die cost."""
+        return self.ratio > 1.0
+
+
+def constant_cost_sd(node: RoadmapNode,
+                     assumptions: ConstantCostAssumptions = PAPER_FIGURE3_ASSUMPTIONS) -> float:
+    """The ``s_d`` a node must achieve to hold the die cost (eq. 3 inverted).
+
+    ``s_d = A_max / (N_tr λ²)`` with ``A_max = C_ch·Y/C_sq``.
+    """
+    a_max = assumptions.affordable_die_area_cm2
+    n_tr = node.mpu_transistors_m * 1.0e6
+    return a_max / (n_tr * node.feature_cm**2)
+
+
+def constant_cost_series(nodes: list[RoadmapNode],
+                         assumptions: ConstantCostAssumptions = PAPER_FIGURE3_ASSUMPTIONS,
+                         ) -> list[ConstantCostPoint]:
+    """The full Figure 3 series over a node list (chronological)."""
+    points = []
+    for node in sorted(nodes, key=lambda n: n.year):
+        points.append(ConstantCostPoint(
+            node=node,
+            sd_implied=node.implied_sd(),
+            sd_constant_cost=constant_cost_sd(node, assumptions),
+        ))
+    return points

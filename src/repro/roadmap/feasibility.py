@@ -1,0 +1,82 @@
+"""Roadmap feasibility — confronting the industrial trend with the roadmap.
+
+The paper's core quantitative argument joins three curves:
+
+1. the **industrial trend** of logic ``s_d`` extracted from Table A1
+   (Figure 1) — rising as λ shrinks;
+2. the **roadmap-implied** ``s_d`` from ITRS density targets
+   (Figure 2) — falling;
+3. the **constant-die-cost** ``s_d`` (Figure 3) — falling faster.
+
+:func:`feasibility_report` extrapolates the fitted industrial trend to
+each roadmap node and reports the multiplicative *density gap* between
+where industry is heading and where the roadmap/economics require it to
+be — the quantified version of the paper's conclusion that "the
+observed trends must be changed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.records import RoadmapNode
+from ..data.registry import DesignRegistry
+from ..density.trends import sd_vs_feature_fit
+from .constant_cost import (
+    PAPER_FIGURE3_ASSUMPTIONS,
+    ConstantCostAssumptions,
+    constant_cost_sd,
+)
+
+__all__ = ["FeasibilityPoint", "feasibility_report"]
+
+
+@dataclass(frozen=True)
+class FeasibilityPoint:
+    """Industrial-vs-required density at one roadmap node."""
+
+    node: RoadmapNode
+    sd_industrial_trend: float
+    sd_roadmap_implied: float
+    sd_constant_cost: float
+
+    @property
+    def gap_vs_roadmap(self) -> float:
+        """Industrial trend / roadmap-implied ``s_d`` (>1 = industry too sparse)."""
+        return self.sd_industrial_trend / self.sd_roadmap_implied
+
+    @property
+    def gap_vs_constant_cost(self) -> float:
+        """Industrial trend / constant-cost ``s_d`` (>1 = die cost grows)."""
+        return self.sd_industrial_trend / self.sd_constant_cost
+
+    @property
+    def implied_die_cost_growth(self) -> float:
+        """Factor by which the die cost exceeds the 1999 anchor if industry
+        keeps its density trend (die cost scales linearly with ``s_d`` at
+        fixed ``N_tr``, ``λ``, ``C_sq``, ``Y``)."""
+        return self.gap_vs_constant_cost
+
+
+def feasibility_report(
+    registry: DesignRegistry,
+    nodes: list[RoadmapNode],
+    assumptions: ConstantCostAssumptions = PAPER_FIGURE3_ASSUMPTIONS,
+) -> list[FeasibilityPoint]:
+    """Join Figures 1-3 into a per-node feasibility table.
+
+    The industrial trend is the Table A1 power-law fit
+    ``s_d = c·λ^p`` (p < 0) evaluated at each node's feature size —
+    i.e. "what s_d will industry ship at this node if nothing changes".
+    """
+    fit = sd_vs_feature_fit(registry)
+    points = []
+    for node in sorted(nodes, key=lambda n: n.year):
+        sd_trend = float(fit.predict(node.feature_um))
+        points.append(FeasibilityPoint(
+            node=node,
+            sd_industrial_trend=sd_trend,
+            sd_roadmap_implied=node.implied_sd(),
+            sd_constant_cost=constant_cost_sd(node, assumptions),
+        ))
+    return points

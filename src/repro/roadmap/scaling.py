@@ -1,0 +1,131 @@
+"""Technology scaling laws — the cadence behind the ITRS trajectories.
+
+Utilities for generating and interpolating roadmap-style scaling
+sequences: the ×0.7-per-node linear shrink, the Moore's-law doubling of
+functions per chip, and continuous interpolation between the discrete
+ITRS nodes (used when an analysis needs a year the roadmap does not
+tabulate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.records import RoadmapNode
+from ..errors import DomainError
+from ..validation import check_positive
+
+__all__ = ["ScalingLaw", "MOORE_DOUBLING_MONTHS", "node_sequence", "interpolate_nodes"]
+
+#: Historical functions-per-chip doubling period the paper's era assumed.
+MOORE_DOUBLING_MONTHS = 18.0
+
+
+@dataclass(frozen=True)
+class ScalingLaw:
+    """An exponential scaling law ``value(year) = anchor · rate^(Δyear)``.
+
+    Attributes
+    ----------
+    anchor_year:
+        Year at which ``value = anchor_value``.
+    anchor_value:
+        Value at the anchor year.
+    annual_rate:
+        Multiplicative growth per year (e.g. 0.7^(1/3) ≈ 0.888 for the
+        linear shrink; 2^(12/18) ≈ 1.587 for 18-month doubling).
+    """
+
+    anchor_year: float
+    anchor_value: float
+    annual_rate: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.anchor_value, "anchor_value")
+        check_positive(self.annual_rate, "annual_rate")
+
+    def value(self, year):
+        """Evaluate the law at ``year`` (scalar or array)."""
+        dy = np.asarray(year, dtype=float) - self.anchor_year
+        result = self.anchor_value * self.annual_rate**dy
+        return result if np.ndim(year) else float(result)
+
+    def year_for_value(self, target):
+        """Invert the law: the year at which the target value is reached."""
+        target = check_positive(target, "target")
+        if self.annual_rate == 1.0:
+            raise DomainError("a flat law never reaches a different value")
+        return self.anchor_year + math.log(target / self.anchor_value) / math.log(self.annual_rate)
+
+    @classmethod
+    def feature_shrink(cls, anchor_year: float = 1999.0, anchor_nm: float = 180.0,
+                       shrink_per_node: float = 0.7, years_per_node: float = 3.0) -> "ScalingLaw":
+        """The ITRS linear-shrink law (×0.7 every 3 years by default)."""
+        return cls(anchor_year, anchor_nm, shrink_per_node ** (1.0 / years_per_node))
+
+    @classmethod
+    def moore_functions(cls, anchor_year: float = 1999.0, anchor_millions: float = 21.0,
+                        doubling_months: float = MOORE_DOUBLING_MONTHS) -> "ScalingLaw":
+        """Moore's-law functions-per-chip growth (18-month doubling)."""
+        return cls(anchor_year, anchor_millions, 2.0 ** (12.0 / doubling_months))
+
+
+def node_sequence(
+    start_year: int = 1999,
+    start_nm: float = 180.0,
+    n_nodes: int = 6,
+    years_per_node: int = 3,
+    shrink: float = 0.7,
+) -> list[tuple[int, float]]:
+    """Generate an ITRS-style ``(year, feature_nm)`` node calendar.
+
+    Feature sizes are rounded to the conventional "named node" values
+    (one decimal in nm terms).
+    """
+    if n_nodes < 1:
+        raise DomainError("n_nodes must be >= 1")
+    check_positive(start_nm, "start_nm")
+    if not 0 < shrink < 1:
+        raise DomainError(f"shrink must be in (0,1); got {shrink}")
+    out = []
+    nm = float(start_nm)
+    for i in range(n_nodes):
+        out.append((start_year + i * years_per_node, round(nm, 1)))
+        nm *= shrink
+    return out
+
+
+def interpolate_nodes(nodes: list[RoadmapNode], year: float) -> RoadmapNode:
+    """Geometric interpolation between tabulated roadmap nodes.
+
+    Feature size, transistor count and density are all exponential in
+    time, so interpolation is linear in log-space. ``year`` must lie
+    within the tabulated span.
+    """
+    if len(nodes) < 2:
+        raise DomainError("need at least two nodes to interpolate")
+    nodes = sorted(nodes, key=lambda n: n.year)
+    years = [n.year for n in nodes]
+    if not years[0] <= year <= years[-1]:
+        raise DomainError(f"year {year} outside roadmap span [{years[0]}, {years[-1]}]")
+    for left, right in zip(nodes, nodes[1:]):
+        if left.year <= year <= right.year:
+            if right.year == left.year:
+                return left
+            t = (year - left.year) / (right.year - left.year)
+
+            def geo(a: float, b: float) -> float:
+                return float(a * (b / a) ** t)
+
+            return RoadmapNode(
+                year=int(round(year)),
+                feature_nm=geo(left.feature_nm, right.feature_nm),
+                mpu_transistors_m=geo(left.mpu_transistors_m, right.mpu_transistors_m),
+                mpu_density_m_per_cm2=geo(left.mpu_density_m_per_cm2, right.mpu_density_m_per_cm2),
+                mpu_die_cost_usd=geo(left.mpu_die_cost_usd, right.mpu_die_cost_usd),
+                note=f"interpolated between {left.year} and {right.year}",
+            )
+    raise DomainError(f"year {year} not bracketed (internal error)")

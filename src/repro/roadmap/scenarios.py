@@ -1,0 +1,138 @@
+"""Roadmap scenarios — relaxing Figure 3's "very optimistic" assumptions.
+
+§2.2.3 is explicit: the cost contradiction "was demonstrated by using a
+very optimistic scenario i.e. assuming no increase in C_sq and no
+decrease in yield, [which] is highly unlikely". This module defines the
+scenario machinery to test that sentence: each scenario supplies
+per-node ``C_sq`` and ``Y`` trajectories, and the constant-cost
+analysis re-runs under it.
+
+Three named scenarios ship:
+
+* ``paper-optimistic`` — flat 8 $/cm², flat Y = 0.8 (the paper's own);
+* ``realistic`` — ``Cm_sq`` from the calibrated wafer-cost model
+  (silicon gets dearer per node), yield from the composite model at the
+  roadmap's implied die;
+* ``pessimistic`` — steeper wafer-cost growth and slow yield learning.
+
+The asserted result (``bench_ablation_scenarios``): every relaxation
+makes the contradiction *worse* — the ratio curve shifts up — so the
+paper's conclusion is robust in the direction it claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..data.records import RoadmapNode
+from ..errors import DomainError
+from ..wafer.cost import WaferCostModel
+from ..yieldmodels.composite import CompositeYield
+from .constant_cost import ConstantCostAssumptions, ConstantCostPoint, constant_cost_sd
+
+__all__ = ["Scenario", "scenario", "scenario_series", "SCENARIO_NAMES"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Per-node cost/yield assumptions for the Figure-3 analysis.
+
+    Attributes
+    ----------
+    name:
+        Scenario label.
+    cost_per_cm2:
+        ``node -> Cm_sq`` ($/cm²).
+    yield_fraction:
+        ``node -> Y`` in (0, 1].
+    die_cost_usd:
+        The constant die-cost anchor (the paper's $34).
+    """
+
+    name: str
+    cost_per_cm2: Callable[[RoadmapNode], float]
+    yield_fraction: Callable[[RoadmapNode], float]
+    die_cost_usd: float = 34.0
+
+    def assumptions_at(self, node: RoadmapNode) -> ConstantCostAssumptions:
+        """Materialise the per-node :class:`ConstantCostAssumptions`."""
+        return ConstantCostAssumptions(
+            die_cost_usd=self.die_cost_usd,
+            cost_per_cm2=float(self.cost_per_cm2(node)),
+            yield_fraction=float(self.yield_fraction(node)),
+        )
+
+
+def _paper_optimistic() -> Scenario:
+    return Scenario(
+        name="paper-optimistic",
+        cost_per_cm2=lambda node: 8.0,
+        yield_fraction=lambda node: 0.8,
+    )
+
+
+def _realistic() -> Scenario:
+    wafer_cost = WaferCostModel()
+    composite = CompositeYield()
+
+    def cm_sq(node: RoadmapNode) -> float:
+        # Mature, high-volume silicon at the node.
+        return float(wafer_cost.cost_per_cm2(node.feature_um))
+
+    def y(node: RoadmapNode) -> float:
+        # Yield of the roadmap's own implied die at the node, mature.
+        n_tr = node.mpu_transistors_m * 1e6
+        return float(composite(n_tr, node.implied_sd(), node.feature_um, 1e9))
+
+    return Scenario(name="realistic", cost_per_cm2=cm_sq, yield_fraction=y)
+
+
+def _pessimistic() -> Scenario:
+    wafer_cost = WaferCostModel(feature_exponent=1.3)
+    composite = CompositeYield()
+
+    def cm_sq(node: RoadmapNode) -> float:
+        return float(wafer_cost.cost_per_cm2(node.feature_um))
+
+    def y(node: RoadmapNode) -> float:
+        n_tr = node.mpu_transistors_m * 1e6
+        # Slow learning: only 20k cumulative wafers at each node.
+        return float(composite(n_tr, node.implied_sd(), node.feature_um, 2e4))
+
+    return Scenario(name="pessimistic", cost_per_cm2=cm_sq, yield_fraction=y)
+
+
+_FACTORIES = {
+    "paper-optimistic": _paper_optimistic,
+    "realistic": _realistic,
+    "pessimistic": _pessimistic,
+}
+
+SCENARIO_NAMES = tuple(_FACTORIES)
+
+
+def scenario(name: str) -> Scenario:
+    """Instantiate a named scenario.
+
+    >>> scenario("paper-optimistic").yield_fraction(None)
+    0.8
+    """
+    try:
+        return _FACTORIES[name]()
+    except KeyError as exc:
+        raise DomainError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}") from exc
+
+
+def scenario_series(nodes: list[RoadmapNode], scn: Scenario) -> list[ConstantCostPoint]:
+    """The Figure-3 series with per-node scenario assumptions."""
+    points = []
+    for node in sorted(nodes, key=lambda n: n.year):
+        assumptions = scn.assumptions_at(node)
+        points.append(ConstantCostPoint(
+            node=node,
+            sd_implied=node.implied_sd(),
+            sd_constant_cost=constant_cost_sd(node, assumptions),
+        ))
+    return points

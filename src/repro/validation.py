@@ -1,0 +1,115 @@
+"""Argument-domain validation helpers.
+
+Every analytic model in this library documents a mathematical domain
+(yields in ``(0, 1]``, feature sizes strictly positive, design
+sparseness above the full-custom bound, ...). These helpers centralise
+the checks so error messages are uniform and every model raises
+:class:`repro.errors.DomainError` — never a bare ``ValueError`` or, far
+worse, silently returns a negative cost.
+
+All checkers accept scalars or numpy arrays; for arrays the condition
+must hold element-wise. Each returns the validated value coerced to
+``float`` (scalars) or ``np.ndarray`` (arrays) so call sites can write
+``y = check_fraction(y, "Y")``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .errors import DomainError
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_fraction",
+    "check_open_fraction",
+    "check_in_range",
+    "check_positive_int",
+    "check_finite",
+]
+
+
+def _coerce(value, name: str):
+    """Coerce to float scalar or float ndarray, rejecting non-numerics."""
+    if np.ndim(value):
+        arr = np.asarray(value, dtype=float)
+        if not np.all(np.isfinite(arr)):
+            raise DomainError(f"{name} must be finite; got non-finite entries")
+        return arr
+    try:
+        out = float(value)
+    except (TypeError, ValueError) as exc:
+        raise DomainError(f"{name} must be a real number; got {value!r}") from exc
+    if not math.isfinite(out):
+        raise DomainError(f"{name} must be finite; got {out!r}")
+    return out
+
+
+def check_finite(value, name: str):
+    """Require ``value`` to be a finite real number (or array thereof)."""
+    return _coerce(value, name)
+
+
+def check_positive(value, name: str):
+    """Require ``value > 0`` element-wise."""
+    out = _coerce(value, name)
+    if np.any(np.asarray(out) <= 0):
+        raise DomainError(f"{name} must be > 0; got {value!r}")
+    return out
+
+
+def check_nonnegative(value, name: str):
+    """Require ``value >= 0`` element-wise."""
+    out = _coerce(value, name)
+    if np.any(np.asarray(out) < 0):
+        raise DomainError(f"{name} must be >= 0; got {value!r}")
+    return out
+
+
+def check_fraction(value, name: str):
+    """Require ``0 < value <= 1`` element-wise (yields, utilizations)."""
+    out = _coerce(value, name)
+    arr = np.asarray(out)
+    if np.any(arr <= 0) or np.any(arr > 1):
+        raise DomainError(f"{name} must lie in (0, 1]; got {value!r}")
+    return out
+
+
+def check_open_fraction(value, name: str):
+    """Require ``0 <= value < 1`` element-wise (defect clustering etc.)."""
+    out = _coerce(value, name)
+    arr = np.asarray(out)
+    if np.any(arr < 0) or np.any(arr >= 1):
+        raise DomainError(f"{name} must lie in [0, 1); got {value!r}")
+    return out
+
+
+def check_in_range(value, name: str, low: float, high: float, *, inclusive: bool = True):
+    """Require ``low <= value <= high`` (or strict if ``inclusive=False``)."""
+    out = _coerce(value, name)
+    arr = np.asarray(out)
+    if inclusive:
+        bad = np.any(arr < low) or np.any(arr > high)
+        bounds = f"[{low}, {high}]"
+    else:
+        bad = np.any(arr <= low) or np.any(arr >= high)
+        bounds = f"({low}, {high})"
+    if bad:
+        raise DomainError(f"{name} must lie in {bounds}; got {value!r}")
+    return out
+
+
+def check_positive_int(value, name: str) -> int:
+    """Require a strictly positive integer (wafer counts, transistor counts)."""
+    if isinstance(value, bool):
+        raise DomainError(f"{name} must be a positive integer; got a bool")
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError) as exc:
+        raise DomainError(f"{name} must be a positive integer; got {value!r}") from exc
+    if as_int != value or as_int <= 0:
+        raise DomainError(f"{name} must be a positive integer; got {value!r}")
+    return as_int

@@ -1,0 +1,147 @@
+"""Wafer manufacturing cost model — the ``Cm_sq(A_w, λ, N_w)`` of eq. (7).
+
+The paper's generalized model makes the per-cm² manufacturing cost a
+function of wafer diameter, minimum feature size, process maturity and,
+"first of all", volume, citing Maly/Jacobs/Kersch (IEDM-93) [30]. We do
+not have that proprietary cost breakdown, so this module substitutes a
+parameterized model with the same qualitative dependencies:
+
+* **feature size** — each linear shrink adds litho/process steps; cost
+  per cm² grows as ``(λ_ref/λ)^feature_exponent``;
+* **wafer size** — bigger wafers cost more per wafer but *less per
+  cm²* (equipment amortisation); captured by a mild negative area
+  exponent;
+* **volume** — fab fixed costs amortise over the wafer run; per-wafer
+  cost falls towards an asymptote as ``N_w`` grows;
+* **maturity** — an immature process spends more on metrology/rework;
+  cost falls towards 1× with a learning constant.
+
+The default parameters are anchored so a mature, high-volume 200 mm /
+0.18 µm process costs the paper's **8 $/cm²** (§2.2.3). All factors are
+exposed separately so benches can ablate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import check_fraction, check_nonnegative, check_positive
+from .specs import WAFER_200MM, WaferSpec
+
+__all__ = ["WaferCostModel", "DEFAULT_WAFER_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class WaferCostModel:
+    """Per-cm² wafer cost as a function of (wafer, λ, volume, maturity).
+
+    The model is multiplicative around a calibrated anchor point:
+
+        ``Cm_sq = base · f_feature(λ) · f_wafer(A_w) · f_volume(N_w) · f_maturity(m)``
+
+    Attributes
+    ----------
+    base_cost_per_cm2:
+        Cost at the anchor (reference wafer, reference λ, mature
+        process, asymptotic volume). Default 8 $/cm² — the paper's
+        §2.2.3 number.
+    reference_feature_um:
+        λ at which ``f_feature = 1``. Default 0.18 µm (the 1999 node).
+    feature_exponent:
+        Cost growth per linear shrink: ``f = (λ_ref/λ)^p``. Default 0.9
+        — roughly "cost per cm² doubles every two nodes", consistent
+        with the paper's warning that assuming *no* increase in
+        ``C_sq`` is "highly unlikely".
+    reference_wafer:
+        Wafer at which ``f_wafer = 1`` (default 200 mm).
+    wafer_area_exponent:
+        ``f_wafer = (A_w/A_ref)^q`` with small negative ``q`` (default
+        −0.1): 300 mm silicon is slightly cheaper per cm².
+    volume_overhead:
+        Extra cost fraction at a one-wafer run; decays as
+        ``1 + overhead/(1 + N_w/volume_scale)``. Default 1.5 (a pilot
+        run costs 2.5× per cm²).
+    volume_scale:
+        Wafer count at which half the volume overhead is amortised.
+        Default 2000 wafers.
+    maturity_overhead:
+        Extra cost fraction of a brand-new process (maturity 0).
+        Default 0.6.
+    """
+
+    base_cost_per_cm2: float = 8.0
+    reference_feature_um: float = 0.18
+    feature_exponent: float = 0.9
+    reference_wafer: WaferSpec = WAFER_200MM
+    wafer_area_exponent: float = -0.1
+    volume_overhead: float = 1.5
+    volume_scale: float = 2000.0
+    maturity_overhead: float = 0.6
+
+    def __post_init__(self) -> None:
+        check_positive(self.base_cost_per_cm2, "base_cost_per_cm2")
+        check_positive(self.reference_feature_um, "reference_feature_um")
+        check_nonnegative(self.feature_exponent, "feature_exponent")
+        check_nonnegative(self.volume_overhead, "volume_overhead")
+        check_positive(self.volume_scale, "volume_scale")
+        check_nonnegative(self.maturity_overhead, "maturity_overhead")
+
+    # -- individual factors -------------------------------------------------
+    def feature_factor(self, feature_um) -> float:
+        """Cost multiplier for feature size λ (1.0 at the reference λ)."""
+        feature_um = check_positive(feature_um, "feature_um")
+        return (self.reference_feature_um / feature_um) ** self.feature_exponent
+
+    def wafer_factor(self, wafer: WaferSpec) -> float:
+        """Cost multiplier for wafer format (1.0 at the reference wafer)."""
+        return (wafer.area_cm2 / self.reference_wafer.area_cm2) ** self.wafer_area_exponent
+
+    def volume_factor(self, n_wafers) -> float:
+        """Cost multiplier for run volume (→ 1.0 as ``N_w → ∞``)."""
+        n_wafers = check_positive(n_wafers, "n_wafers")
+        return 1.0 + self.volume_overhead / (1.0 + np.asarray(n_wafers, dtype=float) / self.volume_scale)
+
+    def maturity_factor(self, maturity) -> float:
+        """Cost multiplier for process maturity ∈ (0, 1] (1.0 when mature)."""
+        maturity = check_fraction(maturity, "maturity")
+        return 1.0 + self.maturity_overhead * (1.0 - maturity)
+
+    # -- composite -----------------------------------------------------------
+    def cost_per_cm2(
+        self,
+        feature_um: float,
+        wafer: WaferSpec | None = None,
+        n_wafers: float = 1.0e9,
+        maturity: float = 1.0,
+    ):
+        """``Cm_sq`` in $/cm² for the given operating point.
+
+        Defaults reproduce the paper's optimistic scenario: mature
+        process, asymptotic volume, 200 mm wafers — 8 $/cm² at 0.18 µm.
+        """
+        wafer = wafer if wafer is not None else self.reference_wafer
+        value = (
+            self.base_cost_per_cm2
+            * self.feature_factor(feature_um)
+            * self.wafer_factor(wafer)
+            * self.volume_factor(n_wafers)
+            * self.maturity_factor(maturity)
+        )
+        return value if np.ndim(value) else float(value)
+
+    def wafer_cost(
+        self,
+        feature_um: float,
+        wafer: WaferSpec | None = None,
+        n_wafers: float = 1.0e9,
+        maturity: float = 1.0,
+    ) -> float:
+        """Cost of one fully processed wafer, ``C_w = Cm_sq · A_w`` ($)."""
+        wafer = wafer if wafer is not None else self.reference_wafer
+        return float(self.cost_per_cm2(feature_um, wafer, n_wafers, maturity) * wafer.area_cm2)
+
+
+#: Model instance anchored to the paper's 8 $/cm² at 0.18 µm / 200 mm.
+DEFAULT_WAFER_COST_MODEL = WaferCostModel()

@@ -1,0 +1,154 @@
+"""Die-per-wafer geometry — the ``N_ch`` of eq. (1).
+
+Eq. (1) prices a transistor as ``C_w / (N_tr · N_ch · Y)``; ``N_ch`` is
+the number of chip sites on the wafer. This module provides three
+estimators, in increasing fidelity:
+
+* :func:`gross_die_area_ratio` — the zeroth-order ``A_usable/A_die``;
+* :func:`gross_die_classic` — the classic analytic correction
+  ``π r²/A − π d/√(2A)`` that accounts for edge loss;
+* :func:`gross_die_exact` — an exact grid placement: counts the
+  rectangular sites (die + scribe) whose four corners all fall inside
+  the usable disc, maximising over grid offsets.
+
+The exact count matters at the paper's die sizes: a 3.4 cm² die on a
+200 mm wafer loses ~15 % of the naive sites to the disc boundary.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import DomainError
+from ..validation import check_positive
+from .specs import WaferSpec
+
+__all__ = [
+    "gross_die_area_ratio",
+    "gross_die_classic",
+    "gross_die_exact",
+    "gross_die_per_wafer",
+    "die_dimensions_cm",
+]
+
+
+def die_dimensions_cm(die_area_cm2: float, aspect_ratio: float = 1.0) -> tuple[float, float]:
+    """Width and height (cm) of a rectangular die of given area.
+
+    ``aspect_ratio`` is width/height; 1.0 gives a square die, the usual
+    assumption when only the area is published (as in Table A1).
+    """
+    die_area_cm2 = check_positive(die_area_cm2, "die_area_cm2")
+    aspect_ratio = check_positive(aspect_ratio, "aspect_ratio")
+    height = math.sqrt(die_area_cm2 / aspect_ratio)
+    return aspect_ratio * height, height
+
+
+def gross_die_area_ratio(wafer: WaferSpec, die_area_cm2: float) -> float:
+    """Zeroth-order site count ``A_usable / A_die`` (no edge correction)."""
+    die_area_cm2 = check_positive(die_area_cm2, "die_area_cm2")
+    return wafer.usable_area_cm2 / die_area_cm2
+
+
+def gross_die_classic(wafer: WaferSpec, die_area_cm2: float) -> float:
+    """Classic analytic gross-die estimate.
+
+    The widely used first-order edge correction:
+
+        ``DPW = π r²/A − π·(2r)/√(2A)``
+
+    with ``r`` the usable radius and ``A`` the die area. Accurate to a
+    few per cent for dice much smaller than the wafer.
+    """
+    die_area_cm2 = check_positive(die_area_cm2, "die_area_cm2")
+    r = wafer.usable_radius_cm
+    estimate = math.pi * r**2 / die_area_cm2 - math.pi * (2 * r) / math.sqrt(2 * die_area_cm2)
+    return max(estimate, 0.0)
+
+
+def gross_die_exact(
+    wafer: WaferSpec,
+    die_area_cm2: float,
+    aspect_ratio: float = 1.0,
+    offsets: int = 8,
+) -> int:
+    """Exact grid-placement gross die count.
+
+    Dice (plus scribe lanes) are stepped on a regular grid; a site
+    counts when all four corners lie within the usable disc. The grid
+    origin is swept over ``offsets × offsets`` sub-pitch positions and
+    the best placement is returned, which is how steppers are actually
+    programmed.
+
+    Parameters
+    ----------
+    wafer:
+        Wafer format (supplies usable radius and scribe width).
+    die_area_cm2:
+        Die area in cm².
+    aspect_ratio:
+        Die width/height (default square).
+    offsets:
+        Sub-pitch offset grid resolution per axis.
+
+    Raises
+    ------
+    DomainError
+        If the die (with scribe) cannot fit on the usable disc at all.
+    """
+    die_w, die_h = die_dimensions_cm(die_area_cm2, aspect_ratio)
+    scribe = wafer.scribe_mm / 10.0  # mm -> cm
+    pitch_x = die_w + scribe
+    pitch_y = die_h + scribe
+    r = wafer.usable_radius_cm
+    if math.hypot(pitch_x, pitch_y) / 2.0 > r:
+        raise DomainError(
+            f"die of {die_area_cm2} cm^2 (pitch {pitch_x:.2f}x{pitch_y:.2f} cm) "
+            f"does not fit on wafer {wafer.name}"
+        )
+    if offsets < 1:
+        raise DomainError("offsets must be >= 1")
+
+    n_x = int(math.ceil(2 * r / pitch_x)) + 2
+    n_y = int(math.ceil(2 * r / pitch_y)) + 2
+    ix = np.arange(-n_x, n_x + 1)
+    iy = np.arange(-n_y, n_y + 1)
+    gx, gy = np.meshgrid(ix * pitch_x, iy * pitch_y, indexing="ij")
+
+    best = 0
+    r2 = r * r
+    for ox in np.linspace(0.0, pitch_x, offsets, endpoint=False):
+        for oy in np.linspace(0.0, pitch_y, offsets, endpoint=False):
+            x0 = gx + ox
+            y0 = gy + oy
+            x1 = x0 + pitch_x
+            y1 = y0 + pitch_y
+            # all four corners inside the disc <=> the farthest corner is
+            far_x = np.maximum(np.abs(x0), np.abs(x1))
+            far_y = np.maximum(np.abs(y0), np.abs(y1))
+            inside = far_x**2 + far_y**2 <= r2
+            count = int(np.count_nonzero(inside))
+            if count > best:
+                best = count
+    return best
+
+
+def gross_die_per_wafer(
+    wafer: WaferSpec,
+    die_area_cm2: float,
+    method: str = "exact",
+    aspect_ratio: float = 1.0,
+) -> float:
+    """Gross die per wafer by the chosen method.
+
+    ``method`` is ``"exact"`` (default), ``"classic"`` or ``"ratio"``.
+    """
+    if method == "exact":
+        return float(gross_die_exact(wafer, die_area_cm2, aspect_ratio))
+    if method == "classic":
+        return gross_die_classic(wafer, die_area_cm2)
+    if method == "ratio":
+        return gross_die_area_ratio(wafer, die_area_cm2)
+    raise DomainError(f"unknown gross-die method {method!r}; use exact/classic/ratio")

@@ -1,0 +1,83 @@
+"""Yield learning — the volume/maturity dependence of ``Y`` in eq. (7).
+
+A new process starts with an elevated defect density that falls as
+wafers flow and excursions are root-caused ("yield learning", ref
+[34]). The paper folds this into eq. (7) by making ``Y`` a function of
+the wafer volume ``N_w``. We model the defect-density *multiplier*
+over the mature baseline as an exponential learning curve in cumulative
+wafer count:
+
+    ``m(N_w) = 1 + (initial_multiplier − 1) · exp(−N_w / learning_wafers)``
+
+so a pilot run (``N_w → 0``) sees ``initial_multiplier ×`` the mature
+defect density and a ramped fab (``N_w ≫ learning_wafers``) sees 1×.
+This couples the paper's two volume effects: low-volume products pay
+both a design-cost amortisation penalty (eq. 5) *and* an immature-yield
+penalty (eq. 7).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..validation import check_positive
+
+__all__ = ["YieldLearningCurve", "DEFAULT_LEARNING_CURVE"]
+
+
+@dataclass(frozen=True)
+class YieldLearningCurve:
+    """Exponential defect-density learning curve.
+
+    Attributes
+    ----------
+    initial_multiplier:
+        Defect-density multiple at process bring-up (≥ 1). Default 3.0.
+    learning_wafers:
+        e-folding wafer volume of the learning process. Default 10 000.
+    """
+
+    initial_multiplier: float = 3.0
+    learning_wafers: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        m = check_positive(self.initial_multiplier, "initial_multiplier")
+        if m < 1.0:
+            raise ValueError(f"initial_multiplier must be >= 1; got {m}")
+        check_positive(self.learning_wafers, "learning_wafers")
+
+    def multiplier(self, cumulative_wafers):
+        """Defect-density multiplier after ``cumulative_wafers`` have run."""
+        n = np.asarray(cumulative_wafers, dtype=float)
+        if np.any(n < 0):
+            raise ValueError(f"cumulative_wafers must be >= 0; got {cumulative_wafers!r}")
+        result = 1.0 + (self.initial_multiplier - 1.0) * np.exp(-n / self.learning_wafers)
+        return result if np.ndim(cumulative_wafers) else float(result)
+
+    def maturity(self, cumulative_wafers) -> float:
+        """Maturity fraction in (0, 1]: 1 = fully learned.
+
+        Defined so that ``multiplier = 1 + (m0−1)·(1−maturity)``; useful
+        as the ``maturity`` argument of
+        :class:`repro.wafer.cost.WaferCostModel`.
+        """
+        n = np.asarray(cumulative_wafers, dtype=float)
+        result = 1.0 - np.exp(-n / self.learning_wafers)
+        # Keep strictly positive so downstream (0,1] validators accept it.
+        result = np.maximum(result, 1e-12)
+        return result if np.ndim(cumulative_wafers) else float(result)
+
+    def wafers_to_reach_multiplier(self, target_multiplier: float) -> float:
+        """Cumulative wafers needed to bring the multiplier down to target."""
+        target = check_positive(target_multiplier, "target_multiplier")
+        if not 1.0 < target <= self.initial_multiplier:
+            raise ValueError(
+                f"target_multiplier must lie in (1, {self.initial_multiplier}]; got {target}"
+            )
+        return -self.learning_wafers * math.log((target - 1.0) / (self.initial_multiplier - 1.0))
+
+
+DEFAULT_LEARNING_CURVE = YieldLearningCurve()

@@ -1,0 +1,197 @@
+"""Classic defect-limited yield models.
+
+Eq. (1) of the paper divides by the manufacturing yield ``Y``; eq. (7)
+promotes ``Y`` to a function of wafer, feature size, volume, design
+density and transistor count, citing the DSM yield-modeling line of
+work ([31], [32], [34]). This module implements the canonical
+random-defect yield models, all parameterized by the **fault density ×
+area product** ``A·D`` (expected fault count per die):
+
+========================  ====================================================
+Model                     ``Y(A·D)``
+========================  ====================================================
+Poisson                   ``exp(−A·D)``
+Murphy (triangular)       ``((1 − e^{−A·D})/(A·D))²``
+Seeds (exponential)       ``1/(1 + A·D)``
+Negative binomial         ``(1 + A·D/α)^{−α}`` (clustering parameter α)
+Bose–Einstein (n steps)   ``(1 + A·D/n)^{−n}`` — NB with α = process steps
+========================  ====================================================
+
+All models agree to first order (``Y ≈ 1 − A·D``) for small ``A·D`` and
+order as ``Poisson ≤ Murphy ≤ NB(α) ≤ Seeds`` for the same ``A·D``
+(Seeds assumes maximal clustering, Poisson none). Negative binomial
+with α ≈ 2 is the DSM-era industry standard.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DomainError
+from ..validation import check_fraction, check_nonnegative, check_positive
+
+__all__ = [
+    "YieldModel",
+    "PoissonYield",
+    "MurphyYield",
+    "SeedsYield",
+    "NegativeBinomialYield",
+    "bose_einstein",
+    "yield_model",
+]
+
+
+class YieldModel(ABC):
+    """A random-defect yield model ``Y = f(A·D)``.
+
+    Subclasses implement :meth:`yield_from_faults`; the base class
+    provides area/defect-density plumbing and inversion helpers.
+    """
+
+    #: Short name used by :func:`yield_model` and reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def yield_from_faults(self, faults):
+        """Yield for an expected per-die fault count ``A·D`` (≥ 0)."""
+
+    def __call__(self, area_cm2, defect_density_per_cm2):
+        """Yield of a die of ``area_cm2`` at fault density ``D`` (/cm²)."""
+        area_cm2 = check_positive(area_cm2, "area_cm2")
+        d = check_nonnegative(defect_density_per_cm2, "defect_density_per_cm2")
+        return self.yield_from_faults(np.multiply(area_cm2, d))
+
+    def max_area_for_yield(self, target_yield: float, defect_density_per_cm2: float,
+                           tol: float = 1e-10) -> float:
+        """Largest die area (cm²) that still achieves ``target_yield``.
+
+        Inverts the (strictly decreasing) model by bisection.
+        """
+        target_yield = check_fraction(target_yield, "target_yield")
+        d = check_positive(defect_density_per_cm2, "defect_density_per_cm2")
+        if target_yield == 1.0:
+            return 0.0
+        lo, hi = 0.0, 1.0
+        while float(self.yield_from_faults(hi * d)) > target_yield:
+            hi *= 2.0
+            if hi > 1e9:
+                raise DomainError("target yield unreachable (model never drops that low)")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if float(self.yield_from_faults(mid * d)) > target_yield:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tol * max(hi, 1.0):
+                break
+        return 0.5 * (lo + hi)
+
+    def defect_density_for_yield(self, target_yield: float, area_cm2: float) -> float:
+        """Fault density (/cm²) at which a die of ``area_cm2`` yields ``target_yield``."""
+        area_cm2 = check_positive(area_cm2, "area_cm2")
+        # Reuse the area inversion: faults = A*D is the only argument.
+        faults = self.max_area_for_yield(target_yield, 1.0)
+        return faults / area_cm2
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True, repr=False)
+class PoissonYield(YieldModel):
+    """``Y = exp(−A·D)`` — independent (unclustered) defects."""
+
+    name = "poisson"
+
+    def yield_from_faults(self, faults):
+        faults = check_nonnegative(faults, "faults")
+        return np.exp(-np.asarray(faults)) if np.ndim(faults) else math.exp(-faults)
+
+
+@dataclass(frozen=True, repr=False)
+class MurphyYield(YieldModel):
+    """Murphy's triangular-distribution model ``Y = ((1−e^{−AD})/(AD))²``."""
+
+    name = "murphy"
+
+    def yield_from_faults(self, faults):
+        faults = check_nonnegative(faults, "faults")
+        arr = np.asarray(faults, dtype=float)
+        out = np.ones_like(arr)
+        nz = arr > 0
+        # expm1 keeps (1 - e^-x)/x accurate (-> 1) for tiny x.
+        out[nz] = (-np.expm1(-arr[nz]) / arr[nz]) ** 2
+        return out if np.ndim(faults) else float(out)
+
+
+@dataclass(frozen=True, repr=False)
+class SeedsYield(YieldModel):
+    """Seeds' exponential-distribution model ``Y = 1/(1 + A·D)``."""
+
+    name = "seeds"
+
+    def yield_from_faults(self, faults):
+        faults = check_nonnegative(faults, "faults")
+        result = 1.0 / (1.0 + np.asarray(faults, dtype=float))
+        return result if np.ndim(faults) else float(result)
+
+
+@dataclass(frozen=True, repr=False)
+class NegativeBinomialYield(YieldModel):
+    """Negative-binomial model ``Y = (1 + A·D/α)^{−α}``.
+
+    ``alpha`` is the defect clustering parameter: α → ∞ recovers
+    Poisson, α = 1 recovers Seeds. DSM practice uses α ≈ 1.5-3.
+    """
+
+    alpha: float = 2.0
+    name = "negbinomial"
+
+    def __post_init__(self) -> None:
+        check_positive(self.alpha, "alpha")
+
+    def yield_from_faults(self, faults):
+        faults = check_nonnegative(faults, "faults")
+        result = (1.0 + np.asarray(faults, dtype=float) / self.alpha) ** (-self.alpha)
+        return result if np.ndim(faults) else float(result)
+
+    def __repr__(self) -> str:
+        return f"NegativeBinomialYield(alpha={self.alpha})"
+
+
+def bose_einstein(n_critical_steps: int) -> NegativeBinomialYield:
+    """Bose–Einstein multi-step model: NB with α = number of critical layers.
+
+    Models each of ``n_critical_steps`` mask levels as an independent
+    Seeds stage with an equal share of the fault density.
+    """
+    if n_critical_steps < 1:
+        raise DomainError(f"n_critical_steps must be >= 1; got {n_critical_steps}")
+    return NegativeBinomialYield(alpha=float(n_critical_steps))
+
+
+_REGISTRY = {
+    "poisson": PoissonYield,
+    "murphy": MurphyYield,
+    "seeds": SeedsYield,
+    "negbinomial": NegativeBinomialYield,
+}
+
+
+def yield_model(name: str, **kwargs) -> YieldModel:
+    """Instantiate a yield model by name.
+
+    >>> yield_model("negbinomial", alpha=1.5)
+    NegativeBinomialYield(alpha=1.5)
+    """
+    try:
+        cls = _REGISTRY[name.strip().lower()]
+    except (KeyError, AttributeError) as exc:
+        raise DomainError(
+            f"unknown yield model {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from exc
+    return cls(**kwargs)

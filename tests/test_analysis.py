@@ -1,0 +1,172 @@
+"""Regression and statistics helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bootstrap_ci,
+    geometric_mean,
+    linear_fit,
+    loglog_fit,
+    semilog_fit,
+    spearman_rho,
+    summarize,
+)
+from repro.errors import DomainError
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.arange(10.0)
+        fit = linear_fit(x, 3.0 + 2.0 * x)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1, 2], [1, 3, 5])
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_stderr_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        x_small = np.arange(10.0)
+        x_big = np.arange(1000.0) / 100
+        f_small = linear_fit(x_small, x_small + rng.normal(0, 1, 10))
+        f_big = linear_fit(x_big, x_big + rng.normal(0, 1, 1000))
+        assert f_big.stderr_slope < f_small.stderr_slope
+
+    def test_confidence_interval_brackets_slope(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 10, 200)
+        fit = linear_fit(x, 2 * x + rng.normal(0, 0.5, 200))
+        lo, hi = fit.slope_confidence_interval()
+        assert lo < 2.0 < hi
+
+    def test_nan_points_dropped(self):
+        fit = linear_fit([0, 1, 2, np.nan], [1, 3, 5, 100])
+        assert fit.n == 3
+        assert fit.slope == pytest.approx(2.0)
+
+    def test_degenerate_x_raises(self):
+        with pytest.raises(DomainError, match="identical"):
+            linear_fit([1, 1, 1], [1, 2, 3])
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(DomainError):
+            linear_fit([1], [1])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(DomainError):
+            linear_fit([1, 2], [1])
+
+
+class TestLogLogFit:
+    def test_exact_power_law(self):
+        x = np.geomspace(0.1, 10, 20)
+        fit = loglog_fit(x, 5.0 * x**-1.7)
+        assert fit.slope == pytest.approx(-1.7)
+        assert fit.amplitude == pytest.approx(5.0)
+
+    def test_predict_in_original_space(self):
+        x = np.geomspace(1, 100, 10)
+        fit = loglog_fit(x, 2.0 * x**0.5)
+        assert fit.predict(25.0) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DomainError):
+            loglog_fit([1.0, -2.0], [1.0, 2.0])
+
+
+class TestSemilogFit:
+    def test_exact_exponential(self):
+        x = np.arange(1990, 2010, dtype=float)
+        fit = semilog_fit(x, 3.0 * np.exp(0.2 * (x - 1990)))
+        assert fit.slope == pytest.approx(0.2)
+
+    def test_predict(self):
+        x = np.arange(0.0, 10.0)
+        fit = semilog_fit(x, np.exp(x))
+        assert fit.predict(5.0) == pytest.approx(np.exp(5.0), rel=1e-9)
+
+    def test_rejects_nonpositive_y(self):
+        with pytest.raises(DomainError):
+            semilog_fit([0, 1], [1.0, 0.0])
+
+    def test_unknown_space_rejected_in_predict(self):
+        from repro.analysis import FitResult
+        bad = FitResult(0, 0, 0, 0, 1, 2, space="banana")
+        with pytest.raises(DomainError):
+            bad.predict(1.0)
+
+
+class TestSummary:
+    def test_known_values(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.median == 3.0
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+        assert s.iqr() == pytest.approx(2.0)
+
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+
+    def test_nan_dropped(self):
+        assert summarize([1.0, np.nan, 3.0]).n == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(DomainError):
+            summarize([])
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DomainError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestBootstrap:
+    def test_brackets_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(10, 1, 500)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < 10 < hi
+        assert hi - lo < 0.5
+
+    def test_deterministic_with_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(data, seed=5) == bootstrap_ci(data, seed=5)
+
+    def test_custom_statistic(self):
+        data = np.arange(100.0)
+        lo, hi = bootstrap_ci(data, statistic=np.median, seed=2)
+        assert lo < 49.5 < hi
+
+    def test_alpha_validated(self):
+        with pytest.raises(DomainError):
+            bootstrap_ci([1.0, 2.0], alpha=0.0)
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman_rho([1, 2, 3, 4], [10, 100, 1000, 10000]) == pytest.approx(1.0)
+
+    def test_perfect_inverse(self):
+        assert spearman_rho([1, 2, 3, 4], [4, 3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_ties_handled(self):
+        rho = spearman_rho([1, 2, 2, 3], [1, 2, 2, 3])
+        assert rho == pytest.approx(1.0)
+
+    def test_needs_three_points(self):
+        with pytest.raises(DomainError):
+            spearman_rho([1, 2], [1, 2])
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(DomainError):
+            spearman_rho([1, 1, 1], [1, 2, 3])

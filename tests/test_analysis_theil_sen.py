@@ -1,0 +1,58 @@
+"""Theil–Sen robust fit tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import linear_fit, theil_sen_fit
+from repro.data import DesignRegistry
+from repro.density import extract_points
+from repro.errors import DomainError
+
+
+class TestTheilSen:
+    def test_exact_line(self):
+        x = np.arange(20.0)
+        fit = theil_sen_fit(x, 3.0 + 2.0 * x)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(3.0)
+
+    def test_robust_to_outliers(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 50)
+        y = 2.0 * x + 1.0 + rng.normal(0, 0.1, 50)
+        y[:5] += 100.0  # five wild points
+        robust = theil_sen_fit(x, y)
+        ols = linear_fit(x, y)
+        assert robust.slope == pytest.approx(2.0, abs=0.1)
+        assert abs(ols.slope - 2.0) > abs(robust.slope - 2.0)
+
+    def test_stderr_is_nan(self):
+        fit = theil_sen_fit([0, 1, 2], [0, 1, 2])
+        assert np.isnan(fit.stderr_slope)
+
+    def test_predict_works(self):
+        fit = theil_sen_fit([0, 1, 2, 3], [1, 3, 5, 7])
+        assert fit.predict(10) == pytest.approx(21.0)
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(DomainError):
+            theil_sen_fit([1], [1])
+        with pytest.raises(DomainError):
+            theil_sen_fit([2, 2, 2], [1, 2, 3])
+
+    def test_nan_dropped(self):
+        fit = theil_sen_fit([0, 1, 2, np.nan], [0, 2, 4, 100])
+        assert fit.n == 3
+        assert fit.slope == pytest.approx(2.0)
+
+    def test_figure1_trend_direction_agrees_with_ols(self):
+        # On the real Table A1 log-log data the robust and OLS slopes
+        # agree in sign: the rising-sparseness trend is not an outlier
+        # artifact.
+        points = extract_points(DesignRegistry.table_a1())
+        logx = np.log([p.feature_um for p in points])
+        logy = np.log([p.sd_logic for p in points])
+        robust = theil_sen_fit(logx, logy)
+        ols = linear_fit(logx, logy)
+        assert robust.slope < 0
+        assert ols.slope < 0

@@ -1,0 +1,98 @@
+"""Eq.-(6) design-cost model tests."""
+
+import numpy as np
+import pytest
+
+from repro.cost import DesignCostModel, PAPER_DESIGN_COST_MODEL
+from repro.errors import DomainError
+
+
+class TestPaperConstants:
+    def test_published_values(self):
+        m = PAPER_DESIGN_COST_MODEL
+        assert (m.a0, m.p1, m.p2, m.sd0) == (1000.0, 1.0, 1.2, 100.0)
+
+    def test_figure4_workload_magnitude(self):
+        # N_tr=10M at sd=200: 1000*1e7/100^1.2 ~ $4e7 — design-team scale.
+        cost = PAPER_DESIGN_COST_MODEL.cost(1e7, 200)
+        assert 3e7 < cost < 5e7
+
+    def test_closed_form(self):
+        m = PAPER_DESIGN_COST_MODEL
+        assert m.cost(1e7, 200) == pytest.approx(1000.0 * 1e7 / 100**1.2)
+
+
+class TestDomain:
+    def test_sd_at_bound_rejected(self):
+        with pytest.raises(DomainError, match="full-custom bound"):
+            PAPER_DESIGN_COST_MODEL.cost(1e7, 100.0)
+
+    def test_sd_below_bound_rejected(self):
+        with pytest.raises(DomainError):
+            PAPER_DESIGN_COST_MODEL.cost(1e7, 50.0)
+
+    def test_array_with_bad_element_rejected(self):
+        with pytest.raises(DomainError):
+            PAPER_DESIGN_COST_MODEL.cost(1e7, np.array([150.0, 90.0]))
+
+    def test_margin_positive(self):
+        assert PAPER_DESIGN_COST_MODEL.margin(150) == pytest.approx(50.0)
+
+    def test_constructor_validates(self):
+        with pytest.raises(DomainError):
+            DesignCostModel(a0=-1.0)
+        with pytest.raises(DomainError):
+            DesignCostModel(p2=0.0)
+
+
+class TestShape:
+    def test_diverges_towards_bound(self):
+        m = PAPER_DESIGN_COST_MODEL
+        assert m.cost(1e7, 101) > 100 * m.cost(1e7, 500)
+
+    def test_monotone_decreasing_in_sd(self):
+        m = PAPER_DESIGN_COST_MODEL
+        sd = np.linspace(110, 1000, 50)
+        costs = m.cost(1e7, sd)
+        assert np.all(np.diff(costs) < 0)
+
+    def test_linear_in_n_tr_with_p1_one(self):
+        m = PAPER_DESIGN_COST_MODEL
+        assert m.cost(2e7, 300) == pytest.approx(2 * m.cost(1e7, 300))
+
+    def test_p1_exponent_respected(self):
+        m = DesignCostModel(p1=0.5)
+        assert m.cost(4e6, 300) == pytest.approx(2 * m.cost(1e6, 300))
+
+    def test_p2_exponent_respected(self):
+        m = DesignCostModel(p2=2.0)
+        # margin 100 -> 200 halves... cost scales (1/2)^2.
+        assert m.cost(1e7, 300) == pytest.approx(m.cost(1e7, 200) / 4)
+
+
+class TestMarginalCost:
+    def test_always_negative(self):
+        m = PAPER_DESIGN_COST_MODEL
+        for sd in (110, 200, 500, 900):
+            assert m.marginal_cost_wrt_sd(1e7, sd) < 0
+
+    def test_matches_finite_difference(self):
+        m = PAPER_DESIGN_COST_MODEL
+        sd, h = 300.0, 1e-4
+        fd = (m.cost(1e7, sd + h) - m.cost(1e7, sd - h)) / (2 * h)
+        assert m.marginal_cost_wrt_sd(1e7, sd) == pytest.approx(fd, rel=1e-6)
+
+
+class TestBudgetInversion:
+    def test_round_trip(self):
+        m = PAPER_DESIGN_COST_MODEL
+        sd = m.sd_for_budget(1e7, 4e7)
+        assert m.cost(1e7, sd) == pytest.approx(4e7, rel=1e-12)
+
+    def test_bigger_budget_denser_design(self):
+        m = PAPER_DESIGN_COST_MODEL
+        assert m.sd_for_budget(1e7, 1e8) < m.sd_for_budget(1e7, 1e7)
+
+    def test_result_always_above_bound(self):
+        m = PAPER_DESIGN_COST_MODEL
+        assert m.sd_for_budget(1e7, 1e12) > m.sd0

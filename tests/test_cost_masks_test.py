@@ -1,0 +1,99 @@
+"""Mask-set cost (C_MA of eq. 5) and test-cost (§2.5) model tests."""
+
+import pytest
+
+from repro.cost import (
+    DEFAULT_MASK_COST_MODEL,
+    DEFAULT_TEST_COST_MODEL,
+    MaskSetCostModel,
+    TestCostModel,
+    layer_count_estimate,
+)
+from repro.errors import DomainError
+
+
+class TestLayerCount:
+    def test_anchor_generation(self):
+        assert layer_count_estimate(0.6) == 18
+
+    def test_grows_with_shrink(self):
+        assert layer_count_estimate(0.13) > layer_count_estimate(0.25) > layer_count_estimate(0.5)
+
+    def test_no_extrapolation_above_anchor(self):
+        assert layer_count_estimate(1.5) == 18
+
+    def test_rejects_zero(self):
+        with pytest.raises(DomainError):
+            layer_count_estimate(0.0)
+
+
+class TestMaskSetCost:
+    def test_anchor_cost(self):
+        cost = DEFAULT_MASK_COST_MODEL.cost(0.18, n_layers=24)
+        assert cost == pytest.approx(1.0e6)
+
+    def test_doubles_per_node(self):
+        m = DEFAULT_MASK_COST_MODEL
+        # x0.7 shrink with exponent 2 -> 1/0.49 ~ 2.04x.
+        ratio = m.cost(0.126, n_layers=24) / m.cost(0.18, n_layers=24)
+        assert ratio == pytest.approx((0.18 / 0.126) ** 2)
+
+    def test_nanometer_era_multi_million(self):
+        # The "high-cost era" claim: 35 nm-class masks are many $M.
+        assert DEFAULT_MASK_COST_MODEL.cost(0.05) > 5e6
+
+    def test_layers_scale_linearly(self):
+        m = DEFAULT_MASK_COST_MODEL
+        assert m.cost(0.18, n_layers=48) == pytest.approx(2 * m.cost(0.18, n_layers=24))
+
+    def test_default_layers_from_estimate(self):
+        m = DEFAULT_MASK_COST_MODEL
+        assert m.cost(0.18) == pytest.approx(
+            m.cost(0.18, n_layers=layer_count_estimate(0.18)))
+
+    def test_respins_multiply(self):
+        m = DEFAULT_MASK_COST_MODEL
+        assert m.respins_cost(0.18, 2, n_layers=24) == pytest.approx(3e6)
+
+    def test_negative_respins_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_MASK_COST_MODEL.respins_cost(0.18, -1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(DomainError):
+            MaskSetCostModel(anchor_cost_usd=0.0)
+
+
+class TestTestCost:
+    def test_time_scales_with_transistors(self):
+        m = DEFAULT_TEST_COST_MODEL
+        assert m.test_seconds_per_die(2e7) == pytest.approx(
+            2 * m.test_seconds_per_die(1e7))
+
+    def test_cost_per_die_includes_handling(self):
+        m = TestCostModel(seconds_per_mtransistor=0.0, handling_usd_per_die=0.05)
+        assert m.cost_per_die(1e7) == pytest.approx(0.05)
+
+    def test_cost_per_die_known_value(self):
+        m = TestCostModel(seconds_per_mtransistor=0.36, tester_rate_usd_per_hour=3600.0,
+                          handling_usd_per_die=0.0)
+        # 10 Mtx -> 3.6 s at $1/s.
+        assert m.cost_per_die(1e7) == pytest.approx(3.6)
+
+    def test_per_cm2_denser_is_costlier(self):
+        # Denser silicon carries more logic to exercise per cm^2.
+        m = DEFAULT_TEST_COST_MODEL
+        assert m.cost_per_cm2(150, 0.18, 1e7) > m.cost_per_cm2(600, 0.18, 1e7)
+
+    def test_per_cm2_consistent_with_per_die(self):
+        m = DEFAULT_TEST_COST_MODEL
+        sd, lam, n = 300.0, 0.18, 1e7
+        area = n * sd * (lam * 1e-4) ** 2
+        assert m.cost_per_cm2(sd, lam, n) * area == pytest.approx(
+            m.cost_per_die(n), rel=1e-9)
+
+    def test_magnitude_well_below_silicon_cost(self):
+        # Test adds cents/cm^2-scale cost, not dollars — a correction
+        # term, as §2.5's "easily included" framing implies.
+        m = DEFAULT_TEST_COST_MODEL
+        assert m.cost_per_cm2(300, 0.18, 1e7) < 8.0

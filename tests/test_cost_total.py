@@ -1,0 +1,128 @@
+"""Eq. (4)/(5) total-cost model tests."""
+
+import numpy as np
+import pytest
+
+from repro.cost import (
+    PAPER_FIGURE4_MODEL,
+    DesignCostModel,
+    TestCostModel,
+    TotalCostModel,
+    transistor_cost,
+)
+from repro.errors import DomainError
+from repro.wafer import WAFER_200MM, WAFER_300MM
+
+POINT = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5000,
+             yield_fraction=0.4, cm_sq=8.0)
+
+
+class TestEquation5:
+    def test_design_cost_per_cm2_formula(self):
+        m = TotalCostModel(include_masks=False)
+        cd = m.design_cost_per_cm2(1e7, 300, 0.18, 5000)
+        expected = m.design_model.cost(1e7, 300) / (5000 * WAFER_200MM.area_cm2)
+        assert cd == pytest.approx(expected)
+
+    def test_masks_add_when_included(self):
+        with_masks = TotalCostModel(include_masks=True)
+        without = TotalCostModel(include_masks=False)
+        assert with_masks.design_cost_per_cm2(1e7, 300, 0.18, 5000) > \
+            without.design_cost_per_cm2(1e7, 300, 0.18, 5000)
+
+    def test_amortises_inversely_with_volume(self):
+        m = TotalCostModel(include_masks=False)
+        assert m.design_cost_per_cm2(1e7, 300, 0.18, 10_000) == pytest.approx(
+            m.design_cost_per_cm2(1e7, 300, 0.18, 5000) / 2)
+
+    def test_bigger_wafer_amortises_better(self):
+        m200 = TotalCostModel(include_masks=False, wafer=WAFER_200MM)
+        m300 = TotalCostModel(include_masks=False, wafer=WAFER_300MM)
+        assert m300.design_cost_per_cm2(1e7, 300, 0.18, 5000) < \
+            m200.design_cost_per_cm2(1e7, 300, 0.18, 5000)
+
+
+class TestEquation4:
+    def test_degenerates_to_eq3_at_high_volume(self):
+        # The paper: for large N_w, eqs (3) and (4) become equal.
+        m = PAPER_FIGURE4_MODEL
+        total = m.transistor_cost(300, 1e7, 0.18, 1e12, 0.8, 8.0)
+        eq3 = transistor_cost(8.0, 0.18, 300, 0.8)
+        assert total == pytest.approx(eq3, rel=1e-4)
+
+    def test_always_above_eq3(self):
+        m = PAPER_FIGURE4_MODEL
+        total = m.transistor_cost(300, 1e7, 0.18, 5000, 0.8, 8.0)
+        assert total > transistor_cost(8.0, 0.18, 300, 0.8)
+
+    def test_u_curve_exists(self):
+        # Figure 4's qualitative shape: interior minimum in s_d.
+        m = PAPER_FIGURE4_MODEL
+        sd = np.linspace(105, 1500, 500)
+        c = m.transistor_cost(sd, **POINT)
+        i = int(np.argmin(c))
+        assert 0 < i < len(sd) - 1
+
+    def test_utilization_substitution(self):
+        # §2.5: Y -> uY. Half utilization == half yield.
+        half_u = TotalCostModel(include_masks=False, utilization=0.5)
+        full = PAPER_FIGURE4_MODEL
+        assert half_u.transistor_cost(300, 1e7, 0.18, 5000, 0.8, 8.0) == pytest.approx(
+            full.transistor_cost(300, 1e7, 0.18, 5000, 0.4, 8.0))
+
+    def test_domain_validation(self):
+        m = PAPER_FIGURE4_MODEL
+        with pytest.raises(DomainError):
+            m.transistor_cost(300, 1e7, 0.18, 5000, 1.5, 8.0)
+        with pytest.raises(DomainError):
+            m.transistor_cost(90, 1e7, 0.18, 5000, 0.8, 8.0)  # below sd0
+
+    def test_utilization_validated(self):
+        with pytest.raises(DomainError):
+            TotalCostModel(utilization=0.0)
+
+
+class TestBreakdown:
+    def test_components_sum_to_total(self):
+        m = PAPER_FIGURE4_MODEL
+        b = m.breakdown(300, **POINT)
+        total = m.transistor_cost(300, **POINT)
+        assert b.total == pytest.approx(total, rel=1e-12)
+
+    def test_mask_component_zero_when_excluded(self):
+        b = PAPER_FIGURE4_MODEL.breakdown(300, **POINT)
+        assert b.masks == 0.0
+
+    def test_test_component_present_when_modelled(self):
+        m = TotalCostModel(include_masks=False, test_model=TestCostModel())
+        b = m.breakdown(300, **POINT)
+        assert b.test > 0
+        assert b.total == pytest.approx(m.transistor_cost(300, **POINT), rel=1e-12)
+
+    def test_development_share_in_unit_interval(self):
+        b = PAPER_FIGURE4_MODEL.breakdown(300, **POINT)
+        assert 0 < b.development_share < 1
+
+    def test_low_volume_design_dominated(self):
+        # Figure 4(a): at 5000 wafers design cost dominates near the bound.
+        b = PAPER_FIGURE4_MODEL.breakdown(150, **POINT)
+        assert b.design > b.manufacturing
+
+    def test_high_volume_manufacturing_dominated(self):
+        hi = dict(POINT, n_wafers=500_000)
+        b = PAPER_FIGURE4_MODEL.breakdown(300, **hi)
+        assert b.manufacturing > b.design
+
+
+class TestProjectCost:
+    def test_components(self):
+        m = TotalCostModel(include_masks=False)
+        cost = m.project_cost(300, 1e7, 0.18, 5000, 8.0)
+        silicon = 8.0 * WAFER_200MM.area_cm2 * 5000
+        assert cost == pytest.approx(silicon + m.design_model.cost(1e7, 300))
+
+    def test_custom_design_model_respected(self):
+        cheap = TotalCostModel(design_model=DesignCostModel(a0=1.0), include_masks=False)
+        expensive = TotalCostModel(design_model=DesignCostModel(a0=1e6), include_masks=False)
+        assert cheap.project_cost(300, 1e7, 0.18, 100, 8.0) < \
+            expensive.project_cost(300, 1e7, 0.18, 100, 8.0)

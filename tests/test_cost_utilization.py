@@ -1,0 +1,105 @@
+"""§2.5 utilization (u) and FPGA-vs-ASIC crossover tests."""
+
+import pytest
+
+from repro.cost import UtilizedDevice, effective_yield, fpga_vs_asic_crossover
+from repro.cost.design import DesignCostModel
+from repro.errors import DomainError
+
+
+class TestEffectiveYield:
+    def test_product(self):
+        assert effective_yield(0.8, 0.5) == pytest.approx(0.4)
+
+    def test_full_utilization_identity(self):
+        assert effective_yield(0.73, 1.0) == pytest.approx(0.73)
+
+    def test_validates_both(self):
+        with pytest.raises(DomainError):
+            effective_yield(1.2, 0.5)
+        with pytest.raises(DomainError):
+            effective_yield(0.8, 0.0)
+
+
+def make_fpga(**overrides):
+    base = dict(name="FPGA", sd=600.0, utilization=0.3,
+                design_cost_usd=0.0, mask_cost_usd=0.0)
+    base.update(overrides)
+    return UtilizedDevice(**base)
+
+
+class TestUtilizedDevice:
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            make_fpga(utilization=1.5)
+        with pytest.raises(ValueError):
+            make_fpga(design_cost_usd=-1.0)
+
+    def test_cost_inverse_in_utilization(self):
+        lo = make_fpga(utilization=0.25)
+        hi = make_fpga(utilization=0.5)
+        args = (1e7, 0.18, 1e4, 0.8, 8.0)
+        assert lo.cost_per_used_transistor(*args) == pytest.approx(
+            2 * hi.cost_per_used_transistor(*args))
+
+    def test_zero_dev_cost_volume_independent(self):
+        fpga = make_fpga()
+        a = fpga.cost_per_used_transistor(1e7, 0.18, 100, 0.8, 8.0)
+        b = fpga.cost_per_used_transistor(1e7, 0.18, 1e6, 0.8, 8.0)
+        assert a == pytest.approx(b)
+
+    def test_dev_cost_amortises(self):
+        asic = make_fpga(name="ASIC", sd=300.0, utilization=1.0,
+                         design_cost_usd=4e7)
+        a = asic.cost_per_used_transistor(1e7, 0.18, 100, 0.8, 8.0)
+        b = asic.cost_per_used_transistor(1e7, 0.18, 1e6, 0.8, 8.0)
+        assert a > b
+
+
+class TestCrossover:
+    FPGA = dict(n_transistors=1e7, feature_um=0.18, yield_fraction=0.8, cm_sq=8.0)
+
+    def test_crossover_exists_for_typical_fpga(self):
+        nw = fpga_vs_asic_crossover(fpga=make_fpga(), asic_sd=300.0, **self.FPGA)
+        assert nw is not None
+        assert 1 < nw < 1e7
+
+    def test_fpga_wins_below_asic_wins_above(self):
+        fpga = make_fpga()
+        nw = fpga_vs_asic_crossover(fpga=fpga, asic_sd=300.0, **self.FPGA)
+        model = DesignCostModel()
+        asic = UtilizedDevice("ASIC", 300.0, 1.0,
+                              design_cost_usd=model.cost(1e7, 300.0))
+        below = 0.5 * nw
+        above = 2.0 * nw
+        args_lo = (1e7, 0.18, below, 0.8, 8.0)
+        args_hi = (1e7, 0.18, above, 0.8, 8.0)
+        assert fpga.cost_per_used_transistor(*args_lo) < asic.cost_per_used_transistor(*args_lo)
+        assert fpga.cost_per_used_transistor(*args_hi) > asic.cost_per_used_transistor(*args_hi)
+
+    def test_cost_balance_at_crossover(self):
+        fpga = make_fpga()
+        nw = fpga_vs_asic_crossover(fpga=fpga, asic_sd=300.0, **self.FPGA)
+        model = DesignCostModel()
+        asic = UtilizedDevice("ASIC", 300.0, 1.0,
+                              design_cost_usd=model.cost(1e7, 300.0))
+        args = (1e7, 0.18, nw, 0.8, 8.0)
+        assert asic.cost_per_used_transistor(*args) == pytest.approx(
+            fpga.cost_per_used_transistor(*args), rel=1e-6)
+
+    def test_no_crossover_when_fpga_dense_and_utilized(self):
+        # A (hypothetical) fully-utilized dense "FPGA" with zero NRE is
+        # never beaten.
+        super_fpga = make_fpga(sd=150.0, utilization=1.0)
+        nw = fpga_vs_asic_crossover(fpga=super_fpga, asic_sd=300.0,
+                                    max_wafers=1e6, **self.FPGA)
+        assert nw is None
+
+    def test_terrible_fpga_loses_almost_immediately(self):
+        # Even a pilot-scale run beats a 1%-utilized, 5000-lambda^2
+        # fabric; only the single-digit-wafer regime keeps it alive
+        # (the ASIC's $40M NRE amortised over ~1 wafer still dominates).
+        bad_fpga = make_fpga(sd=5000.0, utilization=0.01)
+        nw = fpga_vs_asic_crossover(fpga=bad_fpga, asic_sd=300.0, **self.FPGA)
+        assert nw is not None
+        assert nw < 10

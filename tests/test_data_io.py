@@ -1,0 +1,103 @@
+"""CSV round-trip tests for the datasets."""
+
+import pytest
+
+from repro.data import DesignRegistry, load_itrs_1999
+from repro.data.io import (
+    designs_from_csv,
+    designs_to_csv,
+    roadmap_from_csv,
+    roadmap_to_csv,
+)
+from repro.errors import DataError
+
+
+class TestDesignCsv:
+    def test_round_trip_table_a1(self):
+        original = list(DesignRegistry.table_a1())
+        text = designs_to_csv(original)
+        recovered = designs_from_csv(text)
+        assert recovered == original
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "designs.csv"
+        original = list(DesignRegistry.table_a1())[:5]
+        designs_to_csv(original, path)
+        assert designs_from_csv(path) == original
+
+    def test_optional_cells_blank(self):
+        reg = DesignRegistry.table_a1()
+        row_no_split = next(r for r in reg if not r.has_split())
+        text = designs_to_csv([row_no_split])
+        data_line = text.splitlines()[1]
+        assert ",," in data_line  # blank optional columns
+
+    def test_validation_on_load(self):
+        reg = DesignRegistry.table_a1()
+        text = designs_to_csv(list(reg)[:3])
+        corrupted = text.replace(str(reg[0].feature_um), "99.0", 1)
+        with pytest.raises(Exception):
+            designs_from_csv(corrupted)  # eq.-(2) identity now broken
+        # But loads with validation off.
+        assert len(designs_from_csv(corrupted, validate=False)) == 3
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(DataError, match="header"):
+            designs_from_csv("a,b,c\n1,2,3\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError, match="empty"):
+            designs_from_csv("\n")
+
+    def test_short_row_rejected(self):
+        text = designs_to_csv(list(DesignRegistry.table_a1())[:1])
+        broken = text.splitlines()[0] + "\n1,2,3\n"
+        with pytest.raises(DataError, match="cells"):
+            designs_from_csv(broken)
+
+    def test_unparseable_cell_reports_line(self):
+        text = designs_to_csv(list(DesignRegistry.table_a1())[:1])
+        broken = text.replace("1987", "not-a-year")
+        with pytest.raises(DataError, match="line 2"):
+            designs_from_csv(broken)
+
+    def test_merged_registry_analyses(self):
+        # The adoption use case: append a custom design, rerun a trend.
+        from repro.data.records import DesignRecord, DeviceCategory
+        from repro.density import sd_vs_feature_fit
+        custom = DesignRecord(
+            index=50, device="MyASIC", vendor="ACME",
+            category=DeviceCategory.ASIC, year=2001,
+            die_area_cm2=1.0, feature_um=0.13,
+            transistors_total_m=12.0,
+            transistors_logic_m=12.0, area_logic_cm2=1.0,
+            sd_logic=1.0 / (12e6 * (0.13e-4) ** 2),
+        )
+        merged = DesignRegistry(list(DesignRegistry.table_a1()) + [custom])
+        text = designs_to_csv(list(merged))
+        recovered = DesignRegistry(designs_from_csv(text))
+        assert len(recovered) == 50
+        fit = sd_vs_feature_fit(recovered)
+        assert fit.n == 50
+
+
+class TestRoadmapCsv:
+    def test_round_trip(self):
+        nodes = load_itrs_1999()
+        text = roadmap_to_csv(nodes)
+        assert roadmap_from_csv(text) == nodes
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "roadmap.csv"
+        roadmap_to_csv(load_itrs_1999(), path)
+        assert roadmap_from_csv(path) == load_itrs_1999()
+
+    def test_bad_header(self):
+        with pytest.raises(DataError):
+            roadmap_from_csv("x,y\n1,2\n")
+
+    def test_bad_cell_reports_line(self):
+        text = roadmap_to_csv(load_itrs_1999())
+        broken = text.replace("180.0", "one-eighty", 1)
+        with pytest.raises(DataError, match="line"):
+            roadmap_from_csv(broken)

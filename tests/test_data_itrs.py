@@ -1,0 +1,89 @@
+"""ITRS-1999 reconstruction tests — the Figures 2-3 input."""
+
+import pytest
+
+from repro.data import (
+    ASSUMED_YIELD,
+    ITRS_1999,
+    MANUFACTURING_COST_PER_CM2_USD,
+    MPU_DIE_COST_1999_USD,
+    load_itrs_1999,
+    node_for_year,
+)
+from repro.errors import UnknownRecordError
+
+
+class TestAnchors:
+    """The paper's §2.2.3 constants, quoted verbatim."""
+
+    def test_die_cost_anchor(self):
+        assert MPU_DIE_COST_1999_USD == 34.0
+
+    def test_cost_per_cm2_anchor(self):
+        assert MANUFACTURING_COST_PER_CM2_USD == 8.0
+
+    def test_yield_anchor(self):
+        assert ASSUMED_YIELD == 0.8
+
+
+class TestNodeCalendar:
+    def test_six_nodes(self):
+        assert len(ITRS_1999) == 6
+
+    def test_years(self):
+        assert [n.year for n in ITRS_1999] == [1999, 2002, 2005, 2008, 2011, 2014]
+
+    def test_anchor_node_is_180nm(self):
+        assert ITRS_1999[0].feature_nm == 180.0
+
+    def test_horizon_is_35nm(self):
+        assert ITRS_1999[-1].feature_nm == 35.0
+
+    def test_shrink_is_about_0p7_per_node(self):
+        for a, b in zip(ITRS_1999, ITRS_1999[1:]):
+            ratio = b.feature_nm / a.feature_nm
+            assert 0.65 <= ratio <= 0.78, (a.year, b.year)
+
+    def test_transistor_counts_grow_monotonically(self):
+        counts = [n.mpu_transistors_m for n in ITRS_1999]
+        assert counts == sorted(counts)
+        assert counts[-1] / counts[0] > 100  # two decades of Moore
+
+    def test_density_grows_monotonically(self):
+        densities = [n.mpu_density_m_per_cm2 for n in ITRS_1999]
+        assert densities == sorted(densities)
+
+
+class TestImpliedSd:
+    def test_implied_sd_falls_node_over_node(self):
+        # The Figure 2 shape: the roadmap requires DENSER design over time.
+        sds = [n.implied_sd() for n in ITRS_1999]
+        assert all(a > b for a, b in zip(sds, sds[1:]))
+
+    def test_1999_implied_sd_magnitude(self):
+        # 1/(3.24e-10 * 6.6e6) ~ 468
+        assert ITRS_1999[0].implied_sd() == pytest.approx(467.6, rel=0.01)
+
+    def test_die_area_grows_modestly(self):
+        # ITRS lets die area creep up, far slower than transistor count.
+        areas = [n.implied_die_area_cm2() for n in ITRS_1999]
+        assert areas[-1] / areas[0] < 3
+        assert all(a > 0 for a in areas)
+
+
+class TestLookups:
+    def test_load_returns_list_copy(self):
+        nodes = load_itrs_1999()
+        nodes.pop()
+        assert len(load_itrs_1999()) == 6
+
+    def test_node_for_year_found(self):
+        assert node_for_year(2005).feature_nm == 100.0
+
+    def test_node_for_year_missing_raises(self):
+        with pytest.raises(UnknownRecordError, match="2006"):
+            node_for_year(2006)
+
+    def test_error_lists_known_years(self):
+        with pytest.raises(UnknownRecordError, match="1999"):
+            node_for_year(1901)

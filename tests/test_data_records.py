@@ -1,0 +1,155 @@
+"""DesignRecord / RoadmapNode behaviour tests."""
+
+import pytest
+
+from repro.data.records import DesignRecord, DeviceCategory, Provenance, RoadmapNode
+from repro.errors import InconsistentRecordError
+
+
+def make_record(**overrides):
+    """A consistent baseline record (s_d = 300 by construction)."""
+    base = dict(
+        index=1,
+        device="TestCPU",
+        vendor="TestCorp",
+        category=DeviceCategory.MICROPROCESSOR,
+        year=1999,
+        die_area_cm2=0.972,          # 10e6 * 300 * (0.18e-4)^2
+        feature_um=0.18,
+        transistors_total_m=10.0,
+        transistors_logic_m=10.0,
+        area_logic_cm2=0.972,
+        sd_logic=300.0,
+    )
+    base.update(overrides)
+    return DesignRecord(**base)
+
+
+class TestDerivedQuantities:
+    def test_feature_cm(self):
+        assert make_record().feature_cm == pytest.approx(1.8e-5)
+
+    def test_transistors_total(self):
+        assert make_record().transistors_total == pytest.approx(1.0e7)
+
+    def test_transistor_density(self):
+        rec = make_record()
+        assert rec.transistor_density_per_cm2 == pytest.approx(1.0e7 / 0.972)
+
+    def test_sd_overall_matches_construction(self):
+        assert make_record().sd_overall() == pytest.approx(300.0, rel=1e-6)
+
+    def test_sd_logic_recomputed(self):
+        assert make_record().sd_logic_recomputed() == pytest.approx(300.0, rel=1e-6)
+
+    def test_sd_mem_recomputed_none_without_split(self):
+        assert make_record().sd_mem_recomputed() is None
+
+    def test_sd_recomputation_identity(self):
+        # eq (2): T_d * sd * lambda^2 == 1
+        rec = make_record()
+        td = rec.transistor_density_per_cm2
+        assert td * rec.sd_overall() * rec.feature_cm**2 == pytest.approx(1.0, rel=1e-9)
+
+
+class TestBestSdLogic:
+    def test_prefers_printed_value(self):
+        rec = make_record(sd_logic=299.0)
+        assert rec.best_sd_logic() == 299.0
+
+    def test_falls_back_to_recomputed(self):
+        rec = make_record(sd_logic=None)
+        assert rec.best_sd_logic() == pytest.approx(300.0, rel=1e-6)
+
+    def test_falls_back_to_overall_for_pure_logic(self):
+        rec = make_record(sd_logic=None, area_logic_cm2=None, transistors_logic_m=None)
+        assert rec.best_sd_logic() == pytest.approx(300.0, rel=1e-6)
+
+
+class TestHasSplit:
+    def test_no_split(self):
+        assert not make_record().has_split()
+
+    def test_with_split(self):
+        rec = make_record(
+            transistors_mem_m=4.0,
+            transistors_logic_m=6.0,
+            area_mem_cm2=0.10,
+            area_logic_cm2=0.583,
+            sd_mem=77.2,
+            sd_logic=300.0,
+        )
+        assert rec.has_split()
+
+
+class TestValidate:
+    def test_consistent_record_passes(self):
+        make_record().validate()
+
+    def test_inconsistent_sd_logic_fails(self):
+        rec = make_record(sd_logic=600.0)  # 2x off the geometry
+        with pytest.raises(InconsistentRecordError, match="sd_logic"):
+            rec.validate()
+
+    def test_tolerance_is_respected(self):
+        rec = make_record(sd_logic=330.0)  # 10% off
+        rec.validate(rtol=0.15)
+        with pytest.raises(InconsistentRecordError):
+            rec.validate(rtol=0.05)
+
+    def test_split_area_exceeding_die_fails(self):
+        rec = make_record(
+            transistors_mem_m=4.0,
+            area_mem_cm2=0.9,  # 0.9 + 0.972 > die
+            sd_mem=None,
+        )
+        with pytest.raises(InconsistentRecordError, match="exceeds die area"):
+            rec.validate()
+
+    def test_split_counts_exceeding_total_fails(self):
+        rec = make_record(
+            transistors_mem_m=8.0,  # 8 + 10 > 10 total
+            area_mem_cm2=0.001,
+            sd_mem=None,
+        )
+        with pytest.raises(InconsistentRecordError, match="counts exceed total"):
+            rec.validate()
+
+    def test_nonpositive_die_fails(self):
+        rec = make_record(die_area_cm2=-1.0)
+        with pytest.raises(InconsistentRecordError, match="non-positive"):
+            rec.validate()
+
+
+class TestProvenance:
+    def test_enum_values(self):
+        assert Provenance.PUBLISHED.value == "published"
+        assert Provenance.REPAIRED.value == "repaired"
+        assert Provenance.DERIVED.value == "derived"
+
+    def test_default_is_published(self):
+        assert make_record().provenance is Provenance.PUBLISHED
+
+
+class TestRoadmapNode:
+    def make_node(self):
+        return RoadmapNode(year=1999, feature_nm=180.0, mpu_transistors_m=21.0,
+                           mpu_density_m_per_cm2=6.6)
+
+    def test_feature_um(self):
+        assert self.make_node().feature_um == pytest.approx(0.18)
+
+    def test_feature_cm(self):
+        assert self.make_node().feature_cm == pytest.approx(1.8e-5)
+
+    def test_implied_sd(self):
+        # 1/(lambda^2 * T_d) = 1/(3.24e-10 * 6.6e6)
+        node = self.make_node()
+        assert node.implied_sd() == pytest.approx(1.0 / (3.24e-10 * 6.6e6), rel=1e-9)
+
+    def test_implied_die_area(self):
+        node = self.make_node()
+        assert node.implied_die_area_cm2() == pytest.approx(21.0 / 6.6)
+
+    def test_default_die_cost_is_paper_anchor(self):
+        assert self.make_node().mpu_die_cost_usd == 34.0

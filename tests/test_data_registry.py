@@ -1,0 +1,108 @@
+"""DesignRegistry query API tests."""
+
+import pytest
+
+from repro.data import DesignRegistry, DeviceCategory
+from repro.errors import UnknownRecordError
+
+
+@pytest.fixture(scope="module")
+def reg():
+    return DesignRegistry.table_a1()
+
+
+class TestSequenceProtocol:
+    def test_len(self, reg):
+        assert len(reg) == 49
+
+    def test_index_access(self, reg):
+        assert reg[0].index == 1
+
+    def test_slice_returns_registry(self, reg):
+        sub = reg[:5]
+        assert isinstance(sub, DesignRegistry)
+        assert len(sub) == 5
+
+    def test_iteration(self, reg):
+        assert sum(1 for _ in reg) == 49
+
+    def test_repr(self, reg):
+        assert "49" in repr(reg)
+
+
+class TestLookups:
+    def test_by_index(self, reg):
+        assert reg.by_index(17).device.startswith("K7")
+
+    def test_by_index_missing(self, reg):
+        with pytest.raises(UnknownRecordError, match="99"):
+            reg.by_index(99)
+
+    def test_by_device_substring(self, reg):
+        assert "K7" in reg.by_device("k7").device
+
+    def test_by_device_missing(self, reg):
+        with pytest.raises(UnknownRecordError):
+            reg.by_device("Itanium")
+
+
+class TestFilters:
+    def test_by_vendor(self, reg):
+        intel = reg.by_vendor("Intel")
+        assert len(intel) >= 8
+        assert all(r.vendor == "Intel" for r in intel)
+
+    def test_by_vendor_case_insensitive(self, reg):
+        assert len(reg.by_vendor("intel")) == len(reg.by_vendor("Intel"))
+
+    def test_by_category(self, reg):
+        dsps = reg.by_category(DeviceCategory.DSP)
+        assert len(dsps) == 3
+        assert all(r.category is DeviceCategory.DSP for r in dsps)
+
+    def test_feature_between(self, reg):
+        quarter = reg.feature_between(0.24, 0.26)
+        assert len(quarter) > 0
+        assert all(0.24 <= r.feature_um <= 0.26 for r in quarter)
+
+    def test_with_split(self, reg):
+        split = reg.with_split()
+        assert len(split) >= 10
+        assert all(r.has_split() for r in split)
+
+    def test_filter_predicate(self, reg):
+        big = reg.filter(lambda r: r.transistors_total_m > 100)
+        assert all(r.transistors_total_m > 100 for r in big)
+        assert len(big) >= 2  # PA-RISC (116M) and Alpha 21364 (152M)
+
+    def test_filters_compose(self, reg):
+        out = reg.by_vendor("Intel").feature_between(0.2, 0.3)
+        assert all(r.vendor == "Intel" and 0.2 <= r.feature_um <= 0.3 for r in out)
+
+    def test_sorted_by(self, reg):
+        by_feature = reg.sorted_by(lambda r: r.feature_um)
+        features = [r.feature_um for r in by_feature]
+        assert features == sorted(features)
+
+    def test_sorted_by_reverse(self, reg):
+        by_sd = reg.sorted_by(lambda r: r.best_sd_logic(), reverse=True)
+        assert by_sd[0].best_sd_logic() == pytest.approx(765.3)
+
+
+class TestExtracts:
+    def test_vendors_distinct(self, reg):
+        vendors = reg.vendors()
+        assert len(vendors) == len(set(vendors))
+        assert "AMD" in vendors
+
+    def test_sd_logic_values_count(self, reg):
+        assert len(reg.sd_logic_values()) == 49
+
+    def test_sd_mem_values_only_split_rows(self, reg):
+        assert len(reg.sd_mem_values()) == len(reg.with_split())
+
+    def test_empty_registry_behaviour(self):
+        empty = DesignRegistry([])
+        assert len(empty) == 0
+        assert empty.vendors() == []
+        assert empty.sd_logic_values() == []

@@ -1,0 +1,130 @@
+"""Table A1 dataset integrity tests — the Figure 1 input."""
+
+import pytest
+
+from repro.data import DeviceCategory, Provenance, load_table_a1
+from repro.data.table_a1 import TABLE_A1
+
+
+class TestShape:
+    def test_has_49_rows(self):
+        assert len(TABLE_A1) == 49
+
+    def test_indices_are_1_to_49_in_order(self):
+        assert [r.index for r in TABLE_A1] == list(range(1, 50))
+
+    def test_load_returns_fresh_list(self):
+        a = load_table_a1()
+        b = load_table_a1()
+        assert a is not b
+        assert a == b
+
+
+class TestConsistency:
+    def test_every_row_validates(self):
+        for row in load_table_a1(validate=False):
+            row.validate()  # raises on inconsistency
+
+    def test_split_rows_have_complete_splits(self):
+        for row in TABLE_A1:
+            if row.has_split():
+                assert row.area_mem_cm2 is not None, row.device
+                assert row.area_logic_cm2 is not None, row.device
+                assert row.sd_mem is not None, row.device
+
+    def test_every_row_has_usable_logic_sd(self):
+        for row in TABLE_A1:
+            assert row.best_sd_logic() is not None, row.device
+
+    def test_repaired_rows_carry_notes(self):
+        for row in TABLE_A1:
+            if row.provenance is Provenance.REPAIRED:
+                assert row.note, f"repaired row {row.index} must document the repair"
+
+
+class TestPaperRanges:
+    """The distributional claims of §2.2.1-2.2.2."""
+
+    def test_logic_sd_range_spans_paper_claim(self):
+        values = [r.best_sd_logic() for r in TABLE_A1]
+        assert min(values) >= 90   # "best achievable ... close to 100"
+        assert min(values) <= 130
+        assert max(values) >= 700  # ASICs "can reach values in the range of 1000"
+
+    def test_memory_sd_below_logic_sd_in_every_split_row(self):
+        for row in TABLE_A1:
+            if row.has_split() and row.sd_mem is not None and row.sd_logic is not None:
+                assert row.sd_mem < row.sd_logic, row.device
+
+    def test_memory_sd_range(self):
+        values = [r.sd_mem for r in TABLE_A1 if r.sd_mem is not None]
+        assert 30 <= min(values) <= 60   # paper: "smallest ... in range of 30"
+        assert max(values) < 200
+
+    def test_feature_size_span(self):
+        features = [r.feature_um for r in TABLE_A1]
+        assert min(features) <= 0.15
+        assert max(features) >= 1.0
+
+
+class TestVendorCoverage:
+    def test_intel_and_amd_present(self):
+        vendors = {r.vendor for r in TABLE_A1}
+        assert "Intel" in vendors
+        assert "AMD" in vendors
+
+    def test_k7_sd_well_above_300(self):
+        # The paper's specific §2.2.2 claim about the K7.
+        k7 = next(r for r in TABLE_A1 if "K7" in r.device)
+        assert k7.best_sd_logic() > 300
+
+    def test_amd_pre_k7_denser_than_contemporary_intel(self):
+        # AMD "introduced products of higher design density than its
+        # immediate competitor" before the K7.
+        k6_2 = next(r for r in TABLE_A1 if "K6-2" in r.device)
+        pentium_iii = next(r for r in TABLE_A1 if "Pentium III" in r.device)
+        assert k6_2.feature_um == pentium_iii.feature_um  # same node
+        assert k6_2.best_sd_logic() < pentium_iii.best_sd_logic()
+
+    def test_categories_beyond_microprocessors(self):
+        cats = {r.category for r in TABLE_A1}
+        assert DeviceCategory.DSP in cats
+        assert DeviceCategory.ASIC in cats
+        assert DeviceCategory.MULTIMEDIA in cats
+
+
+class TestExactlyVerifiedRows:
+    """Rows whose printed s_d verifies eq. (2) to ~4 digits fix the
+    transcription; regressions here mean the dataset was corrupted."""
+
+    @pytest.mark.parametrize(
+        "device,sd_mem,sd_logic",
+        [
+            ("PA-RISC", 40.0, 158.6),
+            ("MIPS64 (0.18)", 89.03, 293.2),
+            ("MAJC-5200", 89.35, 583.9),
+            ("Alpha 21364", 61.88, 264.5),
+        ],
+    )
+    def test_split_row_values(self, device, sd_mem, sd_logic):
+        row = next(r for r in TABLE_A1 if r.device.startswith(device.split(" (")[0])
+                   and r.sd_mem == sd_mem)
+        assert row.sd_logic == sd_logic
+        assert row.sd_mem_recomputed() == pytest.approx(sd_mem, rel=0.05)
+        assert row.sd_logic_recomputed() == pytest.approx(sd_logic, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "device,sd_logic",
+        [
+            ("ATM switch access LSI", 765.3),
+            ("Video game CPU (Emotion Engine)", 699.5),
+            ("MPEG-2 codec", 544.5),
+            ("ASIC (telecom)", 480.0),
+            ("Pentium III", 207.1),
+            ("PowerPC 601", 171.4),
+        ],
+    )
+    def test_logic_only_row_values(self, device, sd_logic):
+        row = next(r for r in TABLE_A1 if r.device == device)
+        assert row.sd_logic == sd_logic
+        assert row.sd_overall() == pytest.approx(sd_logic, rel=0.05)

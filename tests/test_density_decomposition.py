@@ -1,0 +1,100 @@
+"""Memory/logic decomposition tests (§2.2.2)."""
+
+import pytest
+
+from repro.data import DesignRegistry
+from repro.density import SplitDensity, blend_sd, memory_fraction_for_target_sd
+from repro.errors import DomainError
+
+
+@pytest.fixture()
+def pa_risc_split():
+    reg = DesignRegistry.table_a1()
+    return SplitDensity.from_record(reg.by_device("PA-RISC"))
+
+
+class TestBlendSd:
+    def test_pure_memory(self):
+        assert blend_sd(40.0, 300.0, 1.0) == pytest.approx(40.0)
+
+    def test_even_blend(self):
+        assert blend_sd(40.0, 300.0, 0.5) == pytest.approx(170.0)
+
+    def test_blend_is_count_weighted_mean(self):
+        # Direct check against the area identity: areas add, counts add.
+        sd_mem, sd_logic, f = 50.0, 400.0, 0.8
+        n = 1e6
+        lam2 = 1.0  # arbitrary, cancels
+        area = f * n * sd_mem * lam2 + (1 - f) * n * sd_logic * lam2
+        assert blend_sd(sd_mem, sd_logic, f) == pytest.approx(area / n)
+
+    def test_rejects_zero_fraction(self):
+        with pytest.raises(DomainError):
+            blend_sd(40.0, 300.0, 0.0)
+
+
+class TestMemoryFractionForTarget:
+    def test_round_trip(self):
+        f = memory_fraction_for_target_sd(40.0, 300.0, 120.0)
+        assert blend_sd(40.0, 300.0, f) == pytest.approx(120.0)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(DomainError, match="unreachable"):
+            memory_fraction_for_target_sd(40.0, 300.0, 500.0)
+
+    def test_target_below_both_raises(self):
+        with pytest.raises(DomainError):
+            memory_fraction_for_target_sd(40.0, 300.0, 30.0)
+
+    def test_equal_portions(self):
+        assert memory_fraction_for_target_sd(100.0, 100.0, 100.0) == 1.0
+
+
+class TestSplitDensity:
+    def test_from_record_requires_split(self):
+        reg = DesignRegistry.table_a1()
+        with pytest.raises(DomainError, match="no memory/logic split"):
+            SplitDensity.from_record(reg.by_device("Pentium III"))
+
+    def test_portion_sds_match_table(self, pa_risc_split):
+        assert pa_risc_split.sd_mem() == pytest.approx(40.0, rel=0.02)
+        assert pa_risc_split.sd_logic() == pytest.approx(158.6, rel=0.02)
+
+    def test_overall_between_portions(self, pa_risc_split):
+        overall = pa_risc_split.sd_overall()
+        assert pa_risc_split.sd_mem() < overall < pa_risc_split.sd_logic()
+
+    def test_overall_is_blend(self, pa_risc_split):
+        blended = blend_sd(
+            pa_risc_split.sd_mem(),
+            pa_risc_split.sd_logic(),
+            pa_risc_split.mem_transistor_fraction(),
+        )
+        assert pa_risc_split.sd_overall() == pytest.approx(blended, rel=1e-12)
+
+    def test_mem_fraction_pa_risc(self, pa_risc_split):
+        # PA-8500: 92 of 116 M transistors in cache.
+        assert pa_risc_split.mem_transistor_fraction() == pytest.approx(92 / 116)
+
+    def test_area_fraction_lower_than_count_fraction(self, pa_risc_split):
+        # Memory is denser, so its area share < its transistor share.
+        assert pa_risc_split.mem_area_fraction() < pa_risc_split.mem_transistor_fraction()
+
+
+class TestWhatIf:
+    def test_logic_at_custom_density_shrinks_die(self, pa_risc_split):
+        saved = pa_risc_split.area_saved_by_logic_at(100.0)
+        assert saved > 0
+
+    def test_logic_at_sparser_density_grows_die(self, pa_risc_split):
+        saved = pa_risc_split.area_saved_by_logic_at(400.0)
+        assert saved < 0
+
+    def test_recomposition_consistency(self, pa_risc_split):
+        # Redrawing logic at its own density changes nothing.
+        same = pa_risc_split.sd_overall_with_logic_at(pa_risc_split.sd_logic())
+        assert same == pytest.approx(pa_risc_split.sd_overall(), rel=1e-12)
+
+    def test_recomposed_sd_lower_with_denser_logic(self, pa_risc_split):
+        denser = pa_risc_split.sd_overall_with_logic_at(110.0)
+        assert denser < pa_risc_split.sd_overall()

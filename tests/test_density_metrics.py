@@ -1,0 +1,97 @@
+"""Eq.-(2) density metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.density import (
+    area_from_sd,
+    decompression_index,
+    density_index,
+    feature_from_sd,
+    transistor_density,
+    transistor_density_from_sd,
+    transistors_from_sd,
+)
+from repro.errors import DomainError
+
+
+class TestDecompressionIndex:
+    def test_paper_identity(self):
+        # Pentium III row: 1.23 cm^2, 9.5M tx, 0.25 um -> s_d ~ 207.
+        sd = decompression_index(1.23, 9.5e6, 0.25)
+        assert sd == pytest.approx(207.2, rel=1e-3)
+
+    def test_scales_linearly_with_area(self):
+        assert decompression_index(2.0, 1e6, 0.5) == pytest.approx(
+            2 * decompression_index(1.0, 1e6, 0.5))
+
+    def test_scales_inversely_with_count(self):
+        assert decompression_index(1.0, 2e6, 0.5) == pytest.approx(
+            decompression_index(1.0, 1e6, 0.5) / 2)
+
+    def test_scales_inverse_square_with_feature(self):
+        assert decompression_index(1.0, 1e6, 0.25) == pytest.approx(
+            4 * decompression_index(1.0, 1e6, 0.5))
+
+    def test_dimensionless_sanity(self):
+        # One transistor drawn in exactly 100 lambda^2 at any node.
+        for lam in [0.1, 0.18, 0.5, 1.5]:
+            area = 100 * (lam * 1e-4) ** 2
+            assert decompression_index(area, 1, lam) == pytest.approx(100.0)
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(DomainError):
+            decompression_index(0.0, 1e6, 0.18)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(DomainError):
+            decompression_index(1.0, -1, 0.18)
+
+    def test_array_broadcast(self):
+        out = decompression_index(np.array([1.0, 2.0]), 1e6, 0.5)
+        assert out.shape == (2,)
+        assert out[1] == pytest.approx(2 * out[0])
+
+
+class TestDensityIndex:
+    def test_is_reciprocal_of_sd(self):
+        sd = decompression_index(1.0, 1e6, 0.35)
+        dd = density_index(1.0, 1e6, 0.35)
+        assert sd * dd == pytest.approx(1.0)
+
+
+class TestTransistorDensity:
+    def test_direct(self):
+        assert transistor_density(2.0, 1e7) == pytest.approx(5e6)
+
+    def test_from_sd_consistency(self):
+        # T_d = 1/(lambda^2 sd): both routes agree.
+        area, n, lam = 1.5, 8e6, 0.25
+        sd = decompression_index(area, n, lam)
+        assert transistor_density_from_sd(sd, lam) == pytest.approx(
+            transistor_density(area, n), rel=1e-12)
+
+    def test_itrs_1999_magnitude(self):
+        # sd=467.6 at 180nm should give the ITRS 6.6M/cm^2 density back.
+        assert transistor_density_from_sd(467.6, 0.18) == pytest.approx(6.6e6, rel=0.01)
+
+
+class TestInverses:
+    def test_area_from_sd_round_trip(self):
+        area = area_from_sd(300, 1e7, 0.18)
+        assert decompression_index(area, 1e7, 0.18) == pytest.approx(300.0)
+
+    def test_area_from_sd_figure3_anchor(self):
+        # 10M tx at sd=300, 0.18um -> 0.972 cm^2.
+        assert area_from_sd(300, 1e7, 0.18) == pytest.approx(0.972)
+
+    def test_transistors_from_sd_round_trip(self):
+        n = transistors_from_sd(300, 3.4, 0.18)
+        assert area_from_sd(300, n, 0.18) == pytest.approx(3.4)
+
+    def test_feature_from_sd_round_trip(self):
+        lam = feature_from_sd(300, 0.972, 1e7)
+        assert lam == pytest.approx(0.18, rel=1e-9)
+
+    def test_feature_from_sd_monotone_in_area(self):
+        assert feature_from_sd(300, 2.0, 1e7) > feature_from_sd(300, 1.0, 1e7)

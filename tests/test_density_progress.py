@@ -1,0 +1,84 @@
+"""Density-progress decomposition tests (§2.2.1's untraceable split, traced)."""
+
+import math
+
+import pytest
+
+from repro.data import DesignRegistry
+from repro.density import density_progress_decomposition
+from repro.errors import DomainError
+
+
+@pytest.fixture(scope="module")
+def reg():
+    return DesignRegistry.table_a1()
+
+
+class TestDecompositionAlgebra:
+    def test_parts_sum_to_total(self, reg):
+        p5 = reg.by_device("Pentium (P5)")
+        p3 = reg.by_device("Pentium III")
+        progress = density_progress_decomposition(p5, p3)
+        assert progress.consistent()
+
+    def test_self_decomposition_is_zero(self, reg):
+        r = reg.by_index(11)
+        progress = density_progress_decomposition(r, r)
+        assert progress.total_log_gain == pytest.approx(0.0, abs=1e-12)
+        assert progress.process_log_gain == pytest.approx(0.0, abs=1e-12)
+
+    def test_antisymmetric(self, reg):
+        a, b = reg.by_index(3), reg.by_index(11)
+        fwd = density_progress_decomposition(a, b)
+        back = density_progress_decomposition(b, a)
+        assert fwd.total_log_gain == pytest.approx(-back.total_log_gain)
+        assert fwd.process_log_gain == pytest.approx(-back.process_log_gain)
+
+    def test_density_ratio(self, reg):
+        a, b = reg.by_index(3), reg.by_index(11)
+        progress = density_progress_decomposition(a, b)
+        assert progress.density_ratio == pytest.approx(
+            b.transistor_density_per_cm2 / a.transistor_density_per_cm2)
+
+    def test_no_change_share_undefined(self, reg):
+        r = reg.by_index(11)
+        progress = density_progress_decomposition(r, r)
+        with pytest.raises(DomainError):
+            _ = progress.design_share
+
+
+class TestPaperNarrative:
+    def test_intel_generational_gain_is_all_process(self, reg):
+        # P5 (0.8um, sd 148) -> Pentium III (0.25um, sd 207): density
+        # grew ~7x, but the DESIGN contribution is NEGATIVE — the shrink
+        # did all the work and design sparseness gave some back.
+        # Exactly §2.2.1's "difficult to trace" split, traced.
+        p5 = reg.by_device("Pentium (P5)")
+        p3 = reg.by_device("Pentium III")
+        progress = density_progress_decomposition(p5, p3)
+        assert progress.density_ratio > 4
+        assert progress.process_log_gain > 0
+        assert progress.design_log_gain < 0
+        assert progress.design_share < 0
+
+    def test_shrink_contribution_is_quadratic_in_lambda(self, reg):
+        p5 = reg.by_device("Pentium (P5)")
+        p3 = reg.by_device("Pentium III")
+        progress = density_progress_decomposition(p5, p3)
+        assert progress.process_log_gain == pytest.approx(
+            -2 * math.log(0.25 / 0.8), rel=1e-9)
+
+    def test_amd_k6_family_design_contribution_positive(self, reg):
+        # K6 (0.35, sd ~184 overall) -> K6-2 (0.25, sd 117): AMD's
+        # densification REINFORCED the shrink — the follower strategy
+        # visible in the decomposition.
+        k6 = reg.by_device("K6 (Model 6)")
+        k6_2 = reg.by_device("K6-2")
+        progress = density_progress_decomposition(k6, k6_2)
+        assert progress.design_log_gain > 0
+        assert 0 < progress.design_share < 1
+
+    def test_every_consecutive_intel_pair_consistent(self, reg):
+        intel = list(reg.by_vendor("Intel").sorted_by(lambda r: (r.year, r.index)))
+        for a, b in zip(intel, intel[1:]):
+            assert density_progress_decomposition(a, b).consistent()

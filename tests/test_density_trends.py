@@ -1,0 +1,106 @@
+"""Figure-1 trend analytics tests (§2.2.2's two messages)."""
+
+import pytest
+
+from repro.data import DesignRegistry
+from repro.density import (
+    extract_points,
+    sd_feature_rank_correlation,
+    sd_vs_feature_fit,
+    sd_vs_year_fit,
+    vendor_density_advantage,
+    vendor_trends,
+)
+from repro.errors import DomainError
+
+
+@pytest.fixture(scope="module")
+def reg():
+    return DesignRegistry.table_a1()
+
+
+class TestExtractPoints:
+    def test_one_point_per_row(self, reg):
+        assert len(extract_points(reg)) == 49
+
+    def test_points_carry_metadata(self, reg):
+        p = extract_points(reg)[0]
+        assert p.vendor and p.device
+        assert p.sd_logic > 0
+        assert p.feature_um > 0
+
+
+class TestRisingSparsenessTrend:
+    """Message 1: industrial s_d worsens as feature size shrinks."""
+
+    def test_power_law_exponent_negative(self, reg):
+        fit = sd_vs_feature_fit(reg)
+        assert fit.slope < 0  # s_d grows as lambda shrinks
+
+    def test_rank_correlation_negative(self, reg):
+        assert sd_feature_rank_correlation(reg) < 0
+
+    def test_mpu_only_trend_also_rising(self, reg):
+        from repro.data import DeviceCategory
+        mpus = reg.by_category(DeviceCategory.MICROPROCESSOR)
+        fit = sd_vs_feature_fit(mpus)
+        assert fit.slope < 0
+
+    def test_temporal_trend_positive(self, reg):
+        fit = sd_vs_year_fit(reg)
+        assert fit.slope > 0  # s_d grows with year
+
+    def test_fit_predicts_in_data_range(self, reg):
+        fit = sd_vs_feature_fit(reg)
+        pred = fit.predict(0.25)
+        assert 100 < pred < 800
+
+    def test_too_few_points_raises(self, reg):
+        with pytest.raises(DomainError):
+            sd_vs_feature_fit(reg[:2])
+
+
+class TestVendorTrends:
+    def test_every_vendor_appears(self, reg):
+        trends = vendor_trends(reg)
+        assert {t.vendor for t in trends} == set(reg.vendors())
+
+    def test_intel_trend_is_rising(self, reg):
+        trends = {t.vendor: t for t in vendor_trends(reg)}
+        assert trends["Intel"].is_rising()
+
+    def test_single_design_vendor_has_no_fit(self, reg):
+        trends = {t.vendor: t for t in vendor_trends(reg)}
+        assert trends["Sun"].fit_vs_year is None  # one design (MAJC)
+
+    def test_mean_sd_positive(self, reg):
+        for t in vendor_trends(reg):
+            assert t.mean_sd() > 0
+
+
+class TestVendorAdvantage:
+    """Message 2: AMD shipped denser designs than Intel until the K7."""
+
+    def test_amd_advantage_before_k7(self, reg):
+        pre_k7 = reg.filter(lambda r: not (r.vendor == "AMD" and "K7" in r.device))
+        matches = vendor_density_advantage(pre_k7, "AMD", "Intel")
+        assert matches, "AMD and Intel must share nodes"
+        ratios = [ratio for _, _, ratio in matches]
+        # Most pre-K7 AMD parts denser (ratio < 1) than node-matched Intel.
+        assert sum(1 for r in ratios if r < 1) >= len(ratios) / 2
+
+    def test_k6_family_strictly_denser(self, reg):
+        k6_only = reg.filter(
+            lambda r: r.vendor == "Intel" or "K6" in r.device)
+        matches = vendor_density_advantage(k6_only, "AMD", "Intel")
+        assert matches
+        assert all(ratio < 1 for _, _, ratio in matches)
+
+    def test_matching_respects_tolerance(self, reg):
+        matches = vendor_density_advantage(reg, "AMD", "Intel", feature_tolerance=0.0)
+        for pa, pb, _ in matches:
+            assert pa.feature_um == pb.feature_um
+
+    def test_unknown_vendor_raises(self, reg):
+        with pytest.raises(DomainError):
+            vendor_density_advantage(reg, "AMD", "Nonexistent")

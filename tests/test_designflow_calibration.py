@@ -1,0 +1,127 @@
+"""Eq.-(6) calibration tests — recovering the paper's constants."""
+
+import numpy as np
+import pytest
+
+from repro.cost import DesignCostModel
+from repro.designflow import DesignFlowSimulator, fit_design_cost_model
+from repro.errors import CalibrationError
+
+
+def synthetic_samples(model: DesignCostModel, noise: float = 0.0, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    n, s, c = [], [], []
+    for n_tr in (1e6, 3e6, 1e7, 3e7, 1e8):
+        for sd in (110, 125, 150, 200, 300, 500):
+            n.append(n_tr)
+            s.append(sd)
+            cost = model.cost(n_tr, sd)
+            if noise:
+                cost *= float(np.exp(rng.normal(0, noise)))
+            c.append(cost)
+    return n, s, c
+
+
+class TestExactRecovery:
+    def test_recovers_paper_constants_noiseless(self):
+        truth = DesignCostModel()  # A0=1000, p1=1, p2=1.2, sd0=100
+        n, s, c = synthetic_samples(truth)
+        fit = fit_design_cost_model(n, s, c, sd0=100.0)
+        assert fit.a0 == pytest.approx(1000.0, rel=1e-6)
+        assert fit.p1 == pytest.approx(1.0, abs=1e-9)
+        assert fit.p2 == pytest.approx(1.2, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-12)
+
+    def test_recovers_sd0_when_fitted(self):
+        truth = DesignCostModel(sd0=100.0)
+        n, s, c = synthetic_samples(truth)
+        fit = fit_design_cost_model(n, s, c)
+        assert fit.sd0 == pytest.approx(100.0, abs=1.0)
+        assert fit.p2 == pytest.approx(1.2, abs=0.05)
+
+    def test_recovers_nonstandard_constants(self):
+        truth = DesignCostModel(a0=250.0, p1=0.8, p2=1.5, sd0=80.0)
+        n, s, c = synthetic_samples(truth)
+        fit = fit_design_cost_model(n, s, c, sd0=80.0)
+        assert fit.a0 == pytest.approx(250.0, rel=1e-6)
+        assert fit.p1 == pytest.approx(0.8, abs=1e-9)
+        assert fit.p2 == pytest.approx(1.5, abs=1e-9)
+
+
+class TestNoisyRecovery:
+    def test_tolerates_lognormal_noise(self):
+        truth = DesignCostModel()
+        n, s, c = synthetic_samples(truth, noise=0.2, seed=42)
+        fit = fit_design_cost_model(n, s, c, sd0=100.0)
+        assert fit.p1 == pytest.approx(1.0, abs=0.15)
+        assert fit.p2 == pytest.approx(1.2, abs=0.3)
+        assert fit.r_squared > 0.9
+        assert fit.residual_log_std == pytest.approx(0.2, rel=0.5)
+
+
+class TestSimulatorCalibration:
+    """The reproduction's substitution claim: the iteration mechanism
+    generates data whose eq.-(6) fit has a genuine divergence (p2 > 0)
+    and sensible size scaling."""
+
+    def test_fit_from_simulated_projects(self):
+        sim = DesignFlowSimulator()
+        n, s, c = [], [], []
+        for n_tr in (1e6, 1e7, 1e8):
+            for sd in (105, 110, 120, 135, 160, 200):
+                n.append(n_tr)
+                s.append(sd)
+                c.append(sim.expected_cost_analytic(n_tr, sd, 0.13))
+        fit = fit_design_cost_model(n, s, c, sd0=100.0)
+        assert fit.p2 > 0.3          # real divergence towards sd0
+        assert 0.4 < fit.p1 < 1.0    # sub-linear size scaling (exponent 0.75 pass cost)
+        assert fit.r_squared > 0.9
+
+    def test_fitted_model_predicts_simulator(self):
+        sim = DesignFlowSimulator()
+        n, s, c = [], [], []
+        for n_tr in (1e6, 1e7, 1e8):
+            for sd in (105, 110, 120, 135, 160, 200):
+                n.append(n_tr)
+                s.append(sd)
+                c.append(sim.expected_cost_analytic(n_tr, sd, 0.13))
+        fit = fit_design_cost_model(n, s, c, sd0=100.0)
+        # In-sample prediction within ~2x everywhere.
+        for n_tr, sd, cost in zip(n, s, c):
+            assert fit.model.cost(n_tr, sd) == pytest.approx(cost, rel=1.0)
+
+
+class TestDegenerateData:
+    def test_too_few_samples(self):
+        with pytest.raises(CalibrationError, match="at least 4"):
+            fit_design_cost_model([1e6], [150], [1e6])
+
+    def test_single_n_tr(self):
+        with pytest.raises(CalibrationError, match="distinct N_tr"):
+            fit_design_cost_model([1e6] * 4, [110, 150, 200, 300], [4e6, 2e6, 1e6, 5e5])
+
+    def test_single_sd(self):
+        with pytest.raises(CalibrationError, match="distinct s_d"):
+            fit_design_cost_model([1e6, 2e6, 4e6, 8e6], [150] * 4, [1e6, 2e6, 4e6, 8e6])
+
+    def test_nonpositive_cost(self):
+        with pytest.raises(CalibrationError, match="strictly positive"):
+            fit_design_cost_model([1e6, 2e6, 4e6, 8e6], [110, 150, 200, 300],
+                                  [1e6, -2e6, 4e6, 8e6])
+
+    def test_sd0_above_observed_sd(self):
+        with pytest.raises(CalibrationError, match="below the smallest"):
+            fit_design_cost_model([1e6, 2e6, 4e6, 8e6], [110, 150, 200, 300],
+                                  [4e6, 2e6, 1e6, 5e5], sd0=120.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(CalibrationError, match="equal length"):
+            fit_design_cost_model([1e6, 2e6], [150], [1e6, 2e6])
+
+    def test_no_divergence_raises(self):
+        # Costs INCREASING in sd cannot be fit with positive p2.
+        n = [1e6, 1e6, 1e6, 1e6, 2e6, 2e6, 2e6, 2e6]
+        s = [110, 150, 200, 300] * 2
+        c = [1e6, 2e6, 4e6, 8e6, 2e6, 4e6, 8e6, 16e6]
+        with pytest.raises(CalibrationError, match="no divergence"):
+            fit_design_cost_model(n, s, c, sd0=100.0)

@@ -1,0 +1,98 @@
+"""Iteration-cost model and Monte-Carlo simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.designflow import DesignFlowSimulator, IterationCostModel, TimingClosureModel
+from repro.errors import DomainError
+
+
+class TestIterationCostModel:
+    def test_weeks_scale_sublinearly(self):
+        m = IterationCostModel(size_exponent=0.75)
+        assert m.weeks_per_pass(1e8) == pytest.approx(
+            m.weeks_per_pass(1e7) * 10**0.75)
+
+    def test_reference_weeks(self):
+        m = IterationCostModel()
+        assert m.weeks_per_pass(1e7) == pytest.approx(6.0)
+
+    def test_cost_per_pass_components(self):
+        m = IterationCostModel(team_rate_usd_per_week=100_000.0,
+                               weeks_at_reference=5.0,
+                               compute_usd_per_pass=25_000.0)
+        assert m.cost_per_pass(1e7) == pytest.approx(525_000.0)
+
+    def test_expected_cost_scales_with_iterations(self):
+        m = IterationCostModel(silicon_fraction=0.0)
+        assert m.expected_cost(1e7, 4.0) == pytest.approx(2 * m.expected_cost(1e7, 2.0))
+
+    def test_respins_add_mask_cost(self):
+        m = IterationCostModel(silicon_fraction=0.5, mask_set_usd=1e6)
+        no_respin = IterationCostModel(silicon_fraction=1e-300, mask_set_usd=1e6)
+        extra = m.expected_cost(1e7, 3.0) - no_respin.expected_cost(1e7, 3.0)
+        assert extra == pytest.approx((3 - 1) * 0.5 * 1e6, rel=1e-6)
+
+    def test_iterations_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            IterationCostModel().expected_cost(1e7, 0.5)
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return DesignFlowSimulator()
+
+    def test_project_sample_fields(self, sim):
+        s = sim.simulate_project(1e7, 200, 0.18, rng=np.random.default_rng(0))
+        assert s.iterations >= 1
+        assert s.cost_usd > 0
+        assert s.schedule_weeks > 0
+        assert s.silicon_respins <= s.iterations
+
+    def test_reproducible_with_seed(self, sim):
+        a = sim.simulate_many(1e7, 200, 0.18, n_projects=10, seed=7)
+        b = sim.simulate_many(1e7, 200, 0.18, n_projects=10, seed=7)
+        assert [s.cost_usd for s in a] == [s.cost_usd for s in b]
+
+    def test_monte_carlo_matches_analytic(self, sim):
+        mc = sim.mean_cost(1e7, 150, 0.18, n_projects=3000, seed=11)
+        analytic = sim.expected_cost_analytic(1e7, 150, 0.18)
+        assert mc == pytest.approx(analytic, rel=0.1)
+
+    def test_denser_design_costs_more(self, sim):
+        cheap = sim.expected_cost_analytic(1e7, 500, 0.18)
+        pricey = sim.expected_cost_analytic(1e7, 110, 0.18)
+        assert pricey > 2 * cheap
+
+    def test_finer_node_costs_more(self, sim):
+        assert sim.expected_cost_analytic(1e7, 150, 0.09) > \
+            sim.expected_cost_analytic(1e7, 150, 0.25)
+
+    def test_regularity_cuts_cost(self, sim):
+        assert sim.expected_cost_analytic(1e7, 150, 0.09, regularity=1.0) < \
+            sim.expected_cost_analytic(1e7, 150, 0.09, regularity=0.0)
+
+    def test_iteration_cap_enforced(self):
+        # A hopeless design point cannot loop forever.
+        hopeless = DesignFlowSimulator(
+            closure=TimingClosureModel(floor_probability=1e-3),
+            max_iterations=50,
+        )
+        s = hopeless.simulate_project(1e7, 100.0001, 0.05,
+                                      rng=np.random.default_rng(1))
+        assert s.iterations <= 50
+
+    def test_analytic_raises_beyond_cap(self):
+        tight = DesignFlowSimulator(max_iterations=5)
+        with pytest.raises(DomainError, match="exceeds the cap"):
+            tight.expected_cost_analytic(1e7, 100.01, 0.05)
+
+    def test_sample_grid_size(self, sim):
+        samples = sim.sample_grid([1e6, 1e7], [150, 300], 0.18, n_projects=3)
+        assert len(samples) == 2 * 2 * 3
+
+    def test_schedule_tracks_iterations(self, sim):
+        s = sim.simulate_project(1e7, 150, 0.18, rng=np.random.default_rng(5))
+        assert s.schedule_weeks == pytest.approx(
+            s.iterations * sim.iteration_cost.weeks_per_pass(1e7))

@@ -1,0 +1,148 @@
+"""Staged-flow (absorbing Markov chain) tests."""
+
+import numpy as np
+import pytest
+
+from repro.designflow import DEFAULT_STAGES, Stage, StagedFlowModel, TimingClosureModel
+from repro.errors import DomainError
+from repro.interconnect import PredictionErrorModel
+
+
+class TestStageValidation:
+    def test_forward_restart_rejected(self):
+        bad = (Stage("a", 1.0, 0.5, 0.5, restart_stage=1),
+               Stage("b", 0.0, 0.5, 0.5, restart_stage=0))
+        with pytest.raises(DomainError, match="restarts forward"):
+            StagedFlowModel(stages=bad)
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(DomainError):
+            StagedFlowModel(stages=())
+
+    def test_increasing_residual_rejected_at_use(self):
+        bad = (Stage("a", 0.5, 0.5, 0.5, 0), Stage("b", 0.9, 0.5, 0.5, 0))
+        model = StagedFlowModel(stages=bad)
+        with pytest.raises(DomainError, match="increases the residual"):
+            model.pass_probability(1, 200)
+
+    def test_default_stages_consistent(self):
+        model = StagedFlowModel()
+        residuals = [s.residual_sigma for s in DEFAULT_STAGES]
+        assert residuals == sorted(residuals, reverse=True)
+        assert residuals[-1] == 0.0
+        assert sum(s.cost_fraction for s in DEFAULT_STAGES) == pytest.approx(1.0)
+        assert sum(s.weeks_fraction for s in DEFAULT_STAGES) == pytest.approx(1.0)
+
+
+class TestPassProbabilities:
+    def test_zero_resolution_stage_always_passes(self):
+        # A stage that reveals nothing new cannot fail.
+        stages = (Stage("a", 1.0, 0.5, 0.5, 0),   # reveals nothing (1.0 -> 1.0? no: prev=1, cur=1)
+                  Stage("b", 0.0, 0.5, 0.5, 0))
+        model = StagedFlowModel(stages=stages)
+        assert model.pass_probability(0, 200) == 1.0
+
+    def test_probabilities_in_unit_interval(self):
+        model = StagedFlowModel()
+        for i in range(len(DEFAULT_STAGES)):
+            p = model.pass_probability(i, 150)
+            assert 0 < p <= 1
+
+    def test_sparser_design_passes_easier(self):
+        model = StagedFlowModel()
+        for i in range(len(DEFAULT_STAGES)):
+            assert model.pass_probability(i, 600) >= model.pass_probability(i, 110)
+
+    def test_bad_stage_index(self):
+        with pytest.raises(DomainError):
+            StagedFlowModel().pass_probability(99, 200)
+
+    def test_margin_domain(self):
+        with pytest.raises(DomainError):
+            StagedFlowModel().margin(100.0)
+
+
+class TestMarkovChain:
+    def test_visits_at_least_one_each(self):
+        result = StagedFlowModel().analyse(200)
+        assert all(v >= 1.0 - 1e-12 for v in result.expected_visits)
+
+    def test_easy_design_one_pass(self):
+        result = StagedFlowModel().analyse(5000)
+        assert result.expected_cost_passes == pytest.approx(1.0, rel=0.05)
+        assert result.expected_weeks_passes == pytest.approx(1.0, rel=0.05)
+
+    def test_tight_design_many_passes(self):
+        tight = StagedFlowModel().analyse(105)
+        easy = StagedFlowModel().analyse(1000)
+        assert tight.expected_cost_passes > 3 * easy.expected_cost_passes
+
+    def test_single_stage_recovers_single_loop_model(self):
+        # One stage resolving everything == the TimingClosureModel loop.
+        one = StagedFlowModel(
+            stages=(Stage("flow", 0.0, 1.0, 1.0, 0),),
+            sigma0=0.10,
+        )
+        closure = TimingClosureModel(
+            prediction_error=PredictionErrorModel(sigma_at_reference=0.10),
+        )
+        for sd in (110, 150, 300):
+            staged = one.analyse(sd).expected_cost_passes
+            loop = closure.expected_iterations(sd, 0.18)
+            assert staged == pytest.approx(loop, rel=1e-9)
+
+    def test_visits_satisfy_chain_equations(self):
+        # v = e0 + v Q  (expected-visits balance).
+        model = StagedFlowModel()
+        sd = 140.0
+        result = model.analyse(sd)
+        k = len(model.stages)
+        probs = [model.pass_probability(i, sd) for i in range(k)]
+        q = np.zeros((k, k))
+        for i, stage in enumerate(model.stages):
+            if i + 1 < k:
+                q[i, i + 1] = probs[i]
+            q[i, stage.restart_stage] += 1 - probs[i]
+        v = np.array(result.expected_visits)
+        balance = np.zeros(k)
+        balance[0] = 1.0
+        np.testing.assert_allclose(v, balance + v @ q, rtol=1e-9)
+
+    def test_late_failures_cost_more(self):
+        # Same pass probabilities, but failures at routing restart at
+        # placement: expected cost exceeds a flow that restarts locally.
+        local = tuple(
+            Stage(s.name, s.residual_sigma, s.cost_fraction, s.weeks_fraction, i)
+            for i, s in enumerate(DEFAULT_STAGES))
+        looping = DEFAULT_STAGES
+        sd = 130.0
+        local_cost = StagedFlowModel(stages=local).analyse(sd).expected_cost_passes
+        loop_cost = StagedFlowModel(stages=looping).analyse(sd).expected_cost_passes
+        assert loop_cost > local_cost
+
+
+class TestEarlyPredictionGain:
+    def test_gain_reduces_cost(self):
+        base = StagedFlowModel()
+        sharp = base.with_early_prediction_gain(4.0)
+        assert sharp.analyse(130).expected_cost_passes < \
+            base.analyse(130).expected_cost_passes
+
+    def test_gain_below_one_rejected(self):
+        with pytest.raises(DomainError):
+            StagedFlowModel().with_early_prediction_gain(0.5)
+
+    def test_section32_lever_beats_signoff_speedup(self):
+        # For a density-aggressive design, regularity (sharper sigma0)
+        # cuts expected SCHEDULE far more than making the signoff stage
+        # free would: the early-prediction lever is the strong one.
+        base = StagedFlowModel()
+        sd = 115.0
+        base_weeks = base.analyse(sd).expected_weeks_passes
+        sharp_weeks = base.with_early_prediction_gain(4.0).analyse(sd).expected_weeks_passes
+        free_signoff = tuple(
+            Stage(s.name, s.residual_sigma, s.cost_fraction,
+                  1e-9 if s.name == "signoff" else s.weeks_fraction, s.restart_stage)
+            for s in DEFAULT_STAGES)
+        free_weeks = StagedFlowModel(stages=free_signoff).analyse(sd).expected_weeks_passes
+        assert (base_weeks - sharp_weeks) > (base_weeks - free_weeks)

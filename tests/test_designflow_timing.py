@@ -1,0 +1,120 @@
+"""Timing-closure model tests (§2.4's Bernoulli pass)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.designflow import TimingClosureModel, normal_cdf
+from repro.errors import DomainError
+from repro.interconnect import PredictionErrorModel
+
+
+class TestNormalCdf:
+    def test_center(self):
+        assert normal_cdf(0.0) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        assert normal_cdf(1.96) == pytest.approx(0.975, abs=1e-3)
+
+    def test_symmetry(self):
+        assert normal_cdf(-1.3) == pytest.approx(1 - normal_cdf(1.3))
+
+    def test_array(self):
+        out = normal_cdf(np.array([-1.0, 0.0, 1.0]))
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+
+class TestMargin:
+    def test_zero_at_bound_limit(self):
+        m = TimingClosureModel()
+        assert m.margin(100.001) == pytest.approx(0.0, abs=1e-5)
+
+    def test_saturates_at_margin_per_headroom(self):
+        m = TimingClosureModel(margin_per_headroom=0.35)
+        assert m.margin(1e9) == pytest.approx(0.35, rel=1e-6)
+
+    def test_monotone_in_sd(self):
+        m = TimingClosureModel()
+        margins = [m.margin(sd) for sd in (105, 150, 300, 900)]
+        assert margins == sorted(margins)
+
+    def test_rejects_sd_at_bound(self):
+        with pytest.raises(DomainError):
+            TimingClosureModel().margin(100.0)
+
+
+class TestClosureProbability:
+    def test_two_sided_form(self):
+        m = TimingClosureModel()
+        sd, lam = 200.0, 0.18
+        margin = m.margin(sd)
+        sigma = m.prediction_error.sigma(lam)
+        expected = 2 * normal_cdf(margin / sigma) - 1
+        assert m.closure_probability(sd, lam) == pytest.approx(expected)
+
+    def test_floor_applies_near_bound(self):
+        m = TimingClosureModel(floor_probability=0.01)
+        assert m.closure_probability(100.0001, 0.18) == pytest.approx(0.01)
+
+    def test_monotone_in_sd(self):
+        m = TimingClosureModel()
+        probs = [m.closure_probability(sd, 0.18) for sd in (105, 150, 300, 900)]
+        assert probs == sorted(probs)
+
+    def test_finer_node_harder(self):
+        m = TimingClosureModel()
+        assert m.closure_probability(200, 0.05) < m.closure_probability(200, 0.25)
+
+    def test_regularity_helps(self):
+        m = TimingClosureModel()
+        assert m.closure_probability(200, 0.13, regularity=1.0) > \
+            m.closure_probability(200, 0.13, regularity=0.0)
+
+    def test_array_sweep(self):
+        m = TimingClosureModel()
+        out = m.closure_probability(np.array([150.0, 300.0]), 0.18)
+        assert out.shape == (2,)
+
+
+class TestExpectedIterations:
+    def test_reciprocal_of_probability(self):
+        m = TimingClosureModel()
+        p = m.closure_probability(200, 0.18)
+        assert m.expected_iterations(200, 0.18) == pytest.approx(1 / p)
+
+    def test_diverges_towards_bound(self):
+        m = TimingClosureModel()
+        assert m.expected_iterations(101, 0.13) > 10 * m.expected_iterations(200, 0.13)
+
+    def test_near_one_for_very_sparse(self):
+        m = TimingClosureModel()
+        assert m.expected_iterations(5000, 0.25) == pytest.approx(1.0, rel=0.05)
+
+    def test_eq6_mechanism_inverse_margin(self):
+        # Near the bound: iterations ~ 1/(sd - sd0), the eq.-(6) shape
+        # with p2 ~ 1.
+        m = TimingClosureModel()
+        i1 = m.expected_iterations(101, 0.13)
+        i2 = m.expected_iterations(102, 0.13)
+        assert i1 / i2 == pytest.approx(2.0, rel=0.05)
+
+    def test_nanometre_node_multiplies_iterations(self):
+        # §2.4: prediction degradation at finer nodes inflates the loop
+        # count for the same design style.
+        m = TimingClosureModel()
+        assert m.expected_iterations(150, 0.05) > 2 * m.expected_iterations(150, 0.25)
+
+
+class TestConfiguration:
+    def test_custom_prediction_model(self):
+        sharp = TimingClosureModel(prediction_error=PredictionErrorModel(sigma_at_reference=0.01))
+        blunt = TimingClosureModel(prediction_error=PredictionErrorModel(sigma_at_reference=0.5))
+        assert sharp.expected_iterations(150, 0.18) < blunt.expected_iterations(150, 0.18)
+
+    def test_floor_validated(self):
+        with pytest.raises(DomainError):
+            TimingClosureModel(floor_probability=0.0)
+        with pytest.raises(DomainError):
+            TimingClosureModel(floor_probability=1.0)

@@ -1,0 +1,25 @@
+"""Execute the doctests embedded in module/class docstrings.
+
+Keeps every usage example in the documentation honest — a drifting API
+breaks the build, not the reader.
+"""
+
+import doctest
+import importlib
+
+import pytest
+
+MODULES_WITH_EXAMPLES = [
+    "repro",
+    "repro.data.registry",
+    "repro.yieldmodels.models",
+    "repro.roadmap.scenarios",
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES_WITH_EXAMPLES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+    assert results.attempted > 0, f"no doctests found in {module_name} (stale list?)"

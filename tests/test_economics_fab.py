@@ -1,0 +1,90 @@
+"""Fab-economics model tests (the 'high-cost era' numbers)."""
+
+import pytest
+
+from repro.economics import FabModel, moores_second_law_capex
+from repro.errors import DomainError
+from repro.wafer import DEFAULT_WAFER_COST_MODEL, WAFER_300MM
+
+
+class TestMooresSecondLaw:
+    def test_anchor(self):
+        assert moores_second_law_capex(0.18) == pytest.approx(1.5e9)
+
+    def test_growth_per_node(self):
+        # One x0.7 shrink -> x1.5 capex.
+        assert moores_second_law_capex(0.18 * 0.7) == pytest.approx(1.5e9 * 1.5, rel=1e-9)
+
+    def test_nanometer_horizon_many_billions(self):
+        # The paper's premise: 35 nm fabs cost "many billions".
+        capex = moores_second_law_capex(0.035)
+        assert capex > 8e9
+
+    def test_older_node_cheaper(self):
+        assert moores_second_law_capex(0.5) < 1.5e9
+
+    def test_invalid_shrink(self):
+        with pytest.raises(ValueError):
+            moores_second_law_capex(0.18, shrink_per_node=1.2)
+
+
+class TestFabModel:
+    def test_default_consistent_with_paper_anchor(self):
+        # A $1.5B 200mm fab at 30k wspm should land near the paper's
+        # 8 $/cm^2 (within ~2x — both are era-typical figures).
+        fab = FabModel()
+        assert 3.0 < fab.cost_per_cm2() < 16.0
+
+    def test_cost_decomposition(self):
+        fab = FabModel(capex_usd=1e9, depreciation_years=5.0,
+                       wafer_starts_per_month=20_000, utilization=1.0,
+                       operating_cost_fraction=1.0)
+        # dep = 200M/yr, op = 200M/yr, wafers = 240k/yr -> $1667/wafer.
+        assert fab.cost_per_wafer() == pytest.approx(400e6 / 240_000)
+
+    def test_at_node_uses_moores_law(self):
+        fab = FabModel.at_node(0.07)
+        assert fab.capex_usd == pytest.approx(moores_second_law_capex(0.07))
+
+    def test_nanometer_fab_costlier_silicon(self):
+        # Same throughput, bigger capex -> costlier cm^2: the mechanism
+        # behind WaferCostModel.feature_factor.
+        old = FabModel.at_node(0.25)
+        new = FabModel.at_node(0.07)
+        assert new.cost_per_cm2() > 2 * old.cost_per_cm2()
+
+    def test_trend_direction_matches_wafer_cost_model(self):
+        fab_ratio = FabModel.at_node(0.09).cost_per_cm2() / FabModel.at_node(0.18).cost_per_cm2()
+        model_ratio = (DEFAULT_WAFER_COST_MODEL.cost_per_cm2(0.09)
+                       / DEFAULT_WAFER_COST_MODEL.cost_per_cm2(0.18))
+        # Both grow, same order of magnitude.
+        assert fab_ratio > 1 and model_ratio > 1
+        assert 0.3 < fab_ratio / model_ratio < 3.0
+
+    def test_bigger_wafer_cheaper_per_cm2(self):
+        small = FabModel()
+        big = FabModel(wafer=WAFER_300MM)
+        assert big.cost_per_cm2() < small.cost_per_cm2()
+
+    def test_utilization_raises_unit_cost(self):
+        busy = FabModel(utilization=0.95)
+        idle = FabModel(utilization=0.5)
+        assert idle.cost_per_wafer() > busy.cost_per_wafer()
+
+    def test_breakeven_price_margin(self):
+        fab = FabModel()
+        assert fab.breakeven_wafer_price(0.5) == pytest.approx(2 * fab.cost_per_wafer())
+        with pytest.raises(ValueError):
+            fab.breakeven_wafer_price(1.0)
+
+    def test_idle_cost(self):
+        fab = FabModel(utilization=0.8)
+        assert fab.idle_cost_per_year(0.8) == 0.0
+        assert fab.idle_cost_per_year(0.4) == pytest.approx(
+            0.5 * fab.annual_depreciation_usd())
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            FabModel(capex_usd=-1)
+        with pytest.raises(DomainError):
+            FabModel(utilization=1.5)

@@ -1,0 +1,89 @@
+"""Time-to-market economics tests — deriving the Figure-1 drift."""
+
+import pytest
+
+from repro.cost import PAPER_FIGURE4_MODEL
+from repro.economics import MarketWindowModel, profit_optimal_sd
+from repro.errors import DomainError
+from repro.optimize import optimal_sd
+
+POINT = dict(n_transistors=1e7, feature_um=0.18, yield_fraction=0.8, cm_sq=8.0)
+
+
+class TestMarketWindowModel:
+    def test_peak_at_zero_delay(self):
+        m = MarketWindowModel(peak_revenue_usd=1e8, window_weeks=50)
+        assert m.revenue(0) == pytest.approx(1e8)
+
+    def test_e_folding(self):
+        import math
+        m = MarketWindowModel(peak_revenue_usd=1e8, window_weeks=50)
+        assert m.revenue(50) == pytest.approx(1e8 * math.exp(-1))
+
+    def test_revenue_lost_complementary(self):
+        m = MarketWindowModel()
+        assert m.revenue(30) + m.revenue_lost(30) == pytest.approx(m.peak_revenue_usd)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(DomainError):
+            MarketWindowModel().revenue(-1)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            MarketWindowModel(window_weeks=0)
+
+
+class TestProfitOptimalSd:
+    def solve(self, window_weeks, **overrides):
+        market = MarketWindowModel(peak_revenue_usd=5e8, window_weeks=window_weeks)
+        kwargs = dict(POINT, n_units=2e6)
+        kwargs.update(overrides)
+        return profit_optimal_sd(market, PAPER_FIGURE4_MODEL, **kwargs)
+
+    def test_interior_optimum(self):
+        p = self.solve(60)
+        assert 100 < p.sd < 4000
+        assert p.profit_usd > 0
+
+    def test_profit_decomposition(self):
+        p = self.solve(60)
+        assert p.profit_usd == pytest.approx(
+            p.revenue_usd - p.silicon_cost_usd - p.design_cost_usd)
+
+    def test_shorter_window_sparser_design(self):
+        # The §2.2.2 mechanism: TTM pressure pushes s_d UP.
+        hot = self.solve(20)
+        cool = self.solve(200)
+        assert hot.sd > cool.sd
+        assert hot.schedule_weeks < cool.schedule_weeks
+
+    def test_ttm_pressure_exceeds_cost_optimum(self):
+        # Profit-optimal s_d > cost-optimal s_d for a hot market —
+        # Figure 1's industrial drift, derived.
+        cost_opt = optimal_sd(PAPER_FIGURE4_MODEL, n_wafers=50_000, **POINT)
+        profit_opt = self.solve(30)
+        assert profit_opt.sd > cost_opt.sd_opt
+
+    def test_infinite_window_approaches_cost_logic(self):
+        # With a very long window revenue barely depends on schedule,
+        # so silicon economics pull the optimum back towards dense.
+        patient = self.solve(5000)
+        hot = self.solve(20)
+        assert patient.sd < hot.sd
+
+    def test_more_units_denser_design(self):
+        # Higher volume raises the silicon stake, pushing density.
+        small = self.solve(60, n_units=2e5)
+        large = self.solve(60, n_units=2e7)
+        assert large.sd < small.sd
+
+    def test_regularity_relieves_ttm_pressure(self):
+        # A regular (predictable) flow closes faster at equal density,
+        # so the profit optimum can afford to be denser.
+        irregular = self.solve(30, regularity=0.0)
+        regular = self.solve(30, regularity=1.0)
+        assert regular.sd < irregular.sd
+
+    def test_invalid_bracket(self):
+        with pytest.raises(DomainError):
+            self.solve(60, sd_max=50.0)

@@ -1,0 +1,48 @@
+"""Exception-hierarchy contract tests."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.DomainError,
+            errors.UnitError,
+            errors.DataError,
+            errors.UnknownRecordError,
+            errors.InconsistentRecordError,
+            errors.CalibrationError,
+            errors.ConvergenceError,
+            errors.LayoutError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_domain_error_is_value_error(self):
+        # Generic numeric call sites catching ValueError keep working.
+        assert issubclass(errors.DomainError, ValueError)
+
+    def test_unit_error_is_value_error(self):
+        assert issubclass(errors.UnitError, ValueError)
+
+    def test_unknown_record_is_key_error(self):
+        assert issubclass(errors.UnknownRecordError, KeyError)
+
+    def test_inconsistent_record_is_value_error(self):
+        assert issubclass(errors.InconsistentRecordError, ValueError)
+
+    def test_convergence_is_runtime_error(self):
+        assert issubclass(errors.ConvergenceError, RuntimeError)
+
+    def test_unknown_record_str_is_readable(self):
+        # KeyError's default __str__ wraps in quotes; ours should not.
+        err = errors.UnknownRecordError("no row 99")
+        assert str(err) == "no row 99"
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.LayoutError("bad rect")

@@ -1,0 +1,78 @@
+"""Smoke tests: every example script runs, and the CLI reports.
+
+Examples are the library's de-facto acceptance tests — each exercises a
+different slice of the public API on a realistic scenario. They must
+run clean from a fresh checkout.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO / "examples").glob("*.py"))
+
+
+def run(script: Path) -> subprocess.CompletedProcess:
+    env_path = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+        cwd=REPO,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(EXAMPLES) >= 3
+
+    @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+    def test_example_runs_clean(self, script):
+        result = run(script)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip(), "example produced no output"
+
+    def test_quickstart_reports_paper_numbers(self):
+        result = run(REPO / "examples" / "quickstart.py")
+        assert "9.72" in result.stdout            # eq. (3) anchor value
+        assert "Optimal s_d" in result.stdout
+
+    def test_roadmap_example_reports_contradiction(self):
+        result = run(REPO / "examples" / "roadmap_feasibility.py")
+        assert "cost contradiction" in result.stdout
+
+    def test_iteration_study_reports_fit(self):
+        result = run(REPO / "examples" / "design_iteration_study.py")
+        assert "p2" in result.stdout
+        assert "R^2" in result.stdout
+
+
+class TestCli:
+    def test_module_invocation(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro"],
+            capture_output=True, text=True, timeout=120,
+            cwd=REPO, env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "cost contradiction" in result.stdout
+        assert "Figure 4 optima" in result.stdout
+
+    def test_unknown_command_rejected(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "frobnicate"],
+            capture_output=True, text=True, timeout=120,
+            cwd=REPO, env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 2
+        assert "unknown command" in result.stderr
+
+    def test_build_report_importable(self):
+        from repro.__main__ import build_report
+        text = build_report()
+        assert "Table A1: 49 designs" in text

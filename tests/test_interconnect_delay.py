@@ -1,0 +1,103 @@
+"""Wire-delay and prediction-error model tests."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.interconnect import (
+    PredictionErrorModel,
+    WireTechnology,
+    gate_delay_ps,
+    wire_delay_ps,
+    wire_dominance_length_um,
+)
+
+
+class TestWireTechnology:
+    def test_reference_values(self):
+        t = WireTechnology.at_node(0.18)
+        assert t.r_per_um_ohm == pytest.approx(0.08)
+        assert t.c_per_um_ff == pytest.approx(0.2)
+
+    def test_resistance_grows_with_shrink(self):
+        assert WireTechnology.at_node(0.09).r_per_um_ohm > \
+            WireTechnology.at_node(0.18).r_per_um_ohm
+
+    def test_capacitance_constant(self):
+        assert WireTechnology.at_node(0.05).c_per_um_ff == pytest.approx(
+            WireTechnology.at_node(0.5).c_per_um_ff)
+
+
+class TestDelays:
+    def test_gate_delay_scales_with_feature(self):
+        assert gate_delay_ps(0.09) == pytest.approx(gate_delay_ps(0.18) / 2)
+
+    def test_wire_delay_superlinear_in_length(self):
+        t = WireTechnology.at_node(0.18)
+        d1 = wire_delay_ps(t, 1000.0)
+        d2 = wire_delay_ps(t, 2000.0)
+        assert d2 > 2 * d1  # the RC^2 term
+
+    def test_short_wire_driver_dominated(self):
+        t = WireTechnology.at_node(0.18)
+        # For tiny wires the delay ~ R_drv * C_L, nearly length-free.
+        d1 = wire_delay_ps(t, 1.0)
+        d2 = wire_delay_ps(t, 2.0)
+        assert d2 / d1 < 1.2
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(DomainError):
+            wire_delay_ps(WireTechnology.at_node(0.18), 0.0)
+
+
+class TestWireDominance:
+    def test_crossover_exists(self):
+        t = WireTechnology.at_node(0.18)
+        l_star = wire_dominance_length_um(t)
+        gate = gate_delay_ps(0.18)
+        assert wire_delay_ps(t, l_star) == pytest.approx(gate, rel=1e-6)
+
+    def test_crossover_shrinks_with_feature(self):
+        # The nanometre problem: wires dominate at ever-shorter lengths.
+        l_180 = wire_dominance_length_um(WireTechnology.at_node(0.18))
+        l_90 = wire_dominance_length_um(WireTechnology.at_node(0.09))
+        assert l_90 < l_180
+
+
+class TestPredictionError:
+    def test_reference_sigma(self):
+        m = PredictionErrorModel()
+        assert m.sigma(0.18) == pytest.approx(0.10)
+
+    def test_grows_as_feature_shrinks(self):
+        m = PredictionErrorModel()
+        assert m.sigma(0.05) > m.sigma(0.18) > m.sigma(0.5)
+
+    def test_default_exponent_linear(self):
+        m = PredictionErrorModel()
+        assert m.sigma(0.09) == pytest.approx(2 * m.sigma(0.18))
+
+    def test_regularity_divides_error(self):
+        m = PredictionErrorModel(regularity_gain=4.0)
+        assert m.sigma(0.18, regularity=1.0) == pytest.approx(m.sigma(0.18) / 4.0)
+
+    def test_partial_regularity_interpolates(self):
+        m = PredictionErrorModel()
+        mid = m.sigma(0.18, regularity=0.5)
+        assert m.sigma(0.18, 1.0) < mid < m.sigma(0.18, 0.0)
+
+    def test_regularity_domain(self):
+        m = PredictionErrorModel()
+        with pytest.raises(DomainError):
+            m.sigma(0.18, regularity=1.5)
+        with pytest.raises(DomainError):
+            m.sigma(0.18, regularity=-0.1)
+
+    def test_gain_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PredictionErrorModel(regularity_gain=0.5)
+
+    def test_section32_composite_claim(self):
+        # A regular layout at 50 nm can be MORE predictable than an
+        # irregular one at 180 nm: regularity buys back the scaling loss.
+        m = PredictionErrorModel()
+        assert m.sigma(0.05, regularity=1.0) < m.sigma(0.18, regularity=0.0)

@@ -1,0 +1,73 @@
+"""Rent's-rule tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.interconnect import (
+    RENT_MEMORY,
+    RENT_RANDOM_LOGIC,
+    RENT_REGULAR_FABRIC,
+    RentModel,
+)
+
+
+class TestRentsRule:
+    def test_power_law(self):
+        m = RentModel(terminals_per_gate=4.0, exponent=0.5)
+        assert m.terminals(100) == pytest.approx(40.0)
+
+    def test_single_gate_has_t_terminals(self):
+        m = RentModel(terminals_per_gate=3.5, exponent=0.65)
+        assert m.terminals(1) == pytest.approx(3.5)
+
+    def test_terminals_grow_sublinearly(self):
+        m = RENT_RANDOM_LOGIC
+        assert m.terminals(1e6) / m.terminals(1e3) < 1000
+
+    def test_inversion_round_trip(self):
+        m = RENT_RANDOM_LOGIC
+        t = m.terminals(12345)
+        assert m.gates_for_terminals(t) == pytest.approx(12345, rel=1e-9)
+
+    def test_array_support(self):
+        out = RENT_RANDOM_LOGIC.terminals(np.array([10.0, 100.0]))
+        assert out.shape == (2,)
+
+    def test_exponent_domain(self):
+        with pytest.raises(DomainError):
+            RentModel(exponent=0.0)
+        with pytest.raises(DomainError):
+            RentModel(exponent=1.0)
+
+    def test_rejects_zero_gates(self):
+        with pytest.raises(DomainError):
+            RENT_RANDOM_LOGIC.terminals(0)
+
+
+class TestStyleOrdering:
+    """Random logic > regular fabric > memory in connectivity richness."""
+
+    def test_exponent_ordering(self):
+        assert RENT_RANDOM_LOGIC.exponent > RENT_REGULAR_FABRIC.exponent > RENT_MEMORY.exponent
+
+    def test_terminal_demand_ordering_at_scale(self):
+        g = 1e6
+        assert RENT_RANDOM_LOGIC.terminals(g) > RENT_REGULAR_FABRIC.terminals(g) \
+            > RENT_MEMORY.terminals(g)
+
+
+class TestRegionCrossings:
+    def test_clipped_by_design_terminals(self):
+        m = RENT_RANDOM_LOGIC
+        # A region nearly as big as the design cannot cross more nets
+        # than the design has pins.
+        assert m.region_crossings(1e6, 1e6) == pytest.approx(m.terminals(1e6))
+
+    def test_small_region_follows_power_law(self):
+        m = RENT_RANDOM_LOGIC
+        assert m.region_crossings(100, 1e6) == pytest.approx(m.terminals(100))
+
+    def test_region_larger_than_design_rejected(self):
+        with pytest.raises(DomainError):
+            RENT_RANDOM_LOGIC.region_crossings(2e6, 1e6)

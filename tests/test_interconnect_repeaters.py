@@ -1,0 +1,99 @@
+"""Repeater-insertion tests."""
+
+import math
+
+import pytest
+
+from repro.interconnect import (
+    WireTechnology,
+    optimal_repeaters,
+    repeater_count_per_chip,
+    wire_delay_ps,
+)
+
+
+@pytest.fixture(scope="module")
+def tech_180():
+    return WireTechnology.at_node(0.18)
+
+
+class TestOptimalRepeaters:
+    def test_long_wire_gets_repeaters(self, tech_180):
+        design = optimal_repeaters(tech_180, 10_000)
+        assert design.n_repeaters >= 5
+
+    def test_short_wire_gets_none(self, tech_180):
+        design = optimal_repeaters(tech_180, 5.0)
+        assert design.n_repeaters == 0
+        assert design.delay_ps == design.unrepeated_delay_ps
+
+    def test_repeated_delay_beats_unrepeated(self, tech_180):
+        design = optimal_repeaters(tech_180, 10_000)
+        assert design.speedup > 5
+
+    def test_repeated_delay_linear_in_length(self, tech_180):
+        d1 = optimal_repeaters(tech_180, 5_000)
+        d2 = optimal_repeaters(tech_180, 10_000)
+        assert d2.delay_ps == pytest.approx(2 * d1.delay_ps, rel=0.1)
+
+    def test_unrepeated_delay_superlinear(self, tech_180):
+        # The R_w*C_w quadratic term: a 4x longer wire is > 5x slower
+        # once wire resistance dominates the driver.
+        d1 = optimal_repeaters(tech_180, 10_000)
+        d2 = optimal_repeaters(tech_180, 40_000)
+        assert d2.unrepeated_delay_ps > 5 * d1.unrepeated_delay_ps
+
+    def test_bakoglu_count_formula(self, tech_180):
+        length, r0, c0 = 10_000.0, 2000.0, 1.0
+        design = optimal_repeaters(tech_180, length, r0, c0)
+        expected = length * math.sqrt(
+            tech_180.r_per_um_ohm * tech_180.c_per_um_ff / (2 * r0 * c0))
+        assert design.n_repeaters == round(expected)
+
+    def test_bakoglu_size_formula(self, tech_180):
+        r0, c0 = 2000.0, 1.0
+        design = optimal_repeaters(tech_180, 10_000, r0, c0)
+        expected = math.sqrt(r0 * tech_180.c_per_um_ff / (tech_180.r_per_um_ohm * c0))
+        assert design.size_factor == pytest.approx(expected)
+
+    def test_optimality_against_neighbours(self, tech_180):
+        # Perturbing the repeater count around k* must not beat it
+        # (evaluate the same per-segment formula directly).
+        length, r0, c0 = 10_000.0, 2000.0, 1.0
+        design = optimal_repeaters(tech_180, length, r0, c0)
+        rw, cw = tech_180.r_per_um_ohm, tech_180.c_per_um_ff
+        h = design.size_factor
+
+        def delay_for(k: int) -> float:
+            seg = length / k
+            per = ((r0 / h) * (cw * seg + h * c0)
+                   + rw * seg * (cw * seg / 2 + h * c0)) * 1e-3
+            return k * per
+
+        k = design.n_repeaters
+        assert delay_for(k) <= delay_for(max(k - 2, 1)) + 1e-9
+        assert delay_for(k) <= delay_for(k + 2) + 1e-9
+
+    def test_rejects_bad_args(self, tech_180):
+        with pytest.raises(Exception):
+            optimal_repeaters(tech_180, 0.0)
+        with pytest.raises(Exception):
+            optimal_repeaters(tech_180, 100.0, r0_ohm=0.0)
+
+
+class TestRepeaterExplosion:
+    """The §2.4 unpredictability driver: repeater populations explode."""
+
+    def test_count_grows_as_nodes_shrink(self):
+        counts = [repeater_count_per_chip(WireTechnology.at_node(f), 15_000, 5_000)
+                  for f in (0.25, 0.18, 0.13, 0.07)]
+        assert all(a < b for a, b in zip(counts, counts[1:]))
+
+    def test_nanometre_chip_has_1e5_repeaters(self):
+        count = repeater_count_per_chip(WireTechnology.at_node(0.07), 15_000, 5_000)
+        assert count > 1e5
+
+    def test_length_fraction_validated(self):
+        with pytest.raises(ValueError):
+            repeater_count_per_chip(WireTechnology.at_node(0.18), 15_000, 5_000,
+                                    mean_length_fraction=0.0)

@@ -1,0 +1,102 @@
+"""Donath wirelength and wireability-floor tests."""
+
+import pytest
+
+from repro.interconnect import (
+    RENT_MEMORY,
+    RENT_RANDOM_LOGIC,
+    RENT_REGULAR_FABRIC,
+    WiringStack,
+    donath_average_length,
+    min_sd_for_wireability,
+    wiring_demand_tracks,
+)
+
+
+class TestDonath:
+    def test_high_rent_grows_with_size(self):
+        p = RENT_RANDOM_LOGIC.exponent
+        assert donath_average_length(1e6, p) > donath_average_length(1e4, p)
+
+    def test_growth_rate_matches_theory(self):
+        # For p > 0.5, L ~ G^(p-1/2).
+        p = 0.7
+        ratio = donath_average_length(1e6, p) / donath_average_length(1e4, p)
+        assert ratio == pytest.approx(100 ** (p - 0.5), rel=1e-6)
+
+    def test_low_rent_saturates(self):
+        p = RENT_MEMORY.exponent
+        big = donath_average_length(1e8, p)
+        small = donath_average_length(1e4, p)
+        assert big / small < 1.5  # bounded, near-constant
+
+    def test_halfpoint_logarithmic(self):
+        a = donath_average_length(2**10, 0.5)
+        b = donath_average_length(2**20, 0.5)
+        assert b - a == pytest.approx((2.0 / 9.0) * 10, rel=1e-6)
+
+    def test_at_least_one_pitch(self):
+        assert donath_average_length(2, 0.1) >= 1.0
+
+    def test_richer_netlists_longer_wires(self):
+        g = 1e6
+        assert donath_average_length(g, 0.7) > donath_average_length(g, 0.5) \
+            >= donath_average_length(g, 0.2)
+
+
+class TestWiringStack:
+    def test_supply_formula(self):
+        st = WiringStack(n_routing_layers=4, track_pitch_lambda=4.0, utilization=0.5)
+        assert st.supply_lambda_per_lambda2() == pytest.approx(0.5)
+
+    def test_more_layers_more_supply(self):
+        thin = WiringStack(n_routing_layers=2)
+        thick = WiringStack(n_routing_layers=6)
+        assert thick.supply_lambda_per_lambda2() > thin.supply_lambda_per_lambda2()
+
+
+class TestWiringDemand:
+    def test_scales_with_gates_superlinearly_for_random_logic(self):
+        d1 = wiring_demand_tracks(1e4, RENT_RANDOM_LOGIC, 10.0)
+        d2 = wiring_demand_tracks(1e6, RENT_RANDOM_LOGIC, 10.0)
+        assert d2 / d1 > 100  # superlinear: count x length both grow
+
+    def test_scales_with_pitch(self):
+        assert wiring_demand_tracks(1e5, RENT_RANDOM_LOGIC, 20.0) == pytest.approx(
+            2 * wiring_demand_tracks(1e5, RENT_RANDOM_LOGIC, 10.0))
+
+
+class TestWireabilityFloor:
+    def test_random_logic_floor_magnitude(self):
+        floor = min_sd_for_wireability(1e6, RENT_RANDOM_LOGIC, WiringStack())
+        assert 20 < floor < 300
+
+    def test_regular_fabric_floors_lower(self):
+        st = WiringStack()
+        assert min_sd_for_wireability(1e6, RENT_REGULAR_FABRIC, st) < \
+            min_sd_for_wireability(1e6, RENT_RANDOM_LOGIC, st)
+
+    def test_more_metal_lowers_floor(self):
+        # The paper's §2.2.2 argument: 6+ metal layers should REDUCE
+        # the wiring-driven sparseness...
+        thin = WiringStack(n_routing_layers=3)
+        thick = WiringStack(n_routing_layers=6)
+        assert min_sd_for_wireability(1e6, RENT_RANDOM_LOGIC, thick) < \
+            min_sd_for_wireability(1e6, RENT_RANDOM_LOGIC, thin)
+
+    def test_wiring_does_not_explain_industrial_sparseness(self):
+        # ...so the observed s_d of 300-700 on rich stacks cannot be a
+        # pure wireability effect — the paper's time-to-market argument.
+        floor = min_sd_for_wireability(5e6, RENT_RANDOM_LOGIC,
+                                       WiringStack(n_routing_layers=6))
+        assert floor < 300
+
+    def test_fixed_point_is_self_consistent(self):
+        st = WiringStack()
+        sd = min_sd_for_wireability(1e6, RENT_RANDOM_LOGIC, st)
+        # At the returned sd, demand == supply (to iteration tolerance).
+        import numpy as np
+        gate_pitch = float(np.sqrt(4.0 * sd))
+        demand = wiring_demand_tracks(1e6, RENT_RANDOM_LOGIC, gate_pitch)
+        supply = st.supply_lambda_per_lambda2() * 1e6 * 4.0 * sd
+        assert demand == pytest.approx(supply, rel=1e-6)

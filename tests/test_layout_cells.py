@@ -1,0 +1,105 @@
+"""Cell/Layout hierarchy tests."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import Cell, Instance, Layout, Rect, sram_cell, standard_cell
+
+
+class TestCell:
+    def test_bbox_and_dims(self):
+        cell = Cell("c", (Rect("m1", 0, 0, 4, 8),))
+        assert cell.bbox == (0, 0, 4, 8)
+        assert cell.width == 4
+        assert cell.height == 8
+
+    def test_empty_cell_rejected(self):
+        with pytest.raises(LayoutError, match="no geometry"):
+            Cell("c", ())
+
+    def test_unnamed_cell_rejected(self):
+        with pytest.raises(LayoutError):
+            Cell("", (Rect("m1", 0, 0, 1, 1),))
+
+    def test_transistor_count_poly_over_diff(self):
+        cell = Cell("inv", (
+            Rect("diff", 0, 0, 10, 4),
+            Rect("poly", 4, -2, 6, 6),
+        ))
+        assert cell.transistor_count() == 1
+
+    def test_no_gates_no_transistors(self):
+        cell = Cell("wire", (Rect("m1", 0, 0, 10, 2),))
+        assert cell.transistor_count() == 0
+
+    def test_sram_cell_six_transistors(self):
+        assert sram_cell().transistor_count() == 6
+
+    def test_standard_cell_two_per_gate(self):
+        assert standard_cell("x", n_gates=3).transistor_count() == 6
+
+    def test_poly_beside_diff_not_counted(self):
+        cell = Cell("c", (
+            Rect("diff", 0, 0, 4, 4),
+            Rect("poly", 10, 0, 12, 4),
+        ))
+        assert cell.transistor_count() == 0
+
+
+class TestInstance:
+    def test_rects_translated(self):
+        cell = Cell("c", (Rect("m1", 0, 0, 2, 2),))
+        inst = Instance(cell, 10, 20)
+        r = inst.rects()[0]
+        assert (r.x0, r.y0) == (10, 20)
+
+    def test_non_integer_offset_rejected(self):
+        cell = Cell("c", (Rect("m1", 0, 0, 2, 2),))
+        with pytest.raises(LayoutError):
+            Instance(cell, 1.5, 0)
+
+
+class TestLayout:
+    def make_layout(self):
+        layout = Layout("test")
+        cell = standard_cell("sc", n_gates=2)
+        layout.add(cell, 0, 0)
+        layout.add(cell, cell.width, 0)
+        return layout, cell
+
+    def test_flatten_counts(self):
+        layout, cell = self.make_layout()
+        assert len(layout.flatten()) == 2 * len(cell.rects)
+
+    def test_empty_layout_flatten_raises(self):
+        with pytest.raises(LayoutError, match="empty"):
+            Layout("empty").flatten()
+
+    def test_transistor_count_sums(self):
+        layout, cell = self.make_layout()
+        assert layout.transistor_count() == 2 * cell.transistor_count()
+
+    def test_area_is_bbox(self):
+        layout, cell = self.make_layout()
+        assert layout.area_lambda2() == (2 * cell.width) * cell.height
+
+    def test_sd_definition(self):
+        layout, _ = self.make_layout()
+        assert layout.sd() == pytest.approx(
+            layout.area_lambda2() / layout.transistor_count())
+
+    def test_sd_without_transistors_raises(self):
+        layout = Layout("wires")
+        layout.add(Cell("w", (Rect("m1", 0, 0, 5, 5),)), 0, 0)
+        with pytest.raises(LayoutError, match="no transistors"):
+            layout.sd()
+
+    def test_cell_usage(self):
+        layout, cell = self.make_layout()
+        assert layout.cell_usage() == {"sc": 2}
+
+    def test_unique_cells(self):
+        layout, cell = self.make_layout()
+        unique = Layout.unique_cells(layout.instances)
+        assert len(unique) == 1
+        assert unique[0].name == "sc"

@@ -1,0 +1,105 @@
+"""Design-rule checker tests."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import (
+    MEAD_CONWAY_RULES,
+    DesignRules,
+    Rect,
+    check_rules,
+    memory_array,
+    random_logic_layout,
+    regular_fabric,
+    sram_cell,
+    standard_cell,
+)
+
+
+class TestWidthRule:
+    def test_narrow_rect_flagged(self):
+        violations = check_rules([Rect("m1", 0, 0, 1, 10)])
+        assert len(violations) == 1
+        assert violations[0].rule == "width"
+        assert violations[0].measured == 1.0
+
+    def test_minimum_width_passes(self):
+        assert check_rules([Rect("m1", 0, 0, 2, 10)]) == []
+
+    def test_width_checks_both_axes(self):
+        violations = check_rules([Rect("m1", 0, 0, 10, 1)])
+        assert violations and violations[0].rule == "width"
+
+    def test_per_layer_rule(self):
+        rules = DesignRules(min_width={"m2": 4})
+        assert check_rules([Rect("m2", 0, 0, 3, 10)], rules)
+        assert not check_rules([Rect("m1", 0, 0, 3, 10)], rules)
+
+
+class TestSpacingRule:
+    def test_tight_pair_flagged(self):
+        rects = [Rect("m1", 0, 0, 4, 4), Rect("m1", 5, 0, 9, 4)]  # gap 1
+        violations = check_rules(rects)
+        assert any(v.rule == "spacing" for v in violations)
+
+    def test_legal_gap_passes(self):
+        rects = [Rect("m1", 0, 0, 4, 4), Rect("m1", 6, 0, 10, 4)]  # gap 2
+        assert check_rules(rects) == []
+
+    def test_touching_rects_merge(self):
+        rects = [Rect("m1", 0, 0, 4, 4), Rect("m1", 4, 0, 8, 4)]  # abutting
+        assert check_rules(rects) == []
+
+    def test_overlapping_rects_merge(self):
+        rects = [Rect("m1", 0, 0, 4, 4), Rect("m1", 2, 0, 8, 4)]
+        assert check_rules(rects) == []
+
+    def test_vertical_spacing_checked(self):
+        rects = [Rect("poly", 0, 0, 4, 4), Rect("poly", 0, 5, 4, 9)]  # gap 1
+        assert any(v.rule == "spacing" for v in check_rules(rects))
+
+    def test_cross_layer_gap_ignored(self):
+        rects = [Rect("m1", 0, 0, 4, 4), Rect("m2", 5, 0, 9, 4)]
+        assert check_rules(rects) == []
+
+    def test_diagonal_rects_not_facing(self):
+        rects = [Rect("m1", 0, 0, 4, 4), Rect("m1", 5, 5, 9, 9)]
+        assert check_rules(rects) == []
+
+    def test_m2_wider_rule(self):
+        # MEAD_CONWAY_RULES: m2 spacing 3.
+        rects = [Rect("m2", 0, 0, 4, 4), Rect("m2", 6, 0, 10, 4)]  # gap 2
+        assert any(v.layer == "m2" for v in check_rules(rects))
+
+    def test_violation_str(self):
+        rects = [Rect("m1", 0, 0, 4, 4), Rect("m1", 5, 0, 9, 4)]
+        text = str(check_rules(rects)[0])
+        assert "spacing violation" in text
+        assert "m1" in text
+
+
+class TestGeneratorsClean:
+    """The synthetic layouts the reproduction analyses must be legal."""
+
+    def test_sram_cell_clean(self):
+        assert check_rules(list(sram_cell().rects)) == []
+
+    def test_standard_cells_clean(self):
+        for variant in range(6):
+            cell = standard_cell(f"c{variant}", n_gates=3, variant=variant)
+            assert check_rules(list(cell.rects)) == [], f"variant {variant}"
+
+    def test_memory_array_clean(self):
+        assert check_rules(memory_array(6, 6).flatten()) == []
+
+    def test_fabric_clean(self):
+        assert check_rules(regular_fabric(6, 6, library_size=4, seed=0).flatten()) == []
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_layout_clean_across_seeds(self, seed):
+        layout = random_logic_layout(5, 5, seed=seed)
+        assert check_rules(layout.flatten()) == []
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(LayoutError):
+            check_rules([])

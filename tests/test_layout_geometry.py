@@ -1,0 +1,86 @@
+"""Layout geometry primitive tests."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import Rect, bounding_box, total_area
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect("m1", 0, 0, 4, 3)
+        assert r.width == 4
+        assert r.height == 3
+        assert r.area == 12
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(LayoutError, match="positive extent"):
+            Rect("m1", 0, 0, 0, 3)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(LayoutError):
+            Rect("m1", 4, 0, 0, 3)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(LayoutError, match="integers"):
+            Rect("m1", 0.5, 0, 4, 3)
+
+    def test_empty_layer_rejected(self):
+        with pytest.raises(LayoutError, match="layer"):
+            Rect("", 0, 0, 4, 3)
+
+    def test_translated(self):
+        r = Rect("poly", 1, 2, 3, 4).translated(10, 20)
+        assert (r.x0, r.y0, r.x1, r.y1) == (11, 22, 13, 24)
+        assert r.layer == "poly"
+
+    def test_hashable_and_ordered(self):
+        a = Rect("m1", 0, 0, 1, 1)
+        b = Rect("m1", 0, 0, 1, 1)
+        assert a == b
+        assert len({a, b}) == 1
+        assert sorted([Rect("m2", 0, 0, 1, 1), a])[0] is a
+
+
+class TestOverlaps:
+    def test_same_layer_overlap(self):
+        assert Rect("m1", 0, 0, 4, 4).overlaps(Rect("m1", 2, 2, 6, 6))
+
+    def test_different_layer_no_overlap(self):
+        assert not Rect("m1", 0, 0, 4, 4).overlaps(Rect("m2", 2, 2, 6, 6))
+
+    def test_touching_edges_not_overlapping(self):
+        assert not Rect("m1", 0, 0, 4, 4).overlaps(Rect("m1", 4, 0, 8, 4))
+
+    def test_disjoint(self):
+        assert not Rect("m1", 0, 0, 1, 1).overlaps(Rect("m1", 5, 5, 6, 6))
+
+
+class TestContainsPoint:
+    def test_inside(self):
+        assert Rect("m1", 0, 0, 4, 4).contains_point(2, 2)
+
+    def test_half_open(self):
+        r = Rect("m1", 0, 0, 4, 4)
+        assert r.contains_point(0, 0)
+        assert not r.contains_point(4, 4)
+
+
+class TestRelativeTo:
+    def test_canonical_tuple(self):
+        r = Rect("poly", 10, 20, 12, 24)
+        assert r.relative_to(10, 20) == ("poly", 0, 0, 2, 4)
+
+
+class TestCollections:
+    def test_bounding_box(self):
+        rects = [Rect("m1", 0, 0, 2, 2), Rect("m2", 5, -1, 7, 3)]
+        assert bounding_box(rects) == (0, -1, 7, 3)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(LayoutError):
+            bounding_box([])
+
+    def test_total_area_counts_drawn(self):
+        rects = [Rect("m1", 0, 0, 2, 2), Rect("m1", 1, 1, 3, 3)]
+        assert total_area(rects) == 8  # overlaps double-counted by design

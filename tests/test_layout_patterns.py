@@ -1,0 +1,132 @@
+"""Repetitive-pattern extraction tests (the ref-[33] substitute)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import (
+    Rect,
+    extract_patterns,
+    memory_array,
+    random_logic_layout,
+    regular_fabric,
+)
+
+
+class TestBasicExtraction:
+    def test_identical_windows_one_pattern(self):
+        # Two identical 4x4 tiles side by side on an 4-window grid.
+        rects = [Rect("m1", 0, 0, 2, 2), Rect("m1", 4, 0, 6, 2)]
+        lib = extract_patterns(rects, window_size=4)
+        nonempty = [p for p in lib.patterns if not p.is_empty]
+        assert len(nonempty) == 1
+        assert nonempty[0].multiplicity == 2
+
+    def test_different_windows_two_patterns(self):
+        rects = [Rect("m1", 0, 0, 2, 2), Rect("m1", 5, 1, 6, 2)]
+        lib = extract_patterns(rects, window_size=4)
+        assert lib.n_unique == 2
+
+    def test_translation_invariance(self):
+        # The same geometry shifted by a whole window pitch matches.
+        base = [Rect("poly", 1, 1, 3, 3)]
+        shifted = [r.translated(8, 0) for r in base]
+        lib = extract_patterns(base + shifted, window_size=8)
+        assert lib.n_unique == 1
+
+    def test_layers_distinguish_patterns(self):
+        rects = [Rect("m1", 0, 0, 2, 2), Rect("m2", 4, 0, 6, 2)]
+        lib = extract_patterns(rects, window_size=4)
+        assert lib.n_unique == 2
+
+    def test_straddling_rect_is_clipped_per_window(self):
+        # One rect spanning two windows yields two half-patterns...
+        rects = [Rect("m1", 0, 0, 8, 2)]
+        lib = extract_patterns(rects, window_size=4)
+        # ...which are identical (each window sees a full-width strip).
+        assert lib.n_unique == 1
+        assert lib.n_occupied_windows == 2
+
+    def test_empty_layout_raises(self):
+        with pytest.raises(LayoutError):
+            extract_patterns([], window_size=4)
+
+    def test_window_size_validated(self):
+        with pytest.raises(Exception):
+            extract_patterns([Rect("m1", 0, 0, 1, 1)], window_size=0)
+
+
+class TestLibraryMetrics:
+    def test_window_accounting(self):
+        lib = extract_patterns([Rect("m1", 0, 0, 2, 2), Rect("m1", 8, 8, 10, 10)],
+                               window_size=4)
+        assert lib.n_windows == 9  # 3x3 grid over the 10x10 bbox
+        assert lib.n_occupied_windows == 2
+
+    def test_regularity_of_perfect_array(self):
+        mem = memory_array(8, 8)
+        cell_w = mem.instances[0].cell.width
+        lib = extract_patterns(mem.flatten(), window_size=cell_w)
+        assert lib.regularity_index() > 0.9
+
+    def test_regularity_of_singleton(self):
+        lib = extract_patterns([Rect("m1", 0, 0, 2, 2)], window_size=4)
+        assert lib.regularity_index() == 0.0  # one-of-a-kind window
+
+    def test_coverage_by_top(self):
+        mem = memory_array(4, 4)
+        lib = extract_patterns(mem.flatten(), window_size=12)
+        # Perfectly tiled array: one pattern covers everything.
+        assert lib.coverage_by_top(1) == pytest.approx(1.0)
+        assert lib.coverage_by_top(100) == pytest.approx(1.0)
+
+    def test_coverage_monotone_in_k(self):
+        rnd = random_logic_layout(6, 6, seed=4)
+        lib = extract_patterns(rnd.flatten(), window_size=24)
+        covs = [lib.coverage_by_top(k) for k in (1, 4, 16, 64, 1000)]
+        assert covs == sorted(covs)
+        assert covs[-1] == pytest.approx(1.0)
+
+    def test_multiplicity_histogram_sums_to_unique(self):
+        rnd = random_logic_layout(6, 6, seed=2)
+        lib = extract_patterns(rnd.flatten(), window_size=24)
+        hist = lib.multiplicity_histogram()
+        assert sum(hist.values()) == lib.n_unique
+
+    def test_patterns_sorted_by_multiplicity(self):
+        fab = regular_fabric(8, 8, library_size=3, seed=0)
+        lib = extract_patterns(fab.flatten(), window_size=24)
+        mults = [p.multiplicity for p in lib.patterns]
+        assert mults == sorted(mults, reverse=True)
+
+    def test_pattern_drawn_area(self):
+        lib = extract_patterns([Rect("m1", 0, 0, 2, 3)], window_size=4)
+        nonempty = [p for p in lib.patterns if not p.is_empty]
+        assert nonempty[0].drawn_area == 6
+
+
+class TestStyleContrast:
+    """The §3.2 spectrum: memory << fabric << random logic in
+    unique-pattern count."""
+
+    def test_fabric_unique_count_tracks_library(self):
+        for lib_size in (1, 2, 4):
+            fab = regular_fabric(10, 10, library_size=lib_size, seed=0)
+            lib = extract_patterns(fab.flatten(), window_size=24)
+            assert lib.n_unique == lib_size
+
+    def test_random_logic_vastly_more_patterns(self):
+        fab = regular_fabric(10, 10, library_size=4, seed=0)
+        rnd = random_logic_layout(10, 10, seed=0)
+        lib_fab = extract_patterns(fab.flatten(), window_size=24)
+        lib_rnd = extract_patterns(rnd.flatten(), window_size=24)
+        assert lib_rnd.n_unique > 10 * lib_fab.n_unique
+
+    def test_random_logic_low_regularity(self):
+        rnd = random_logic_layout(10, 10, seed=0)
+        lib = extract_patterns(rnd.flatten(), window_size=24)
+        assert lib.regularity_index() < 0.3
+
+    def test_fabric_full_regularity(self):
+        fab = regular_fabric(10, 10, library_size=2, seed=0)
+        lib = extract_patterns(fab.flatten(), window_size=24)
+        assert lib.regularity_index() == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Regularity economics (§3.2) and fabric-generator tests."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import (
+    CharacterizationCostModel,
+    extract_patterns,
+    memory_array,
+    random_logic_layout,
+    regular_fabric,
+    regularity_report,
+    sram_cell,
+    standard_cell,
+)
+
+
+class TestFabricGenerators:
+    def test_memory_array_size(self):
+        mem = memory_array(4, 8)
+        assert len(mem.instances) == 32
+        assert mem.transistor_count() == 32 * 6
+
+    def test_memory_array_dense(self):
+        # 144 lambda^2 per 6-transistor cell -> s_d = 24, squarely in
+        # Table A1's memory band (~30-60 with overheads we omit).
+        assert memory_array(8, 8).sd() == pytest.approx(24.0, rel=0.01)
+
+    def test_fabric_pitch_aligned(self):
+        fab = regular_fabric(5, 5, library_size=2, seed=0)
+        pitches = {inst.dx % inst.cell.width for inst in fab.instances}
+        assert pitches == {0}
+
+    def test_fabric_deterministic_per_seed(self):
+        a = regular_fabric(5, 5, library_size=3, seed=9)
+        b = regular_fabric(5, 5, library_size=3, seed=9)
+        assert [i.cell.name for i in a.instances] == [i.cell.name for i in b.instances]
+
+    def test_random_layout_sparser_than_fabric(self):
+        fab = regular_fabric(10, 10, library_size=4, seed=1)
+        rnd = random_logic_layout(10, 10, seed=1)
+        assert rnd.sd() > fab.sd()
+
+    def test_random_layout_whitespace_increases_sd(self):
+        tight = random_logic_layout(10, 10, seed=1, whitespace_fraction=0.0)
+        loose = random_logic_layout(10, 10, seed=1, whitespace_fraction=0.5)
+        assert loose.sd() > tight.sd()
+
+    def test_random_layout_never_empty(self):
+        layout = random_logic_layout(1, 1, seed=0, whitespace_fraction=0.99)
+        assert layout.transistor_count() > 0
+
+    def test_variant_cells_distinct_geometry(self):
+        a = standard_cell("a", variant=0)
+        b = standard_cell("b", variant=1)
+        rel_a = {r.relative_to(0, 0) for r in a.rects}
+        rel_b = {r.relative_to(0, 0) for r in b.rects}
+        assert rel_a != rel_b
+
+    def test_sram_cell_footprint(self):
+        cell = sram_cell()
+        assert cell.width == 12
+        assert cell.height == 12
+
+    def test_invalid_whitespace_rejected(self):
+        with pytest.raises(LayoutError):
+            random_logic_layout(2, 2, whitespace_fraction=1.0)
+
+
+class TestCharacterizationCost:
+    @pytest.fixture(scope="class")
+    def libs(self):
+        fab = regular_fabric(10, 10, library_size=2, seed=0)
+        rnd = random_logic_layout(10, 10, seed=0)
+        return (extract_patterns(fab.flatten(), 24),
+                extract_patterns(rnd.flatten(), 24))
+
+    def test_brute_force_scales_with_windows(self, libs):
+        fab_lib, _ = libs
+        m = CharacterizationCostModel()
+        assert m.brute_force_cost(fab_lib) == pytest.approx(
+            m.brute_force_per_window_usd * fab_lib.n_occupied_windows)
+
+    def test_reuse_beats_brute_force_on_fabric(self, libs):
+        fab_lib, _ = libs
+        m = CharacterizationCostModel()
+        assert m.savings_factor(fab_lib) > 10
+
+    def test_reuse_barely_helps_random_logic(self, libs):
+        _, rnd_lib = libs
+        m = CharacterizationCostModel()
+        assert m.savings_factor(rnd_lib) < 3
+
+    def test_family_reuse_amortises(self, libs):
+        fab_lib, _ = libs
+        m = CharacterizationCostModel()
+        assert m.reuse_cost(fab_lib, n_products=10) < m.reuse_cost(fab_lib, n_products=1)
+
+    def test_products_validated(self, libs):
+        fab_lib, _ = libs
+        with pytest.raises(Exception):
+            CharacterizationCostModel().reuse_cost(fab_lib, n_products=0)
+
+
+class TestRegularityReport:
+    def test_report_fields_consistent(self):
+        fab = regular_fabric(8, 8, library_size=2, seed=0)
+        lib = extract_patterns(fab.flatten(), 24)
+        report = regularity_report(lib)
+        assert report.n_unique_patterns == lib.n_unique
+        assert report.regularity_index == pytest.approx(lib.regularity_index())
+        assert report.savings_factor == pytest.approx(
+            report.brute_force_cost_usd / report.reuse_cost_usd)
+
+    def test_section_32_ordering(self):
+        # memory >= fabric >> random logic in savings factor.
+        m = CharacterizationCostModel()
+        mem = extract_patterns(memory_array(12, 12).flatten(), 12)
+        fab = extract_patterns(regular_fabric(10, 10, library_size=2, seed=0).flatten(), 24)
+        rnd = extract_patterns(random_logic_layout(10, 10, seed=0).flatten(), 24)
+        assert m.savings_factor(mem) > m.savings_factor(rnd)
+        assert m.savings_factor(fab) > m.savings_factor(rnd)

@@ -1,0 +1,54 @@
+"""Auto window-selection tests for the pattern census."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import (
+    Rect,
+    extract_patterns,
+    memory_array,
+    random_logic_layout,
+    recommended_window,
+    regular_fabric,
+)
+
+
+class TestRecommendedWindow:
+    def test_finds_fabric_pitch(self):
+        fab = regular_fabric(10, 10, library_size=2, seed=0)
+        # Fabric cell is 24 wide x 24 tall: the 24-lambda window makes
+        # the layout read as exactly its library.
+        assert recommended_window(fab.flatten()) == 24
+
+    def test_finds_sram_pitch(self):
+        mem = memory_array(8, 8)
+        window = recommended_window(mem.flatten())
+        # The 12-lambda cell pitch or a multiple of it.
+        assert window % 12 == 0
+
+    def test_recommended_window_maximises_regularity(self):
+        fab = regular_fabric(8, 8, library_size=2, seed=1)
+        rects = fab.flatten()
+        best = recommended_window(rects)
+        best_reg = extract_patterns(rects, best).regularity_index()
+        for other in (4, 8, 16, 32):
+            reg = extract_patterns(rects, other).regularity_index()
+            assert best_reg >= reg - 1e-12
+
+    def test_custom_candidates_respected(self):
+        fab = regular_fabric(6, 6, library_size=1, seed=0)
+        window = recommended_window(fab.flatten(), candidates=[7, 13])
+        assert window in (7, 13)
+
+    def test_irregular_layout_still_returns(self):
+        rnd = random_logic_layout(6, 6, seed=3)
+        window = recommended_window(rnd.flatten())
+        assert window >= 4
+
+    def test_tiny_layout(self):
+        window = recommended_window([Rect("m1", 0, 0, 3, 3)])
+        assert window >= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            recommended_window([])

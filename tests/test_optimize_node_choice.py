@@ -1,0 +1,88 @@
+"""Technology-node selection tests — the high-cost-era stratification."""
+
+import pytest
+
+from repro.cost import DEFAULT_GENERALIZED_MODEL, GeneralizedCostModel
+from repro.errors import DomainError
+from repro.interconnect import PredictionErrorModel
+from repro.optimize import DEFAULT_NODE_LADDER_UM, evaluate_nodes, optimal_node
+
+
+class TestEvaluateNodes:
+    def test_one_choice_per_node(self):
+        choices = evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6)
+        assert len(choices) == len(DEFAULT_NODE_LADDER_UM)
+        assert [c.feature_um for c in choices] == list(DEFAULT_NODE_LADDER_UM)
+
+    def test_components_sum(self):
+        for c in evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6,
+                                nodes_um=(0.25, 0.13)):
+            assert c.cost_per_unit == pytest.approx(
+                c.silicon_per_unit + c.development_per_unit)
+
+    def test_wafer_count_consistent_with_units(self):
+        n_units = 1e6
+        for c in evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, n_units,
+                                nodes_um=(0.18,)):
+            die_area = 1e7 * c.sd_opt * (0.18e-4) ** 2
+            implied_units = (c.wafers_needed
+                             * DEFAULT_GENERALIZED_MODEL.wafer.area_cm2
+                             * c.yield_at_opt / die_area)
+            assert implied_units == pytest.approx(n_units, rel=0.02)
+
+    def test_design_cost_scale_grows_at_fine_nodes(self):
+        choices = evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6)
+        by_node = {c.feature_um: c.design_cost_scale for c in choices}
+        assert by_node[0.18] == pytest.approx(1.0)
+        assert by_node[0.07] > by_node[0.13] > by_node[0.18]
+        assert by_node[0.35] < 1.0
+
+    def test_development_per_unit_amortises(self):
+        small = evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 1e5, nodes_um=(0.18,))[0]
+        large = evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 1e7, nodes_um=(0.18,))[0]
+        assert large.development_per_unit < small.development_per_unit
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(DomainError):
+            evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6, nodes_um=())
+
+    def test_units_validated(self):
+        with pytest.raises(DomainError):
+            evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 0)
+
+
+class TestOptimalNode:
+    def test_high_volume_rides_the_newest_node(self):
+        best = optimal_node(DEFAULT_GENERALIZED_MODEL, 1e7, 1e8)
+        assert best.feature_um == min(DEFAULT_NODE_LADDER_UM)
+
+    def test_low_volume_stays_back(self):
+        best = optimal_node(DEFAULT_GENERALIZED_MODEL, 1e7, 1e4)
+        assert best.feature_um >= 0.18
+
+    def test_optimal_node_monotone_in_volume(self):
+        # The stratification: finer (or equal) nodes as volume grows.
+        volumes = [1e4, 1e5, 1e6, 1e7, 1e8]
+        nodes = [optimal_node(DEFAULT_GENERALIZED_MODEL, 1e7, v).feature_um
+                 for v in volumes]
+        assert all(a >= b for a, b in zip(nodes, nodes[1:]))
+        assert nodes[0] > nodes[-1]  # and it actually moves
+
+    def test_unit_cost_falls_with_volume(self):
+        costs = [optimal_node(DEFAULT_GENERALIZED_MODEL, 1e7, v).cost_per_unit
+                 for v in (1e4, 1e6, 1e8)]
+        assert costs[0] > costs[1] > costs[2]
+
+    def test_best_is_argmin_of_evaluate(self):
+        choices = evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6)
+        best = optimal_node(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6)
+        assert best.cost_per_unit == min(c.cost_per_unit for c in choices)
+
+    def test_sharper_prediction_favours_finer_nodes(self):
+        # If nanometre prediction were free (flat sigma), the newest
+        # node would win at lower volumes than with the default model.
+        flat = PredictionErrorModel(exponent=1e-9)
+        default_best = optimal_node(DEFAULT_GENERALIZED_MODEL, 1e7, 3e5)
+        flat_best = optimal_node(DEFAULT_GENERALIZED_MODEL, 1e7, 3e5,
+                                 error_model=flat)
+        assert flat_best.feature_um <= default_best.feature_um

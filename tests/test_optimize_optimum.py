@@ -1,0 +1,96 @@
+"""Optimal-s_d solver tests (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.cost import DEFAULT_GENERALIZED_MODEL, PAPER_FIGURE4_MODEL, TotalCostModel
+from repro.cost.design import DesignCostModel
+from repro.errors import DomainError
+from repro.optimize import (
+    optimal_sd,
+    optimal_sd_condition,
+    optimal_sd_generalized,
+    optimum_vs_volume,
+    sd_sweep,
+)
+
+FIG4A = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5000,
+             yield_fraction=0.4, cm_sq=8.0)
+FIG4B = dict(n_transistors=1e7, feature_um=0.18, n_wafers=50_000,
+             yield_fraction=0.9, cm_sq=8.0)
+
+
+class TestOptimalSd:
+    def test_matches_dense_sweep(self):
+        res = optimal_sd(PAPER_FIGURE4_MODEL, **FIG4A)
+        sweep = sd_sweep(PAPER_FIGURE4_MODEL, **FIG4A,
+                         sd_values=np.linspace(105, 1500, 20_000))
+        assert res.sd_opt == pytest.approx(sweep.x_opt, rel=2e-3)
+        assert res.cost_opt <= sweep.cost_opt * (1 + 1e-9)
+
+    def test_satisfies_first_order_condition(self):
+        res = optimal_sd(PAPER_FIGURE4_MODEL, **FIG4A)
+        residual = optimal_sd_condition(PAPER_FIGURE4_MODEL, res.sd_opt, **FIG4A)
+        # The residual is in $/cm^2; compare against the 8 $/cm^2 scale.
+        assert abs(residual) < 1e-4
+
+    def test_condition_sign_structure(self):
+        res = optimal_sd(PAPER_FIGURE4_MODEL, **FIG4A)
+        below = optimal_sd_condition(PAPER_FIGURE4_MODEL, res.sd_opt * 0.7, **FIG4A)
+        above = optimal_sd_condition(PAPER_FIGURE4_MODEL, res.sd_opt * 1.3, **FIG4A)
+        assert below < 0 < above
+
+    def test_paper_volume_contrast(self):
+        # Figure 4's headline: the optimum moves substantially with
+        # volume/yield — low volume pushes towards sparser design.
+        a = optimal_sd(PAPER_FIGURE4_MODEL, **FIG4A)
+        b = optimal_sd(PAPER_FIGURE4_MODEL, **FIG4B)
+        assert a.sd_opt > 1.5 * b.sd_opt
+        assert a.cost_opt > b.cost_opt
+
+    def test_bracket_recorded(self):
+        res = optimal_sd(PAPER_FIGURE4_MODEL, **FIG4A)
+        lo, hi = res.bracket
+        assert lo < res.sd_opt < hi
+
+    def test_clipped_optimum_raises(self):
+        # An absurdly expensive design regime pushes the optimum past
+        # any finite bracket.
+        expensive = TotalCostModel(design_model=DesignCostModel(a0=1e12),
+                                   include_masks=False)
+        with pytest.raises(DomainError, match="clipped"):
+            optimal_sd(expensive, sd_max=2000.0, **FIG4A)
+
+    def test_invalid_bracket_raises(self):
+        with pytest.raises(DomainError):
+            optimal_sd(PAPER_FIGURE4_MODEL, sd_max=50.0, **FIG4A)
+
+
+class TestOptimalSdGeneralized:
+    def test_interior_optimum(self):
+        res = optimal_sd_generalized(DEFAULT_GENERALIZED_MODEL, 1e7, 0.18, 5000)
+        assert 100 < res.sd_opt < 5000
+
+    def test_volume_moves_optimum_down(self):
+        lo = optimal_sd_generalized(DEFAULT_GENERALIZED_MODEL, 1e7, 0.18, 2000)
+        hi = optimal_sd_generalized(DEFAULT_GENERALIZED_MODEL, 1e7, 0.18, 500_000)
+        assert hi.sd_opt < lo.sd_opt
+
+
+class TestOptimumVsVolume:
+    def test_monotone_fall_with_volume(self):
+        trace = optimum_vs_volume(PAPER_FIGURE4_MODEL, 1e7, 0.18, 0.8, 8.0,
+                                  n_wafers_values=np.geomspace(1e3, 1e6, 7))
+        sds = [res.sd_opt for _, res in trace]
+        assert all(a > b for a, b in zip(sds, sds[1:]))
+
+    def test_limits_towards_bound(self):
+        trace = optimum_vs_volume(PAPER_FIGURE4_MODEL, 1e7, 0.18, 0.8, 8.0,
+                                  n_wafers_values=[1e8])
+        assert trace[0][1].sd_opt < 130  # near sd0 at extreme volume
+
+    def test_costs_fall_with_volume(self):
+        trace = optimum_vs_volume(PAPER_FIGURE4_MODEL, 1e7, 0.18, 0.8, 8.0,
+                                  n_wafers_values=np.geomspace(1e3, 1e6, 5))
+        costs = [res.cost_opt for _, res in trace]
+        assert all(a > b for a, b in zip(costs, costs[1:]))

@@ -1,0 +1,122 @@
+"""Sensitivity and Pareto analysis tests."""
+
+import pytest
+
+from repro.cost import PAPER_FIGURE4_MODEL
+from repro.errors import DomainError
+from repro.optimize import (
+    evaluate_points,
+    knee_point,
+    parameter_elasticities,
+    pareto_front,
+    tornado,
+)
+
+POINT = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5000,
+             yield_fraction=0.4, cm_sq=8.0)
+
+
+class TestElasticities:
+    @pytest.fixture(scope="class")
+    def elas(self):
+        return parameter_elasticities(
+            PAPER_FIGURE4_MODEL, POINT,
+            parameters=["n_wafers", "cm_sq", "a0", "n_transistors"])
+
+    def test_volume_elasticity_negative(self, elas):
+        # More volume -> denser optimum.
+        assert elas["n_wafers"] < 0
+
+    def test_design_amplitude_elasticity_positive(self, elas):
+        # Costlier design -> sparser optimum.
+        assert elas["a0"] > 0
+
+    def test_cm_sq_elasticity_negative(self, elas):
+        # Costlier silicon -> denser optimum.
+        assert elas["cm_sq"] < 0
+
+    def test_a0_and_volume_mirror(self, elas):
+        # a0 and 1/N_w enter eq.(5) identically -> equal-magnitude,
+        # opposite-sign elasticities.
+        assert elas["a0"] == pytest.approx(-elas["n_wafers"], rel=0.05)
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(DomainError, match="unknown parameter"):
+            parameter_elasticities(PAPER_FIGURE4_MODEL, POINT, parameters=["bogus"])
+
+
+class TestTornado:
+    def test_sorted_by_cost_swing(self):
+        entries = tornado(PAPER_FIGURE4_MODEL, POINT, {
+            "n_wafers": (2000, 20_000),
+            "yield_fraction": (0.3, 0.9),
+            "p2": (1.0, 1.4),
+        })
+        swings = [e.cost_swing for e in entries]
+        assert swings == sorted(swings, reverse=True)
+
+    def test_entries_carry_both_excursions(self):
+        entries = tornado(PAPER_FIGURE4_MODEL, POINT, {"n_wafers": (2000, 20_000)})
+        e = entries[0]
+        assert e.sd_opt_low > e.sd_opt_high  # more volume -> denser
+        assert e.cost_opt_low > e.cost_opt_high
+
+    def test_invalid_excursion_raises(self):
+        with pytest.raises(DomainError, match="low < high"):
+            tornado(PAPER_FIGURE4_MODEL, POINT, {"n_wafers": (20_000, 2000)})
+
+
+class TestPareto:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return evaluate_points(PAPER_FIGURE4_MODEL, **POINT)
+
+    def test_points_cover_grid(self, points):
+        assert len(points) == 200
+
+    def test_front_nonempty_subset(self, points):
+        front = pareto_front(points)
+        assert 0 < len(front) <= len(points)
+
+    def test_front_sorted_by_sd(self, points):
+        front = pareto_front(points)
+        sds = [p.sd for p in front]
+        assert sds == sorted(sds)
+
+    def test_no_front_point_dominated(self, points):
+        front = pareto_front(points)
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                dominates = (all(x <= y for x, y in zip(b.objectives(), a.objectives()))
+                             and any(x < y for x, y in zip(b.objectives(), a.objectives())))
+                assert not dominates
+
+    def test_front_contains_cost_minimum(self, points):
+        # The transistor-cost minimiser is never dominated.
+        best = min(points, key=lambda p: p.transistor_cost_usd)
+        front = pareto_front(points)
+        assert any(p.sd == best.sd for p in front)
+
+    def test_trade_off_structure(self, points):
+        # Along the front, die area rises while design cost falls.
+        front = pareto_front(points)
+        if len(front) >= 2:
+            assert front[0].die_area_cm2 < front[-1].die_area_cm2
+            assert front[0].design_cost_usd > front[-1].design_cost_usd
+
+    def test_knee_point_member_of_front(self, points):
+        front = pareto_front(points)
+        knee = knee_point(front)
+        assert knee in front
+
+    def test_knee_of_single_point_front(self, points):
+        single = [points[0]]
+        assert knee_point(single) is points[0]
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(DomainError):
+            pareto_front([])
+        with pytest.raises(DomainError):
+            knee_point([])

@@ -1,0 +1,118 @@
+"""Property-based tests on the design-flow and economics models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designflow import StagedFlowModel, TimingClosureModel
+from repro.economics import FabModel, MarketWindowModel
+from repro.interconnect import PredictionErrorModel, WireTechnology, optimal_repeaters
+
+sds = st.floats(min_value=101.0, max_value=3000.0)
+features = st.floats(min_value=0.03, max_value=1.5)
+regularities = st.floats(min_value=0.0, max_value=1.0)
+delays = st.floats(min_value=0.0, max_value=500.0)
+lengths = st.floats(min_value=1.0, max_value=100_000.0)
+
+
+class TestClosureProperties:
+    @given(sds, features, regularities)
+    def test_probability_in_unit_interval(self, sd, feature, regularity):
+        model = TimingClosureModel()
+        p = model.closure_probability(sd, feature, regularity)
+        assert 0 < p <= 1
+
+    @given(sds, features, regularities)
+    def test_regularity_never_hurts(self, sd, feature, regularity):
+        model = TimingClosureModel()
+        base = model.closure_probability(sd, feature, 0.0)
+        helped = model.closure_probability(sd, feature, regularity)
+        assert helped >= base - 1e-12
+
+    @given(sds, st.floats(min_value=1.05, max_value=4.0), features)
+    def test_sparser_never_harder(self, sd, factor, feature):
+        model = TimingClosureModel()
+        assert model.closure_probability(sd * factor, feature) >= \
+            model.closure_probability(sd, feature) - 1e-12
+
+    @given(sds, features)
+    def test_iterations_reciprocal(self, sd, feature):
+        model = TimingClosureModel()
+        p = model.closure_probability(sd, feature)
+        assert model.expected_iterations(sd, feature) == pytest.approx(1.0 / p)
+
+
+class TestStagedFlowProperties:
+    @given(sds)
+    @settings(max_examples=50)
+    def test_expected_cost_at_least_one_pass(self, sd):
+        result = StagedFlowModel().analyse(sd)
+        assert result.expected_cost_passes >= 1.0 - 1e-9
+        assert result.expected_weeks_passes >= 1.0 - 1e-9
+
+    @given(sds, st.floats(min_value=1.0, max_value=10.0))
+    @settings(max_examples=50)
+    def test_prediction_gain_never_hurts(self, sd, gain):
+        base = StagedFlowModel()
+        sharp = base.with_early_prediction_gain(gain)
+        assert sharp.analyse(sd).expected_cost_passes <= \
+            base.analyse(sd).expected_cost_passes + 1e-9
+
+    @given(st.floats(min_value=101.0, max_value=500.0),
+           st.floats(min_value=1.02, max_value=3.0))
+    @settings(max_examples=50)
+    def test_monotone_in_density(self, sd, factor):
+        model = StagedFlowModel()
+        assert model.analyse(sd * factor).expected_cost_passes <= \
+            model.analyse(sd).expected_cost_passes + 1e-9
+
+
+class TestMarketProperties:
+    @given(delays)
+    def test_revenue_bounded_by_peak(self, delay):
+        m = MarketWindowModel()
+        r = m.revenue(delay)
+        assert 0 < r <= m.peak_revenue_usd
+
+    @given(delays, st.floats(min_value=0.1, max_value=100.0))
+    def test_later_is_never_better(self, delay, extra):
+        m = MarketWindowModel()
+        assert m.revenue(delay + extra) < m.revenue(delay)
+
+    @given(delays)
+    def test_lost_plus_kept_is_peak(self, delay):
+        m = MarketWindowModel()
+        assert m.revenue(delay) + m.revenue_lost(delay) == pytest.approx(
+            m.peak_revenue_usd)
+
+
+class TestFabProperties:
+    @given(st.floats(min_value=1e8, max_value=2e10),
+           st.floats(min_value=1000, max_value=50_000),
+           st.floats(min_value=0.3, max_value=1.0))
+    @settings(max_examples=50)
+    def test_wafer_cost_positive_and_scales(self, capex, wspm, util):
+        fab = FabModel(capex_usd=capex, wafer_starts_per_month=wspm,
+                       utilization=util)
+        assert fab.cost_per_wafer() > 0
+        double = FabModel(capex_usd=2 * capex, wafer_starts_per_month=wspm,
+                          utilization=util)
+        assert double.cost_per_wafer() == pytest.approx(2 * fab.cost_per_wafer())
+
+
+class TestRepeaterProperties:
+    @given(lengths, features)
+    @settings(max_examples=60)
+    def test_repeated_never_slower(self, length, feature):
+        tech = WireTechnology.at_node(feature)
+        design = optimal_repeaters(tech, length)
+        assert design.delay_ps <= design.unrepeated_delay_ps * (1 + 1e-9)
+
+    @given(lengths, features)
+    @settings(max_examples=60)
+    def test_fields_consistent(self, length, feature):
+        tech = WireTechnology.at_node(feature)
+        design = optimal_repeaters(tech, length)
+        assert design.n_repeaters >= 0
+        assert design.size_factor > 0
+        assert design.delay_ps > 0

@@ -1,0 +1,101 @@
+"""Property-based tests on yield statistics and pattern extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import Rect, extract_patterns
+from repro.yieldmodels import (
+    MurphyYield,
+    NegativeBinomialYield,
+    PoissonYield,
+    SeedsYield,
+)
+
+faults = st.floats(min_value=0.0, max_value=50.0)
+alphas = st.floats(min_value=0.1, max_value=100.0)
+
+MODELS = [PoissonYield(), MurphyYield(), SeedsYield(), NegativeBinomialYield(2.0)]
+
+
+class TestYieldProperties:
+    @given(faults)
+    def test_all_models_in_unit_interval(self, ad):
+        for model in MODELS:
+            y = model.yield_from_faults(ad)
+            assert 0 < y <= 1
+
+    @given(faults, st.floats(min_value=0.01, max_value=10.0))
+    def test_monotone_decreasing(self, ad, delta):
+        for model in MODELS:
+            assert model.yield_from_faults(ad + delta) < model.yield_from_faults(ad) \
+                or ad + delta == ad
+
+    @given(faults, alphas)
+    def test_nb_clustering_monotone(self, ad, alpha):
+        # More clustering (smaller alpha) never hurts yield.
+        lo = NegativeBinomialYield(alpha)
+        hi = NegativeBinomialYield(alpha * 2)
+        assert lo.yield_from_faults(ad) >= hi.yield_from_faults(ad) - 1e-12
+
+    @given(st.floats(min_value=0.05, max_value=0.99),
+           st.floats(min_value=0.05, max_value=5.0))
+    def test_area_inversion_round_trip(self, target, d0):
+        for model in MODELS:
+            area = model.max_area_for_yield(target, d0)
+            assert float(model(area, d0)) == pytest.approx(target, rel=1e-5)
+
+
+def rects_strategy():
+    rect = st.builds(
+        lambda layer, x, y, w, h: Rect(layer, x, y, x + w, y + h),
+        st.sampled_from(["poly", "diff", "m1", "m2"]),
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=1, max_value=30),
+    )
+    return st.lists(rect, min_size=1, max_size=40)
+
+
+class TestPatternProperties:
+    @given(rects_strategy(), st.integers(min_value=2, max_value=32))
+    @settings(max_examples=60)
+    def test_window_accounting_invariants(self, rects, window):
+        lib = extract_patterns(rects, window)
+        assert lib.n_unique <= lib.n_occupied_windows
+        assert lib.n_occupied_windows <= lib.n_windows
+        assert 0.0 <= lib.regularity_index() <= 1.0
+
+    @given(rects_strategy(), st.integers(min_value=2, max_value=32),
+           st.integers(min_value=-500, max_value=500),
+           st.integers(min_value=-500, max_value=500))
+    @settings(max_examples=60)
+    def test_translation_invariance(self, rects, window, dx, dy):
+        # Pattern census is invariant under whole-layout translation by
+        # any multiple of the window pitch.
+        lib_a = extract_patterns(rects, window)
+        moved = [r.translated(dx * window, dy * window) for r in rects]
+        lib_b = extract_patterns(moved, window)
+        assert lib_a.n_unique == lib_b.n_unique
+        assert lib_a.n_occupied_windows == lib_b.n_occupied_windows
+
+    @given(rects_strategy(), st.integers(min_value=2, max_value=16),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40)
+    def test_duplication_never_adds_patterns(self, rects, window, copies):
+        # Stamping extra far-away copies of the whole layout multiplies
+        # occurrences but adds no new patterns.
+        from repro.layout import bounding_box
+        x0, y0, x1, y1 = bounding_box(rects)
+        span_x = x1 - x0
+        # Offset by a window-aligned stride beyond the layout extent.
+        stride = ((span_x // window) + 2) * window
+        all_rects = list(rects)
+        for k in range(1, copies + 1):
+            all_rects.extend(r.translated(k * stride, 0) for r in rects)
+        lib_one = extract_patterns(rects, window)
+        lib_many = extract_patterns(all_rects, window)
+        assert lib_many.n_unique <= lib_one.n_unique
+        assert lib_many.n_occupied_windows == (copies + 1) * lib_one.n_occupied_windows

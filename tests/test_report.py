@@ -1,0 +1,126 @@
+"""Report rendering tests."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.report import Series, ascii_plot, format_csv, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["name", "value"], [("a", 1.0), ("bb", 22.5)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        out = format_table(["x"], [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_none_rendered_blank(self):
+        out = format_table(["x", "y"], [(1, None)])
+        assert out.splitlines()[-1].rstrip().endswith("1 |")
+
+    def test_float_spec(self):
+        out = format_table(["x"], [(3.14159,)], float_spec=".2f")
+        assert "3.14" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(DomainError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_empty_headers(self):
+        with pytest.raises(DomainError):
+            format_table([], [])
+
+
+class TestFormatCsv:
+    def test_round_trip_shape(self):
+        out = format_csv(["a", "b"], [(1, 2.5), (3, 4.5)])
+        lines = out.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"
+
+    def test_none_blank(self):
+        out = format_csv(["a"], [(None,)])
+        assert out.split("\n")[1] == ""
+
+    def test_comma_header_rejected(self):
+        with pytest.raises(DomainError):
+            format_csv(["a,b"], [(1,)])
+
+
+class TestSeries:
+    def make(self):
+        return Series.from_arrays("s", [1, 2, 3, 4], [10, 8, 6, 4])
+
+    def test_from_arrays(self):
+        s = self.make()
+        assert s.x == (1.0, 2.0, 3.0, 4.0)
+
+    def test_monotonicity(self):
+        s = self.make()
+        assert s.is_decreasing()
+        assert not s.is_increasing()
+
+    def test_monotone_respects_x_order(self):
+        s = Series.from_arrays("s", [3, 1, 2], [6, 2, 4])
+        assert s.is_increasing()
+
+    def test_nonstrict(self):
+        s = Series.from_arrays("s", [1, 2, 3], [1, 1, 2])
+        assert not s.is_increasing(strict=True)
+        assert s.is_increasing(strict=False)
+
+    def test_argmin(self):
+        assert self.make().argmin_x() == 4.0
+
+    def test_y_range(self):
+        assert self.make().y_range() == (4.0, 10.0)
+
+    def test_crossing_interpolated(self):
+        s = Series.from_arrays("s", [0, 1], [0, 10])
+        assert s.crossing_x(5.0) == pytest.approx(0.5)
+
+    def test_crossing_none(self):
+        assert self.make().crossing_x(100.0) is None
+
+    def test_crossing_exact_point(self):
+        s = Series.from_arrays("s", [0, 1, 2], [1, 5, 9])
+        assert s.crossing_x(5.0) == pytest.approx(1.0)
+
+    def test_to_table_contains_points(self):
+        out = self.make().to_table()
+        assert "10" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(DomainError):
+            Series("s", (1.0,), (1.0, 2.0))
+
+    def test_needs_two_points(self):
+        with pytest.raises(DomainError):
+            Series("s", (1.0,), (1.0,))
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        s1 = Series.from_arrays("alpha", [0, 1, 2], [1, 2, 3])
+        s2 = Series.from_arrays("beta", [0, 1, 2], [3, 2, 1])
+        out = ascii_plot([s1, s2])
+        assert "o=alpha" in out
+        assert "x=beta" in out
+
+    def test_logy_rejects_nonpositive(self):
+        s = Series.from_arrays("s", [0, 1], [0.0, 1.0])
+        with pytest.raises(DomainError):
+            ascii_plot([s], logy=True)
+
+    def test_logy_runs(self):
+        s = Series.from_arrays("s", [0, 1, 2], [1, 10, 100])
+        out = ascii_plot([s], logy=True)
+        assert "log10" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            ascii_plot([])

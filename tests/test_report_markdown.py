@@ -1,0 +1,31 @@
+"""Markdown table renderer tests."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.report import format_markdown
+
+
+class TestFormatMarkdown:
+    def test_structure(self):
+        out = format_markdown(["a", "b"], [(1, 2.5)])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.5 |"
+
+    def test_float_spec(self):
+        out = format_markdown(["x"], [(3.14159,)], float_spec=".2f")
+        assert "3.14" in out
+
+    def test_none_blank(self):
+        out = format_markdown(["x", "y"], [(1, None)])
+        assert out.splitlines()[2] == "| 1 |  |"
+
+    def test_row_mismatch(self):
+        with pytest.raises(DomainError):
+            format_markdown(["a"], [(1, 2)])
+
+    def test_empty_headers(self):
+        with pytest.raises(DomainError):
+            format_markdown([], [])

@@ -1,0 +1,94 @@
+"""Figure 3 constant-die-cost analysis tests."""
+
+import pytest
+
+from repro.data import load_itrs_1999
+from repro.errors import DomainError
+from repro.roadmap import (
+    PAPER_FIGURE3_ASSUMPTIONS,
+    ConstantCostAssumptions,
+    constant_cost_sd,
+    constant_cost_series,
+)
+
+
+class TestAssumptions:
+    def test_paper_anchors(self):
+        a = PAPER_FIGURE3_ASSUMPTIONS
+        assert a.die_cost_usd == 34.0
+        assert a.cost_per_cm2 == 8.0
+        assert a.yield_fraction == 0.8
+
+    def test_affordable_die_area(self):
+        # 34 * 0.8 / 8 = 3.4 cm^2 — the paper's affordable die.
+        assert PAPER_FIGURE3_ASSUMPTIONS.affordable_die_area_cm2 == pytest.approx(3.4)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            ConstantCostAssumptions(yield_fraction=1.2)
+        with pytest.raises(DomainError):
+            ConstantCostAssumptions(die_cost_usd=-1.0)
+
+
+class TestConstantCostSd:
+    @pytest.fixture(scope="class")
+    def nodes(self):
+        return load_itrs_1999()
+
+    def test_1999_value(self, nodes):
+        # 3.4 / (21e6 * (1.8e-5)^2) ~ 500.
+        sd = constant_cost_sd(nodes[0])
+        assert sd == pytest.approx(3.4 / (21e6 * (1.8e-5) ** 2), rel=1e-9)
+        assert 480 < sd < 520
+
+    def test_falls_across_roadmap(self, nodes):
+        sds = [constant_cost_sd(n) for n in nodes]
+        assert all(a > b for a, b in zip(sds, sds[1:]))
+
+    def test_2014_requires_sub_custom_density(self, nodes):
+        # By the horizon the constant-cost s_d falls BELOW the paper's
+        # full-custom bound of ~100 — the cost contradiction in raw form.
+        assert constant_cost_sd(nodes[-1]) < 100
+
+    def test_richer_budget_allows_sparser(self, nodes):
+        rich = ConstantCostAssumptions(die_cost_usd=68.0)
+        assert constant_cost_sd(nodes[0], rich) == pytest.approx(
+            2 * constant_cost_sd(nodes[0]), rel=1e-9)
+
+    def test_costlier_silicon_requires_denser(self, nodes):
+        pricey = ConstantCostAssumptions(cost_per_cm2=16.0)
+        assert constant_cost_sd(nodes[0], pricey) == pytest.approx(
+            constant_cost_sd(nodes[0]) / 2, rel=1e-9)
+
+
+class TestSeries:
+    @pytest.fixture(scope="class")
+    def series(self):
+        return constant_cost_series(load_itrs_1999())
+
+    def test_one_point_per_node(self, series):
+        assert len(series) == 6
+
+    def test_chronological(self, series):
+        years = [p.node.year for p in series]
+        assert years == sorted(years)
+
+    def test_ratio_grows_monotonically(self, series):
+        # Figure 3's message: the implied/required ratio worsens.
+        ratios = [p.ratio for p in series]
+        assert all(a < b for a, b in zip(ratios, ratios[1:]))
+
+    def test_contradiction_emerges_and_stays(self, series):
+        # Near 1 at the 1999 anchor, contradictory from 2002 on.
+        assert series[0].ratio == pytest.approx(1.0, abs=0.15)
+        assert all(p.is_contradictory for p in series[1:])
+
+    def test_horizon_ratio_magnitude(self, series):
+        # By 2014 the roadmap's implied s_d overshoots the affordable
+        # one by roughly 2x.
+        assert 1.5 < series[-1].ratio < 2.5
+
+    def test_unsorted_input_is_sorted(self):
+        nodes = list(reversed(load_itrs_1999()))
+        series = constant_cost_series(nodes)
+        assert [p.node.year for p in series] == sorted(n.year for n in nodes)

@@ -1,0 +1,44 @@
+"""Feasibility-gap tests — Figures 1+2+3 joined."""
+
+import pytest
+
+from repro.data import DesignRegistry, load_itrs_1999
+from repro.roadmap import feasibility_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return feasibility_report(DesignRegistry.table_a1(), load_itrs_1999())
+
+
+class TestReport:
+    def test_one_point_per_node(self, report):
+        assert len(report) == 6
+
+    def test_industrial_trend_rises_as_nodes_shrink(self, report):
+        trend = [p.sd_industrial_trend for p in report]
+        assert all(a < b for a, b in zip(trend, trend[1:]))
+
+    def test_required_curves_fall(self, report):
+        implied = [p.sd_roadmap_implied for p in report]
+        const = [p.sd_constant_cost for p in report]
+        assert all(a > b for a, b in zip(implied, implied[1:]))
+        assert all(a > b for a, b in zip(const, const[1:]))
+
+    def test_gap_widens_over_roadmap(self, report):
+        gaps = [p.gap_vs_constant_cost for p in report]
+        assert all(a < b for a, b in zip(gaps, gaps[1:]))
+
+    def test_trends_cross_meaning_divergence(self, report):
+        # At the 1999 anchor industry (~250-350) is BELOW the constant-
+        # cost allowance (~500); by the horizon it is far above.
+        assert report[0].gap_vs_constant_cost < 1
+        assert report[-1].gap_vs_constant_cost > 3
+
+    def test_die_cost_growth_equals_gap(self, report):
+        p = report[-1]
+        assert p.implied_die_cost_growth == pytest.approx(p.gap_vs_constant_cost)
+
+    def test_gap_vs_roadmap_also_widens(self, report):
+        gaps = [p.gap_vs_roadmap for p in report]
+        assert gaps[-1] > gaps[0]

@@ -1,0 +1,94 @@
+"""Scaling-law and node-calendar tests."""
+
+import pytest
+
+from repro.data import load_itrs_1999
+from repro.errors import DomainError
+from repro.roadmap import ScalingLaw, interpolate_nodes, node_sequence
+
+
+class TestScalingLaw:
+    def test_anchor_value(self):
+        law = ScalingLaw(1999, 180.0, 0.9)
+        assert law.value(1999) == pytest.approx(180.0)
+
+    def test_exponential_growth(self):
+        law = ScalingLaw(2000, 1.0, 2.0)
+        assert law.value(2003) == pytest.approx(8.0)
+
+    def test_year_for_value_round_trip(self):
+        law = ScalingLaw.feature_shrink()
+        year = law.year_for_value(35.0)
+        assert law.value(year) == pytest.approx(35.0)
+
+    def test_flat_law_cannot_invert(self):
+        with pytest.raises(DomainError):
+            ScalingLaw(2000, 1.0, 1.0).year_for_value(2.0)
+
+    def test_feature_shrink_hits_itrs_calendar(self):
+        law = ScalingLaw.feature_shrink()
+        assert law.value(2002) == pytest.approx(180 * 0.7, rel=1e-9)
+        assert law.value(2014) == pytest.approx(180 * 0.7**5, rel=1e-9)
+
+    def test_moore_functions_doubling(self):
+        law = ScalingLaw.moore_functions(doubling_months=18.0)
+        assert law.value(1999 + 1.5) == pytest.approx(2 * 21.0, rel=1e-9)
+
+    def test_array_evaluation(self):
+        import numpy as np
+        law = ScalingLaw.feature_shrink()
+        out = law.value(np.array([1999.0, 2002.0]))
+        assert out.shape == (2,)
+
+
+class TestNodeSequence:
+    def test_default_matches_itrs(self):
+        seq = node_sequence()
+        assert seq[0] == (1999, 180.0)
+        assert seq[-1][0] == 2014
+        assert seq[-1][1] == pytest.approx(30.3, abs=0.2)  # 180*0.7^5 rounded
+
+    def test_shrink_ratio(self):
+        seq = node_sequence(n_nodes=3)
+        assert seq[1][1] / seq[0][1] == pytest.approx(0.7, rel=0.01)
+
+    def test_invalid_args(self):
+        with pytest.raises(DomainError):
+            node_sequence(n_nodes=0)
+        with pytest.raises(DomainError):
+            node_sequence(shrink=1.5)
+
+
+class TestInterpolateNodes:
+    @pytest.fixture(scope="class")
+    def nodes(self):
+        return load_itrs_1999()
+
+    def test_exact_node_year(self, nodes):
+        node = interpolate_nodes(nodes, 2005)
+        assert node.feature_nm == pytest.approx(100.0)
+
+    def test_midpoint_geometric(self, nodes):
+        node = interpolate_nodes(nodes, 2000.5)
+        import math
+        expected = math.sqrt(180.0 * 130.0)
+        assert node.feature_nm == pytest.approx(expected, rel=1e-9)
+
+    def test_interpolated_between_neighbours(self, nodes):
+        node = interpolate_nodes(nodes, 2003)
+        assert 100.0 < node.feature_nm < 130.0
+        assert 76.0 < node.mpu_transistors_m < 200.0
+
+    def test_outside_span_raises(self, nodes):
+        with pytest.raises(DomainError):
+            interpolate_nodes(nodes, 1990)
+        with pytest.raises(DomainError):
+            interpolate_nodes(nodes, 2020)
+
+    def test_needs_two_nodes(self, nodes):
+        with pytest.raises(DomainError):
+            interpolate_nodes(nodes[:1], 1999)
+
+    def test_note_marks_interpolation(self, nodes):
+        node = interpolate_nodes(nodes, 2003)
+        assert "interpolated" in node.note

@@ -1,0 +1,72 @@
+"""Roadmap-scenario tests — relaxing Figure 3's optimism."""
+
+import pytest
+
+from repro.data import load_itrs_1999
+from repro.errors import DomainError
+from repro.roadmap import SCENARIO_NAMES, scenario, scenario_series
+from repro.roadmap.constant_cost import constant_cost_series
+
+
+@pytest.fixture(scope="module")
+def nodes():
+    return load_itrs_1999()
+
+
+class TestScenarioFactory:
+    def test_three_scenarios_registered(self):
+        assert set(SCENARIO_NAMES) == {"paper-optimistic", "realistic", "pessimistic"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DomainError, match="unknown scenario"):
+            scenario("rosy")
+
+    def test_paper_scenario_is_flat(self, nodes):
+        s = scenario("paper-optimistic")
+        assert s.cost_per_cm2(nodes[0]) == 8.0
+        assert s.cost_per_cm2(nodes[-1]) == 8.0
+        assert s.yield_fraction(nodes[-1]) == 0.8
+
+    def test_realistic_cm_sq_grows(self, nodes):
+        s = scenario("realistic")
+        assert s.cost_per_cm2(nodes[-1]) > 2 * s.cost_per_cm2(nodes[0])
+
+    def test_realistic_yield_in_domain(self, nodes):
+        s = scenario("realistic")
+        for node in nodes:
+            assert 0 < s.yield_fraction(node) <= 1
+
+    def test_pessimistic_worse_than_realistic_per_node(self, nodes):
+        realistic = scenario("realistic")
+        pessimistic = scenario("pessimistic")
+        for node in nodes:
+            assert pessimistic.cost_per_cm2(node) >= realistic.cost_per_cm2(node)
+            assert pessimistic.yield_fraction(node) <= realistic.yield_fraction(node)
+
+
+class TestScenarioSeries:
+    def test_paper_scenario_matches_figure3(self, nodes):
+        via_scenario = scenario_series(nodes, scenario("paper-optimistic"))
+        direct = constant_cost_series(nodes)
+        for a, b in zip(via_scenario, direct):
+            assert a.ratio == pytest.approx(b.ratio, rel=1e-9)
+
+    def test_relaxing_optimism_worsens_contradiction(self, nodes):
+        # The paper's §2.2.3 sentence, asserted: every relaxation moves
+        # the ratio UP at every post-anchor node.
+        optimistic = scenario_series(nodes, scenario("paper-optimistic"))
+        realistic = scenario_series(nodes, scenario("realistic"))
+        pessimistic = scenario_series(nodes, scenario("pessimistic"))
+        for o, r, p in zip(optimistic[1:], realistic[1:], pessimistic[1:]):
+            assert r.ratio > o.ratio
+            assert p.ratio > r.ratio
+
+    def test_realistic_contradiction_explodes(self, nodes):
+        realistic = scenario_series(nodes, scenario("realistic"))
+        # By the horizon the gap is not ~2x but orders of magnitude.
+        assert realistic[-1].ratio > 20
+
+    def test_all_series_monotone(self, nodes):
+        for name in SCENARIO_NAMES:
+            ratios = [p.ratio for p in scenario_series(nodes, scenario(name))]
+            assert all(a < b for a, b in zip(ratios, ratios[1:])), name

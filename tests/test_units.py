@@ -1,0 +1,113 @@
+"""Unit-conversion tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import UnitError
+
+
+class TestScalarConversions:
+    def test_um_to_cm(self):
+        assert units.um_to_cm(10_000) == pytest.approx(1.0)
+
+    def test_cm_to_um(self):
+        assert units.cm_to_um(1.0) == pytest.approx(10_000.0)
+
+    def test_nm_to_cm(self):
+        assert units.nm_to_cm(1.0e7) == pytest.approx(1.0)
+
+    def test_cm_to_nm(self):
+        assert units.cm_to_nm(1.0) == pytest.approx(1.0e7)
+
+    def test_nm_to_um(self):
+        assert units.nm_to_um(180.0) == pytest.approx(0.18)
+
+    def test_um_to_nm(self):
+        assert units.um_to_nm(0.18) == pytest.approx(180.0)
+
+    def test_mm_to_cm(self):
+        assert units.mm_to_cm(200.0) == pytest.approx(20.0)
+
+    def test_cm_to_mm(self):
+        assert units.cm_to_mm(20.0) == pytest.approx(200.0)
+
+    def test_mm2_to_cm2(self):
+        assert units.mm2_to_cm2(294.0) == pytest.approx(2.94)
+
+    def test_cm2_to_mm2(self):
+        assert units.cm2_to_mm2(2.94) == pytest.approx(294.0)
+
+    def test_paper_feature_size_squared(self):
+        # The paper's central λ² term: 0.18 µm → 3.24e-10 cm².
+        lam_cm = units.um_to_cm(0.18)
+        assert lam_cm**2 == pytest.approx(3.24e-10)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("value", [0.13, 0.18, 0.25, 0.35, 0.5, 0.8, 1.5])
+    def test_um_cm_round_trip(self, value):
+        assert units.cm_to_um(units.um_to_cm(value)) == pytest.approx(value)
+
+    @pytest.mark.parametrize("value", [35.0, 70.0, 130.0, 180.0])
+    def test_nm_um_round_trip(self, value):
+        assert units.um_to_nm(units.nm_to_um(value)) == pytest.approx(value)
+
+
+class TestArrayConversions:
+    def test_array_in_array_out(self):
+        out = units.um_to_cm(np.array([0.18, 0.25]))
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_allclose(out, [1.8e-5, 2.5e-5])
+
+    def test_scalar_stays_scalar(self):
+        assert isinstance(units.um_to_cm(0.18), float)
+
+    def test_shape_preserved(self):
+        out = units.nm_to_cm(np.ones((2, 3)))
+        assert out.shape == (2, 3)
+
+
+class TestLengthToCm:
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (1.0, "cm", 1.0),
+            (10.0, "mm", 1.0),
+            (10_000.0, "um", 1.0),
+            (10_000.0, "µm", 1.0),
+            (10_000.0, "micron", 1.0),
+            (1.0e7, "nm", 1.0),
+        ],
+    )
+    def test_known_units(self, value, unit, expected):
+        assert units.length_to_cm(value, unit) == pytest.approx(expected)
+
+    def test_case_insensitive(self):
+        assert units.length_to_cm(1.0, "CM") == pytest.approx(1.0)
+
+    def test_whitespace_tolerant(self):
+        assert units.length_to_cm(1.0, " mm ") == pytest.approx(0.1)
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(UnitError, match="unknown length unit"):
+            units.length_to_cm(1.0, "furlong")
+
+    def test_non_string_unit_raises(self):
+        with pytest.raises(UnitError):
+            units.length_to_cm(1.0, None)
+
+    def test_array_input(self):
+        out = units.length_to_cm(np.array([1.0, 2.0]), "mm")
+        np.testing.assert_allclose(out, [0.1, 0.2])
+
+
+class TestMoney:
+    def test_dollars_identity(self):
+        assert units.dollars(34) == 34.0
+        assert isinstance(units.dollars(34), float)
+
+    def test_megadollars(self):
+        assert units.megadollars(1.5) == pytest.approx(1.5e6)

@@ -1,0 +1,107 @@
+"""Wafer cost model tests (the Cm_sq(A_w, λ, N_w) of eq. 7)."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.wafer import (
+    DEFAULT_WAFER_COST_MODEL,
+    WAFER_150MM,
+    WAFER_200MM,
+    WAFER_300MM,
+    WaferCostModel,
+)
+
+
+class TestAnchor:
+    def test_paper_anchor_8_dollars(self):
+        # Mature, asymptotic-volume, 200 mm, 0.18 um -> the paper's 8 $/cm^2.
+        cost = DEFAULT_WAFER_COST_MODEL.cost_per_cm2(0.18)
+        assert cost == pytest.approx(8.0, rel=0.01)
+
+    def test_wafer_cost_is_area_times_rate(self):
+        model = DEFAULT_WAFER_COST_MODEL
+        assert model.wafer_cost(0.18) == pytest.approx(
+            model.cost_per_cm2(0.18) * WAFER_200MM.area_cm2)
+
+
+class TestFeatureFactor:
+    def test_unity_at_reference(self):
+        assert DEFAULT_WAFER_COST_MODEL.feature_factor(0.18) == pytest.approx(1.0)
+
+    def test_shrink_costs_more(self):
+        m = DEFAULT_WAFER_COST_MODEL
+        assert m.feature_factor(0.13) > 1.0
+        assert m.feature_factor(0.35) < 1.0
+
+    def test_monotone_decreasing_in_feature(self):
+        m = DEFAULT_WAFER_COST_MODEL
+        factors = [m.feature_factor(f) for f in (0.07, 0.13, 0.18, 0.25, 0.5)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_rejects_zero_feature(self):
+        with pytest.raises(DomainError):
+            DEFAULT_WAFER_COST_MODEL.feature_factor(0.0)
+
+
+class TestWaferFactor:
+    def test_unity_at_reference_wafer(self):
+        assert DEFAULT_WAFER_COST_MODEL.wafer_factor(WAFER_200MM) == pytest.approx(1.0)
+
+    def test_bigger_wafer_cheaper_per_cm2(self):
+        m = DEFAULT_WAFER_COST_MODEL
+        assert m.wafer_factor(WAFER_300MM) < 1.0 < m.wafer_factor(WAFER_150MM)
+
+
+class TestVolumeFactor:
+    def test_pilot_run_overhead(self):
+        m = DEFAULT_WAFER_COST_MODEL
+        assert m.volume_factor(1) == pytest.approx(1 + m.volume_overhead, rel=0.01)
+
+    def test_asymptote_is_unity(self):
+        assert DEFAULT_WAFER_COST_MODEL.volume_factor(1e12) == pytest.approx(1.0, abs=1e-6)
+
+    def test_monotone_decreasing(self):
+        m = DEFAULT_WAFER_COST_MODEL
+        factors = [float(m.volume_factor(n)) for n in (10, 1e3, 1e4, 1e6)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_half_amortised_at_scale(self):
+        m = WaferCostModel(volume_overhead=1.0, volume_scale=1000.0)
+        assert m.volume_factor(1000) == pytest.approx(1.5)
+
+
+class TestMaturityFactor:
+    def test_mature_is_unity(self):
+        assert DEFAULT_WAFER_COST_MODEL.maturity_factor(1.0) == pytest.approx(1.0)
+
+    def test_immature_overhead(self):
+        m = DEFAULT_WAFER_COST_MODEL
+        assert m.maturity_factor(0.01) > m.maturity_factor(0.99)
+
+    def test_rejects_zero_maturity(self):
+        with pytest.raises(DomainError):
+            DEFAULT_WAFER_COST_MODEL.maturity_factor(0.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(DomainError):
+            DEFAULT_WAFER_COST_MODEL.maturity_factor(1.5)
+
+
+class TestComposite:
+    def test_factors_multiply(self):
+        m = DEFAULT_WAFER_COST_MODEL
+        cost = m.cost_per_cm2(0.13, WAFER_300MM, n_wafers=5000, maturity=0.5)
+        expected = (m.base_cost_per_cm2 * m.feature_factor(0.13)
+                    * m.wafer_factor(WAFER_300MM) * m.volume_factor(5000)
+                    * m.maturity_factor(0.5))
+        assert cost == pytest.approx(float(expected))
+
+    def test_nanometer_node_much_costlier(self):
+        # The paper's "highly unlikely" flat-C_sq assumption quantified:
+        # 35 nm silicon costs several x the 180 nm anchor.
+        m = DEFAULT_WAFER_COST_MODEL
+        assert m.cost_per_cm2(0.035) / m.cost_per_cm2(0.18) > 3.0
+
+    def test_custom_exponent_zero_flattens(self):
+        flat = WaferCostModel(feature_exponent=0.0)
+        assert flat.cost_per_cm2(0.035) == pytest.approx(flat.cost_per_cm2(0.18))

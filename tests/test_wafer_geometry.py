@@ -1,0 +1,104 @@
+"""Die-per-wafer geometry tests (the N_ch of eq. 1)."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.wafer import (
+    WAFER_200MM,
+    WAFER_300MM,
+    WaferSpec,
+    die_dimensions_cm,
+    gross_die_area_ratio,
+    gross_die_classic,
+    gross_die_exact,
+    gross_die_per_wafer,
+)
+
+
+class TestDieDimensions:
+    def test_square_die(self):
+        w, h = die_dimensions_cm(4.0)
+        assert w == pytest.approx(2.0)
+        assert h == pytest.approx(2.0)
+
+    def test_aspect_ratio(self):
+        w, h = die_dimensions_cm(2.0, aspect_ratio=2.0)
+        assert w / h == pytest.approx(2.0)
+        assert w * h == pytest.approx(2.0)
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(DomainError):
+            die_dimensions_cm(0.0)
+
+
+class TestEstimatorOrdering:
+    """ratio >= classic >= exact >= 0, with known relative gaps."""
+
+    @pytest.mark.parametrize("area", [0.5, 1.0, 2.0, 3.4])
+    def test_ordering(self, area):
+        ratio = gross_die_area_ratio(WAFER_200MM, area)
+        classic = gross_die_classic(WAFER_200MM, area)
+        exact = gross_die_exact(WAFER_200MM, area)
+        assert ratio > classic
+        assert exact > 0
+        # Classic is a good approximation of exact (within ~12%).
+        assert classic == pytest.approx(exact, rel=0.12)
+
+    def test_small_die_converges_to_area_ratio(self):
+        # Tiny die on a scribe-free wafer: edge losses negligible.
+        no_scribe = WaferSpec("ns", 200.0, scribe_mm=0.0)
+        area = 0.05
+        ratio = gross_die_area_ratio(no_scribe, area)
+        exact = gross_die_exact(no_scribe, area)
+        assert exact == pytest.approx(ratio, rel=0.06)
+
+
+class TestExactCount:
+    def test_deterministic(self):
+        a = gross_die_exact(WAFER_200MM, 1.0)
+        b = gross_die_exact(WAFER_200MM, 1.0)
+        assert a == b
+
+    def test_monotone_in_die_area(self):
+        counts = [gross_die_exact(WAFER_200MM, a) for a in (0.5, 1.0, 2.0, 4.0)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_bigger_wafer_more_dice(self):
+        assert gross_die_exact(WAFER_300MM, 1.0) > gross_die_exact(WAFER_200MM, 1.0)
+
+    def test_scribe_lanes_cost_dice(self):
+        no_scribe = WaferSpec("ns", 200.0, scribe_mm=0.0)
+        wide_scribe = WaferSpec("ws", 200.0, scribe_mm=2.0)
+        assert gross_die_exact(no_scribe, 1.0) > gross_die_exact(wide_scribe, 1.0)
+
+    def test_paper_die_on_200mm_magnitude(self):
+        # The 3.4 cm^2 constant-cost die: ~70-80 sites on 200 mm.
+        n = gross_die_exact(WAFER_200MM, 3.4)
+        assert 60 <= n <= 90
+
+    def test_too_large_die_raises(self):
+        with pytest.raises(DomainError, match="does not fit"):
+            gross_die_exact(WAFER_200MM, 500.0)
+
+    def test_offsets_validated(self):
+        with pytest.raises(DomainError):
+            gross_die_exact(WAFER_200MM, 1.0, offsets=0)
+
+    def test_more_offsets_never_fewer_dice(self):
+        coarse = gross_die_exact(WAFER_200MM, 2.0, offsets=1)
+        fine = gross_die_exact(WAFER_200MM, 2.0, offsets=8)
+        assert fine >= coarse
+
+
+class TestDispatch:
+    def test_exact_default(self):
+        assert gross_die_per_wafer(WAFER_200MM, 1.0) == float(
+            gross_die_exact(WAFER_200MM, 1.0))
+
+    def test_method_names(self):
+        for method in ("exact", "classic", "ratio"):
+            assert gross_die_per_wafer(WAFER_200MM, 1.0, method=method) > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(DomainError, match="unknown gross-die method"):
+            gross_die_per_wafer(WAFER_200MM, 1.0, method="magic")

@@ -1,0 +1,48 @@
+"""Wafer format tests."""
+
+import math
+
+import pytest
+
+from repro.wafer import WAFER_150MM, WAFER_200MM, WAFER_300MM, WaferSpec, standard_wafers
+
+
+class TestStandardWafers:
+    def test_three_formats_ordered(self):
+        wafers = standard_wafers()
+        assert [w.diameter_mm for w in wafers] == [150.0, 200.0, 300.0]
+
+    def test_200mm_area(self):
+        assert WAFER_200MM.area_cm2 == pytest.approx(math.pi * 10.0**2)
+
+    def test_usable_radius_excludes_edge(self):
+        assert WAFER_200MM.usable_radius_cm == pytest.approx(9.7)
+
+    def test_usable_area_smaller_than_full(self):
+        for w in standard_wafers():
+            assert w.usable_area_cm2 < w.area_cm2
+
+    def test_area_scales_with_diameter_squared(self):
+        assert WAFER_300MM.area_cm2 / WAFER_150MM.area_cm2 == pytest.approx(4.0)
+
+
+class TestCustomSpec:
+    def test_custom_edge_exclusion(self):
+        w = WaferSpec("test", 100.0, edge_exclusion_mm=5.0)
+        assert w.usable_radius_cm == pytest.approx(4.5)
+
+    def test_zero_edge_exclusion_allowed(self):
+        w = WaferSpec("test", 100.0, edge_exclusion_mm=0.0)
+        assert w.usable_area_cm2 == pytest.approx(w.area_cm2)
+
+    def test_excessive_edge_exclusion_rejected(self):
+        with pytest.raises(ValueError, match="no usable wafer"):
+            WaferSpec("bad", 100.0, edge_exclusion_mm=50.0)
+
+    def test_negative_diameter_rejected(self):
+        with pytest.raises(Exception):
+            WaferSpec("bad", -200.0)
+
+    def test_negative_scribe_rejected(self):
+        with pytest.raises(Exception):
+            WaferSpec("bad", 200.0, scribe_mm=-0.1)

@@ -1,0 +1,130 @@
+"""Critical-area model and composite Y(·) tests — the eq.-(7) yield."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.yieldmodels import (
+    DEFAULT_COMPOSITE_YIELD,
+    CompositeYield,
+    CriticalAreaModel,
+    PoissonYield,
+    SeedsYield,
+)
+
+
+class TestCriticalAreaModel:
+    def test_occupancy_saturates_at_dense_bound(self):
+        m = CriticalAreaModel(reference_sd=100.0)
+        assert m.occupancy(100.0) == pytest.approx(1.0)
+        assert m.occupancy(50.0) == pytest.approx(1.0)  # clipped
+
+    def test_occupancy_falls_sublinearly(self):
+        m = CriticalAreaModel(reference_sd=100.0, density_exponent=0.8)
+        assert m.occupancy(200.0) == pytest.approx(0.5**0.8)
+        # Sub-linear: a 2x sparser design keeps MORE than half the
+        # exposure.
+        assert m.occupancy(200.0) > 0.5
+
+    def test_occupancy_linear_when_exponent_one(self):
+        m = CriticalAreaModel(reference_sd=100.0, density_exponent=1.0)
+        assert m.occupancy(200.0) == pytest.approx(0.5)
+
+    def test_critical_fraction_scaled_by_saturation(self):
+        m = CriticalAreaModel(reference_sd=100.0, saturation=0.6)
+        assert m.critical_fraction(100.0) == pytest.approx(0.6)
+
+    def test_critical_area_product(self):
+        m = CriticalAreaModel()
+        assert m.critical_area_cm2(2.0, 200.0) == pytest.approx(
+            2.0 * m.critical_fraction(200.0))
+
+    def test_faults_per_die(self):
+        m = CriticalAreaModel()
+        assert m.faults_per_die(2.0, 200.0, 0.5) == pytest.approx(
+            m.critical_area_cm2(2.0, 200.0) * 0.5)
+
+    def test_density_compensation(self):
+        # Key trade-off (§3.1): at fixed N_tr and lambda, die area ~ sd
+        # but critical fraction ~ sd^-gamma, so faults per die grow
+        # only as sd^(1-gamma) — far slower than the die itself. Yield
+        # neither rewards sparseness much nor punishes density much.
+        m = CriticalAreaModel(reference_sd=100.0, density_exponent=0.8)
+        n_tr, lam2 = 1e7, (0.18e-4) ** 2
+        faults = [m.faults_per_die(n_tr * sd * lam2, sd, 0.5) for sd in (150, 600)]
+        assert faults[1] > faults[0]                     # sparser die = bigger target
+        assert faults[1] / faults[0] == pytest.approx(4**0.2, rel=1e-9)
+
+    def test_exact_compensation_when_exponent_one(self):
+        m = CriticalAreaModel(reference_sd=100.0, density_exponent=1.0)
+        n_tr, lam2 = 1e7, (0.18e-4) ** 2
+        faults = [m.faults_per_die(n_tr * sd * lam2, sd, 0.5) for sd in (150, 300, 600)]
+        assert max(faults) == pytest.approx(min(faults), rel=1e-9)
+
+    def test_rejects_bad_sd(self):
+        with pytest.raises(DomainError):
+            CriticalAreaModel().occupancy(0.0)
+
+
+class TestCompositeYield:
+    def test_in_unit_interval(self):
+        y = DEFAULT_COMPOSITE_YIELD(1e7, 300, 0.18, 50_000)
+        assert 0 < y <= 1
+
+    def test_more_transistors_lower_yield(self):
+        cy = DEFAULT_COMPOSITE_YIELD
+        assert cy(1e8, 300, 0.18) < cy(1e7, 300, 0.18)
+
+    def test_smaller_feature_lower_yield_at_fixed_die(self):
+        # At FIXED die area the finer node's denser defect spectrum
+        # hurts: scale N_tr with 1/lambda^2 to hold the die constant.
+        cy = DEFAULT_COMPOSITE_YIELD
+        area = 1.0
+        lam2 = {f: (f * 1e-4) ** 2 for f in (0.09, 0.25)}
+        n_fine = area / (300 * lam2[0.09])
+        n_coarse = area / (300 * lam2[0.25])
+        assert cy.die_area_cm2(n_fine, 300, 0.09) == pytest.approx(area)
+        assert cy(n_fine, 300, 0.09) < cy(n_coarse, 300, 0.25)
+
+    def test_smaller_feature_higher_yield_at_fixed_count(self):
+        # At fixed N_tr a shrink wins: die area falls as lambda^2 while
+        # defect density only grows as 1/lambda.
+        cy = DEFAULT_COMPOSITE_YIELD
+        assert cy(1e7, 300, 0.09) > cy(1e7, 300, 0.25)
+
+    def test_volume_learning_improves_yield(self):
+        cy = DEFAULT_COMPOSITE_YIELD
+        assert cy(1e7, 300, 0.18, n_wafers=100) < cy(1e7, 300, 0.18, n_wafers=1e6)
+
+    def test_systematic_yield_multiplies(self):
+        base = CompositeYield()
+        scaled = CompositeYield(systematic_yield=0.9)
+        assert scaled(1e7, 300, 0.18) == pytest.approx(0.9 * base(1e7, 300, 0.18))
+
+    def test_systematic_yield_validated(self):
+        with pytest.raises(DomainError):
+            CompositeYield(systematic_yield=1.5)
+
+    def test_statistic_is_pluggable(self):
+        poisson = CompositeYield(statistic=PoissonYield())
+        seeds = CompositeYield(statistic=SeedsYield())
+        # Seeds (max clustering) is always the more optimistic model.
+        assert seeds(1e8, 300, 0.13) > poisson(1e8, 300, 0.13)
+
+    def test_die_area_view(self):
+        cy = DEFAULT_COMPOSITE_YIELD
+        assert cy.die_area_cm2(1e7, 300, 0.18) == pytest.approx(0.972)
+
+    def test_array_sweep(self):
+        sd = np.array([150.0, 300.0, 600.0])
+        y = DEFAULT_COMPOSITE_YIELD(1e7, sd, 0.18)
+        assert y.shape == (3,)
+        assert np.all((y > 0) & (y <= 1))
+
+    def test_paper_operating_points_bracketed(self):
+        # The paper's Y = 0.4 and Y = 0.9 scenarios should be reachable
+        # within the default model by varying size/node/volume.
+        cy = DEFAULT_COMPOSITE_YIELD
+        y_hard = cy(5e8, 300, 0.10, n_wafers=500)   # big nanometre die, immature
+        y_easy = cy(5e6, 200, 0.25, n_wafers=1e6)   # small mature die
+        assert y_hard < 0.4 < 0.9 < y_easy

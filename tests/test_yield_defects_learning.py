@@ -1,0 +1,87 @@
+"""Defect-density scaling and yield-learning tests."""
+
+import pytest
+
+from repro.errors import DomainError
+from repro.yieldmodels import (
+    DEFAULT_DEFECT_MODEL,
+    DEFAULT_LEARNING_CURVE,
+    DefectDensityModel,
+    YieldLearningCurve,
+)
+
+
+class TestDefectDensityModel:
+    def test_reference_anchor(self):
+        assert DEFAULT_DEFECT_MODEL.density(0.18) == pytest.approx(0.5)
+
+    def test_density_grows_as_feature_shrinks(self):
+        m = DEFAULT_DEFECT_MODEL
+        assert m.density(0.09) > m.density(0.18) > m.density(0.35)
+
+    def test_default_exponent_linear(self):
+        m = DEFAULT_DEFECT_MODEL
+        assert m.density(0.09) == pytest.approx(2 * m.density(0.18))
+
+    def test_maturity_factor_multiplies(self):
+        m = DEFAULT_DEFECT_MODEL
+        assert m.density(0.18, maturity_factor=3.0) == pytest.approx(
+            3 * m.density(0.18))
+
+    def test_zero_exponent_flat(self):
+        flat = DefectDensityModel(feature_exponent=0.0)
+        assert flat.density(0.035) == pytest.approx(flat.density(0.5))
+
+    def test_rejects_zero_feature(self):
+        with pytest.raises(DomainError):
+            DEFAULT_DEFECT_MODEL.density(0.0)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(DomainError):
+            DefectDensityModel(reference_density_per_cm2=-1.0)
+
+
+class TestLearningCurve:
+    def test_bringup_multiplier(self):
+        assert DEFAULT_LEARNING_CURVE.multiplier(0) == pytest.approx(3.0)
+
+    def test_asymptote_unity(self):
+        assert DEFAULT_LEARNING_CURVE.multiplier(1e9) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        m = DEFAULT_LEARNING_CURVE
+        values = [m.multiplier(n) for n in (0, 1e3, 1e4, 1e5)]
+        assert values == sorted(values, reverse=True)
+
+    def test_e_folding(self):
+        c = YieldLearningCurve(initial_multiplier=2.0, learning_wafers=1000.0)
+        import math
+        assert c.multiplier(1000) == pytest.approx(1 + math.exp(-1))
+
+    def test_maturity_in_unit_interval(self):
+        m = DEFAULT_LEARNING_CURVE
+        assert 0 < m.maturity(0) <= 1e-6  # strictly positive floor
+        assert m.maturity(1e9) == pytest.approx(1.0)
+
+    def test_maturity_monotone(self):
+        m = DEFAULT_LEARNING_CURVE
+        assert m.maturity(100) < m.maturity(10_000) < m.maturity(1_000_000)
+
+    def test_wafers_to_reach_multiplier_round_trip(self):
+        c = DEFAULT_LEARNING_CURVE
+        n = c.wafers_to_reach_multiplier(1.5)
+        assert c.multiplier(n) == pytest.approx(1.5, rel=1e-9)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LEARNING_CURVE.wafers_to_reach_multiplier(0.9)
+        with pytest.raises(ValueError):
+            DEFAULT_LEARNING_CURVE.wafers_to_reach_multiplier(5.0)
+
+    def test_negative_wafers_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LEARNING_CURVE.multiplier(-1)
+
+    def test_initial_multiplier_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            YieldLearningCurve(initial_multiplier=0.5)

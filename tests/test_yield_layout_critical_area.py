@@ -1,0 +1,132 @@
+"""Geometric critical-area tests (refs [31]/[32] substitute)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import Rect, memory_array, random_logic_layout, sram_cell
+from repro.yieldmodels import (
+    ShortCriticalArea,
+    critical_area_curve,
+    expected_short_faults,
+)
+
+
+def two_wires(gap: int = 2, length: int = 10) -> list[Rect]:
+    """Two parallel horizontal m1 wires separated by ``gap``."""
+    return [
+        Rect("m1", 0, 0, length, 2),
+        Rect("m1", 0, 2 + gap, length, 4 + gap),
+    ]
+
+
+class TestFacingPairs:
+    def test_two_parallel_wires_one_pair(self):
+        sca = ShortCriticalArea.from_rects(two_wires())
+        assert len(sca.pairs) == 1
+        assert sca.pairs[0].gap == 2.0
+        assert sca.pairs[0].span == 10.0
+
+    def test_different_layers_no_pair(self):
+        rects = [Rect("m1", 0, 0, 10, 2), Rect("m2", 0, 4, 10, 6)]
+        sca = ShortCriticalArea.from_rects(rects)
+        assert len(sca.pairs) == 0
+
+    def test_non_overlapping_spans_no_pair(self):
+        rects = [Rect("m1", 0, 0, 4, 2), Rect("m1", 10, 10, 14, 12)]
+        sca = ShortCriticalArea.from_rects(rects)
+        assert len(sca.pairs) == 0
+
+    def test_vertical_pairs_found(self):
+        rects = [Rect("m1", 0, 0, 2, 10), Rect("m1", 5, 0, 7, 10)]
+        sca = ShortCriticalArea.from_rects(rects)
+        assert len(sca.pairs) == 1
+        assert sca.pairs[0].gap == 3.0
+
+    def test_empty_layout_raises(self):
+        with pytest.raises(LayoutError):
+            ShortCriticalArea.from_rects([])
+
+
+class TestCriticalArea:
+    def test_zero_below_gap(self):
+        sca = ShortCriticalArea.from_rects(two_wires(gap=3))
+        assert sca.critical_area(2.9) == 0.0
+        assert sca.critical_area(3.0) == 0.0
+
+    def test_linear_growth_above_gap(self):
+        sca = ShortCriticalArea.from_rects(two_wires(gap=2, length=10))
+        # A_crit(x) = span * (x - gap) for gap < x < 2*gap... within clip.
+        assert sca.critical_area(3.0) == pytest.approx(10.0 * 1.0)
+        assert sca.critical_area(4.0) == pytest.approx(10.0 * 2.0)
+
+    def test_clipped_at_defect_size(self):
+        # For a zero-gap-ish pair a huge defect's band is bounded by its
+        # own footprint height x.
+        sca = ShortCriticalArea.from_rects(two_wires(gap=1, length=10))
+        x = 100.0
+        assert sca.critical_area(x) == pytest.approx(10.0 * min(x - 1, x))
+
+    def test_scales_with_span(self):
+        short = ShortCriticalArea.from_rects(two_wires(gap=2, length=5))
+        long = ShortCriticalArea.from_rects(two_wires(gap=2, length=20))
+        assert long.critical_area(4.0) == pytest.approx(4 * short.critical_area(4.0))
+
+    def test_monotone_in_defect_size(self):
+        sca = ShortCriticalArea.from_rects(list(sram_cell().rects))
+        sizes = [1.0, 2.0, 4.0, 8.0, 16.0]
+        areas = [sca.critical_area(x) for x in sizes]
+        assert all(a <= b for a, b in zip(areas, areas[1:]))
+
+    def test_smallest_gap_sram(self):
+        sca = ShortCriticalArea.from_rects(list(sram_cell().rects))
+        assert sca.smallest_gap() == 2.0
+
+    def test_curve_helper(self):
+        curve = critical_area_curve(two_wires(), [1.0, 3.0, 5.0])
+        assert curve[0] == (1.0, 0.0)
+        assert curve[2][1] > curve[1][1] > 0
+
+
+class TestExpectedFaults:
+    def test_positive_for_real_cell(self):
+        faults = expected_short_faults(list(sram_cell().rects),
+                                       defect_density_per_lambda2=1e-6, x0=1.0)
+        assert faults > 0
+
+    def test_linear_in_density(self):
+        rects = list(sram_cell().rects)
+        a = expected_short_faults(rects, 1e-6, 1.0)
+        b = expected_short_faults(rects, 2e-6, 1.0)
+        assert b == pytest.approx(2 * a, rel=1e-9)
+
+    def test_larger_x0_more_faults(self):
+        # A dirtier spectrum (bigger critical size) shorts more.
+        rects = list(sram_cell().rects)
+        clean = expected_short_faults(rects, 1e-6, 0.5)
+        dirty = expected_short_faults(rects, 1e-6, 2.0)
+        assert dirty > clean
+
+    def test_layout_with_no_facing_pairs_is_immune(self):
+        rects = [Rect("m1", 0, 0, 10, 2)]
+        assert expected_short_faults(rects, 1e-3, 1.0) == 0.0
+
+    def test_array_scales_per_cell(self):
+        # Regularity pays: 4x4 array faults ~ 16x the single cell's
+        # intra-cell faults plus inter-cell terms (>= 16x, < 40x).
+        cell_faults = expected_short_faults(list(sram_cell().rects), 1e-6, 1.0)
+        array = memory_array(4, 4)
+        array_faults = expected_short_faults(array.flatten(), 1e-6, 1.0)
+        assert array_faults >= 16 * cell_faults * 0.99
+        assert array_faults < 40 * 16 * cell_faults
+
+    def test_xmax_validation(self):
+        sca = ShortCriticalArea.from_rects(two_wires())
+        with pytest.raises(LayoutError):
+            sca.expected_faults(1e-6, x0=2.0, x_max=1.0)
+
+    def test_denser_layout_more_critical(self):
+        # Tighter spacing -> more faults at equal density: the coupling
+        # the parametric CriticalAreaModel approximates.
+        tight = expected_short_faults(two_wires(gap=1), 1e-4, 1.0)
+        loose = expected_short_faults(two_wires(gap=6), 1e-4, 1.0)
+        assert tight > loose

@@ -1,0 +1,147 @@
+"""Classic yield-model tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.yieldmodels import (
+    MurphyYield,
+    NegativeBinomialYield,
+    PoissonYield,
+    SeedsYield,
+    bose_einstein,
+    yield_model,
+)
+
+ALL_MODELS = [PoissonYield(), MurphyYield(), SeedsYield(), NegativeBinomialYield(alpha=2.0)]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_zero_faults_yields_unity(self, model):
+        assert model.yield_from_faults(0.0) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_monotone_decreasing(self, model):
+        faults = np.linspace(0, 10, 50)
+        y = np.asarray(model.yield_from_faults(faults))
+        assert np.all(np.diff(y) < 0)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_bounded_in_unit_interval(self, model):
+        y = np.asarray(model.yield_from_faults(np.linspace(0, 100, 200)))
+        assert np.all(y > 0)
+        assert np.all(y <= 1)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_first_order_agreement(self, model):
+        # All models agree to first order: Y ~ 1 - A*D for small A*D.
+        eps = 1e-4
+        assert model.yield_from_faults(eps) == pytest.approx(1 - eps, abs=1e-7)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_rejects_negative_faults(self, model):
+        with pytest.raises(DomainError):
+            model.yield_from_faults(-0.1)
+
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_call_with_area_and_density(self, model):
+        direct = model.yield_from_faults(0.6)
+        via_call = model(2.0, 0.3)
+        assert via_call == pytest.approx(direct)
+
+
+class TestKnownValues:
+    def test_poisson_one_fault(self):
+        assert PoissonYield().yield_from_faults(1.0) == pytest.approx(math.exp(-1))
+
+    def test_seeds_one_fault(self):
+        assert SeedsYield().yield_from_faults(1.0) == pytest.approx(0.5)
+
+    def test_murphy_one_fault(self):
+        expected = ((1 - math.exp(-1)) / 1.0) ** 2
+        assert MurphyYield().yield_from_faults(1.0) == pytest.approx(expected)
+
+    def test_negbinomial_one_fault_alpha2(self):
+        assert NegativeBinomialYield(2.0).yield_from_faults(1.0) == pytest.approx(1.5**-2)
+
+
+class TestModelOrdering:
+    """Poisson <= Murphy <= NB(2) <= Seeds at equal A*D (clustering helps)."""
+
+    @pytest.mark.parametrize("faults", [0.5, 1.0, 2.0, 5.0])
+    def test_ordering(self, faults):
+        poisson = PoissonYield().yield_from_faults(faults)
+        murphy = MurphyYield().yield_from_faults(faults)
+        nb = NegativeBinomialYield(2.0).yield_from_faults(faults)
+        seeds = SeedsYield().yield_from_faults(faults)
+        assert poisson < murphy < nb < seeds
+
+
+class TestNegativeBinomialLimits:
+    def test_large_alpha_approaches_poisson(self):
+        nb = NegativeBinomialYield(alpha=1e6)
+        assert nb.yield_from_faults(2.0) == pytest.approx(
+            PoissonYield().yield_from_faults(2.0), rel=1e-4)
+
+    def test_alpha_one_is_seeds(self):
+        nb = NegativeBinomialYield(alpha=1.0)
+        assert nb.yield_from_faults(3.0) == pytest.approx(
+            SeedsYield().yield_from_faults(3.0))
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(DomainError):
+            NegativeBinomialYield(alpha=0.0)
+
+
+class TestBoseEinstein:
+    def test_is_nb_with_step_count(self):
+        be = bose_einstein(24)
+        assert isinstance(be, NegativeBinomialYield)
+        assert be.alpha == 24.0
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(DomainError):
+            bose_einstein(0)
+
+
+class TestInversions:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.name)
+    def test_max_area_round_trip(self, model):
+        d0 = 0.5
+        area = model.max_area_for_yield(0.8, d0)
+        assert float(model(area, d0)) == pytest.approx(0.8, rel=1e-6)
+
+    def test_max_area_target_one_is_zero(self):
+        assert PoissonYield().max_area_for_yield(1.0, 0.5) == 0.0
+
+    def test_defect_density_round_trip(self):
+        model = NegativeBinomialYield(2.0)
+        d = model.defect_density_for_yield(0.4, 3.4)
+        assert float(model(3.4, d)) == pytest.approx(0.4, rel=1e-6)
+
+    def test_paper_y04_operating_point_reachable(self):
+        # The Figure 4(a) scenario Y=0.4 at a 10M-tx, sd=300 die needs a
+        # plausible defect density (< 2/cm^2).
+        model = NegativeBinomialYield(2.0)
+        d = model.defect_density_for_yield(0.4, 0.972)
+        assert 0.1 < d < 2.5
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(yield_model("poisson"), PoissonYield)
+        assert isinstance(yield_model("murphy"), MurphyYield)
+
+    def test_kwargs_forwarded(self):
+        m = yield_model("negbinomial", alpha=1.5)
+        assert m.alpha == 1.5
+
+    def test_case_insensitive(self):
+        assert isinstance(yield_model("Seeds"), SeedsYield)
+
+    def test_unknown_name(self):
+        with pytest.raises(DomainError, match="unknown yield model"):
+            yield_model("gaussian")

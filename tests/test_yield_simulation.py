@@ -1,0 +1,108 @@
+"""Monte-Carlo yield simulation tests — validating the analytic models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DomainError
+from repro.wafer import WAFER_200MM, WaferSpec
+from repro.yieldmodels import (
+    DefectField,
+    NegativeBinomialYield,
+    PoissonYield,
+    WaferYieldExperiment,
+    simulated_yield,
+)
+
+
+class TestDefectField:
+    def test_mean_count_matches_density(self):
+        field = DefectField(density_per_cm2=0.5)
+        rng = np.random.default_rng(0)
+        counts = [field.sample(WAFER_200MM, rng).shape[0] for _ in range(50)]
+        expected = 0.5 * WAFER_200MM.area_cm2
+        assert np.mean(counts) == pytest.approx(expected, rel=0.1)
+
+    def test_clustered_field_same_mean_density(self):
+        field = DefectField(density_per_cm2=0.5, cluster_size=5.0)
+        rng = np.random.default_rng(0)
+        counts = [field.sample(WAFER_200MM, rng).shape[0] for _ in range(100)]
+        expected = 0.5 * WAFER_200MM.area_cm2
+        assert np.mean(counts) == pytest.approx(expected, rel=0.15)
+
+    def test_clustered_field_higher_variance(self):
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        uniform = DefectField(density_per_cm2=0.5)
+        clustered = DefectField(density_per_cm2=0.5, cluster_size=10.0)
+        var_u = np.var([uniform.sample(WAFER_200MM, rng_a).shape[0] for _ in range(100)])
+        var_c = np.var([clustered.sample(WAFER_200MM, rng_b).shape[0] for _ in range(100)])
+        assert var_c > 2 * var_u
+
+    def test_points_near_wafer(self):
+        field = DefectField(density_per_cm2=1.0, cluster_radius_cm=0.0)
+        rng = np.random.default_rng(2)
+        pts = field.sample(WAFER_200MM, rng)
+        radii = np.hypot(pts[:, 0], pts[:, 1])
+        assert np.all(radii <= WAFER_200MM.radius_cm + 1e-9)
+
+    def test_cluster_size_below_one_rejected(self):
+        with pytest.raises(DomainError):
+            DefectField(density_per_cm2=0.5, cluster_size=0.5)
+
+
+class TestExperiment:
+    def test_zero_ish_density_perfect_yield(self):
+        y = simulated_yield(WAFER_200MM, 1.0, 1e-6, n_wafers=3, seed=0)
+        assert y == pytest.approx(1.0, abs=0.01)
+
+    def test_converges_to_poisson_for_uniform_defects(self):
+        d0, area = 0.5, 1.0
+        mc = simulated_yield(WAFER_200MM, area, d0, n_wafers=40, seed=1)
+        analytic = PoissonYield()(area, d0)
+        assert mc == pytest.approx(analytic, abs=0.03)
+
+    @pytest.mark.parametrize("area", [0.5, 2.0])
+    def test_poisson_convergence_across_die_sizes(self, area):
+        d0 = 0.4
+        mc = simulated_yield(WAFER_200MM, area, d0, n_wafers=40, seed=2)
+        assert mc == pytest.approx(PoissonYield()(area, d0), abs=0.04)
+
+    def test_clustering_raises_yield(self):
+        # The negative-binomial story, reproduced by direct experiment:
+        # clustered defects waste kills on already-dead dice.
+        d0, area = 0.6, 1.5
+        uniform = simulated_yield(WAFER_200MM, area, d0, n_wafers=40, seed=3)
+        clustered = simulated_yield(WAFER_200MM, area, d0, cluster_size=8.0,
+                                    cluster_radius_cm=0.2, n_wafers=40, seed=3)
+        assert clustered > uniform + 0.05
+
+    def test_clustered_yield_bracketed_by_models(self):
+        d0, area = 0.6, 1.5
+        clustered = simulated_yield(WAFER_200MM, area, d0, cluster_size=8.0,
+                                    cluster_radius_cm=0.2, n_wafers=40, seed=4)
+        poisson = PoissonYield()(area, d0)
+        seeds_like = NegativeBinomialYield(alpha=0.7)(area, d0)
+        assert poisson < clustered < max(seeds_like, 0.999)
+
+    def test_deterministic_with_seed(self):
+        a = simulated_yield(WAFER_200MM, 1.0, 0.5, n_wafers=5, seed=7)
+        b = simulated_yield(WAFER_200MM, 1.0, 0.5, n_wafers=5, seed=7)
+        assert a == b
+
+    def test_bigger_die_lower_yield(self):
+        small = simulated_yield(WAFER_200MM, 0.5, 0.5, n_wafers=25, seed=5)
+        big = simulated_yield(WAFER_200MM, 3.0, 0.5, n_wafers=25, seed=5)
+        assert big < small
+
+    def test_oversized_die_raises(self):
+        field = DefectField(density_per_cm2=0.5)
+        exp = WaferYieldExperiment(WAFER_200MM, 500.0, field)
+        with pytest.raises(DomainError):
+            exp.run(n_wafers=1)
+
+    def test_run_wafer_counts_consistent(self):
+        field = DefectField(density_per_cm2=0.5)
+        exp = WaferYieldExperiment(WAFER_200MM, 1.0, field)
+        good, total = exp.run_wafer(np.random.default_rng(0))
+        assert 0 <= good <= total
+        assert total > 100  # ~1 cm^2 dice on 200 mm

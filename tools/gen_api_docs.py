@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Generate docs/API.md — a per-module index of the public API.
+
+Walks ``repro``'s subpackages, collects each public symbol's first
+docstring line, and writes a browsable markdown index. Committed output
+lives at ``docs/API.md``; re-run this script after adding public API.
+
+Usage:  python tools/gen_api_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+SUBPACKAGES = [
+    "repro",
+    "repro.data",
+    "repro.density",
+    "repro.cost",
+    "repro.wafer",
+    "repro.yieldmodels",
+    "repro.optimize",
+    "repro.roadmap",
+    "repro.interconnect",
+    "repro.designflow",
+    "repro.layout",
+    "repro.economics",
+    "repro.analysis",
+    "repro.report",
+]
+
+
+def first_line(obj) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return "(undocumented)"
+    return doc.splitlines()[0].strip()
+
+
+def kind_of(obj) -> str:
+    if inspect.isclass(obj):
+        return "class"
+    if inspect.isfunction(obj):
+        return "function"
+    return "constant"
+
+
+def render_package(name: str) -> list[str]:
+    module = importlib.import_module(name)
+    lines = [f"## `{name}`", ""]
+    summary = first_line(module)
+    lines.append(summary)
+    lines.append("")
+    exported = getattr(module, "__all__", None)
+    if not exported:
+        return lines
+    lines.append("| symbol | kind | summary |")
+    lines.append("|---|---|---|")
+    for symbol in exported:
+        if symbol.startswith("__"):
+            continue
+        obj = getattr(module, symbol, None)
+        if inspect.ismodule(obj):
+            continue
+        lines.append(f"| `{symbol}` | {kind_of(obj)} | {first_line(obj)} |")
+    lines.append("")
+    return lines
+
+
+def main() -> int:
+    out = [
+        "# API index",
+        "",
+        "Public API of the `repro` package, one table per subpackage.",
+        "First-line summaries come from the docstrings; see the source",
+        "for full parameter documentation. Regenerate with",
+        "`python tools/gen_api_docs.py`.",
+        "",
+    ]
+    for package in SUBPACKAGES:
+        out.extend(render_package(package))
+    target = REPO / "docs" / "API.md"
+    target.parent.mkdir(exist_ok=True)
+    target.write_text("\n".join(out) + "\n")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
