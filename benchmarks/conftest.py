@@ -4,8 +4,14 @@ Each bench regenerates one paper artifact (table or figure), asserts
 its shape, and writes the regenerated rows/series to
 ``benchmarks/output/<name>.txt`` so the numbers behind EXPERIMENTS.md
 are inspectable without re-running anything.
+
+The harness also times every bench with the monotonic
+:class:`repro.obs.Stopwatch` and writes the wall-times to
+``benchmarks/output/bench_times.json`` at session end — the source of
+truth for the BENCH_*.json performance trajectories.
 """
 
+import json
 import sys
 from pathlib import Path
 
@@ -16,7 +22,12 @@ _SRC = _ROOT / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.obs import Stopwatch  # noqa: E402  (needs the sys.path bootstrap)
+
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+#: Per-test wall times (seconds), filled as the session runs.
+_BENCH_TIMES: dict[str, float] = {}
 
 
 @pytest.fixture(scope="session")
@@ -36,3 +47,24 @@ def save_artifact(output_dir):
         print(f"\n[{name}] -> {path}\n{text}")
 
     return _save
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Time each bench body (call phase only, setup/teardown excluded)."""
+    stopwatch = Stopwatch().start()
+    yield
+    _BENCH_TIMES[item.nodeid.split("::", 1)[-1]] = stopwatch.stop()
+
+
+def pytest_sessionfinish(session):
+    """Dump the collected wall times to ``output/bench_times.json``."""
+    if not _BENCH_TIMES:
+        return
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "unit": "seconds",
+        "times": dict(sorted(_BENCH_TIMES.items())),
+    }
+    (OUTPUT_DIR / "bench_times.json").write_text(
+        json.dumps(payload, indent=2) + "\n")

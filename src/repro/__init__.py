@@ -39,6 +39,9 @@ Subpackages
     §3.2 regularity economics.
 ``repro.analysis`` / ``repro.report``
     Fitting/statistics helpers and text rendering.
+``repro.obs``
+    Observability: span tracing, metrics, and per-evaluation
+    provenance (off by default; ``repro.obs.enable()`` turns it on).
 """
 
 from . import (  # noqa: F401
@@ -50,6 +53,7 @@ from . import (  # noqa: F401
     economics,
     interconnect,
     layout,
+    obs,
     optimize,
     report,
     roadmap,
@@ -84,6 +88,7 @@ __all__ = [
     "layout",
     "analysis",
     "report",
+    "obs",
     "ReproError",
     "DomainError",
     "UnitError",

@@ -1,22 +1,38 @@
-"""Command-line summary: ``python -m repro [report]``.
+"""Command-line summary: ``python -m repro [report] [--trace] [--metrics] [--profile]``.
 
 Prints a one-screen reproduction summary — the paper's headline numbers
 regenerated live — so a fresh checkout can be sanity-checked without
 running the full bench suite.
+
+Observability flags (any combination; without them the output is
+byte-identical to the bare report):
+
+``--trace``
+    Append the hierarchical span tree of the evaluations behind the
+    report (see :mod:`repro.obs`).
+``--metrics``
+    Append the counter/gauge/histogram table.
+``--profile``
+    Append the per-span-name timing roll-up (calls, total/self/mean).
 """
 
 from __future__ import annotations
 
 import sys
 
+from . import obs
 from .cost import PAPER_FIGURE4_MODEL
 from .data import DesignRegistry, load_itrs_1999
 from .density import sd_vs_feature_fit
+from .obs.instrument import traced
 from .optimize import optimal_sd
 from .report import format_table
 from .roadmap import constant_cost_series
 
+_FLAGS = ("--trace", "--metrics", "--profile")
 
+
+@traced("report.build")
 def build_report() -> str:
     """Assemble the summary text (importable for testing)."""
     lines = []
@@ -51,14 +67,48 @@ def build_report() -> str:
     return "\n".join(lines)
 
 
+def observability_sections(show_trace: bool, show_metrics: bool,
+                           show_profile: bool) -> str:
+    """Render the sections requested by the CLI flags from global state."""
+    tracer = obs.get_tracer()
+    sections = []
+    if show_trace:
+        header = f"trace: {len(tracer)} spans"
+        if tracer.dropped:
+            header += f" ({tracer.dropped} dropped)"
+        sections.append(header + "\n" + "-" * 74 + "\n" + obs.format_span_tree())
+    if show_metrics:
+        sections.append("metrics\n" + "-" * 74 + "\n" + obs.format_metrics_table())
+    if show_profile:
+        sections.append("profile (per-span roll-up)\n" + "-" * 74 + "\n"
+                        + obs.format_summary_table())
+    return "\n\n".join(sections)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] not in ("report",):
-        print(f"unknown command {argv[0]!r}; usage: python -m repro [report]",
+    flags = [a for a in argv if a.startswith("--")]
+    positional = [a for a in argv if not a.startswith("--")]
+    unknown = [f for f in flags if f not in _FLAGS]
+    if unknown:
+        print(f"unknown flag {unknown[0]!r}; usage: python -m repro [report] "
+              "[--trace] [--metrics] [--profile]", file=sys.stderr)
+        return 2
+    if positional and positional[0] not in ("report",):
+        print(f"unknown command {positional[0]!r}; usage: python -m repro [report]",
               file=sys.stderr)
         return 2
-    print(build_report())
+    if not flags:
+        print(build_report())
+        return 0
+    with obs.enabled():
+        obs.reset()
+        text = build_report()
+    print(text)
+    print()
+    print(observability_sections("--trace" in flags, "--metrics" in flags,
+                                 "--profile" in flags))
     return 0
 
 

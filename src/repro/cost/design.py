@@ -35,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import DomainError
+from ..obs.instrument import traced
 from ..validation import check_positive
 
 __all__ = ["DesignCostModel", "PAPER_DESIGN_COST_MODEL"]
@@ -84,6 +85,7 @@ class DesignCostModel:
             )
         return m if np.ndim(sd) else float(m)
 
+    @traced(equation="6")
     def cost(self, n_transistors, sd):
         """Total design cost ``C_DE`` in $.
 
@@ -115,6 +117,7 @@ class DesignCostModel:
         )
         return result if (np.ndim(n_transistors) or np.ndim(sd)) else float(result)
 
+    @traced(equation="6")
     def sd_for_budget(self, n_transistors, budget_usd):
         """Densest ``s_d`` a design budget can afford (inverts eq. 6).
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.instrument import traced
 from ..units import um_to_cm
 from ..validation import check_fraction, check_positive
 from ..wafer.cost import WaferCostModel
@@ -84,6 +85,7 @@ class GeneralizedCostModel:
         return self.yield_model(n_transistors, sd, feature_um, n_wafers)
 
     # -- eq. (7) -----------------------------------------------------------
+    @traced(equation="7")
     def transistor_cost(self, sd, n_transistors, feature_um, n_wafers,
                         maturity: float = 1.0):
         """``C_tr`` per eq. (7), $/useful transistor."""
@@ -104,6 +106,7 @@ class GeneralizedCostModel:
         args = (sd, n_transistors, feature_um, n_wafers)
         return result if any(np.ndim(a) for a in args) else float(result)
 
+    @traced(equation="7", attach_result=True)
     def breakdown(self, sd, n_transistors, feature_um, n_wafers,
                   maturity: float = 1.0) -> CostBreakdown:
         """Component split of eq. (7) at a scalar operating point."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..density.metrics import area_from_sd
+from ..obs.instrument import traced
 from ..units import um_to_cm
 from ..validation import check_fraction, check_positive
 
@@ -35,6 +36,7 @@ __all__ = [
 ]
 
 
+@traced(equation="1")
 def transistor_cost_wafer_view(wafer_cost_usd, n_transistors, dice_per_wafer, yield_fraction):
     """Eq. (1): ``C_tr = C_w / (N_tr · N_ch · Y)`` in $/transistor.
 
@@ -62,6 +64,7 @@ def transistor_cost_wafer_view(wafer_cost_usd, n_transistors, dice_per_wafer, yi
     return result if any(np.ndim(a) for a in args) else float(result)
 
 
+@traced(equation="3")
 def transistor_cost(cost_per_cm2, feature_um, sd, yield_fraction):
     """Eq. (3): ``C_tr = C_sq · λ² · s_d / Y`` in $/transistor.
 
@@ -90,6 +93,7 @@ def transistor_cost(cost_per_cm2, feature_um, sd, yield_fraction):
     return result if any(np.ndim(a) for a in args) else float(result)
 
 
+@traced(equation="3")
 def die_cost(cost_per_cm2, feature_um, sd, n_transistors, yield_fraction):
     """Cost of one *good* die: ``C_ch = C_sq · A_ch / Y`` ($).
 
@@ -104,6 +108,7 @@ def die_cost(cost_per_cm2, feature_um, sd, n_transistors, yield_fraction):
     return result if any(np.ndim(a) for a in args) else float(result)
 
 
+@traced(equation="3")
 def good_transistors_per_wafer(wafer_area_cm2, feature_um, sd, yield_fraction):
     """Functional transistors harvested per cm²-priced wafer.
 
@@ -122,6 +127,7 @@ def good_transistors_per_wafer(wafer_area_cm2, feature_um, sd, yield_fraction):
     return result if any(np.ndim(a) for a in args) else float(result)
 
 
+@traced(equation="3")
 def sd_for_transistor_cost(target_cost_usd, cost_per_cm2, feature_um, yield_fraction):
     """Invert eq. (3) for ``s_d``: the sparseness budget a cost target buys.
 

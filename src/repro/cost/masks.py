@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.instrument import traced
 from ..validation import check_positive, check_positive_int
 
 __all__ = ["MaskSetCostModel", "DEFAULT_MASK_COST_MODEL", "layer_count_estimate"]
@@ -68,6 +69,7 @@ class MaskSetCostModel:
         check_positive(self.exponent, "exponent")
         check_positive_int(self.reference_layers, "reference_layers")
 
+    @traced(equation="5")
     def cost(self, feature_um, n_layers: int | None = None):
         """Mask-set cost ``C_MA`` in $ for a node.
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..density.metrics import transistor_density_from_sd
+from ..obs.instrument import traced
 from ..validation import check_nonnegative, check_positive
 
 __all__ = ["TestCostModel", "DEFAULT_TEST_COST_MODEL"]
@@ -72,6 +73,7 @@ class TestCostModel:
         result = seconds * (self.tester_rate_usd_per_hour / 3600.0) + self.handling_usd_per_die
         return result if np.ndim(n_transistors) else float(result)
 
+    @traced(equation="s2.5")
     def cost_per_cm2(self, sd, feature_um, n_transistors):
         """``Ct_sq``: test cost per cm² of fabricated silicon ($/cm²).
 

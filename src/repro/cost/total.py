@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.instrument import traced
 from ..units import um_to_cm
 from ..validation import check_fraction, check_positive
 from ..wafer.specs import WAFER_200MM, WaferSpec
@@ -93,6 +94,7 @@ class TotalCostModel:
             return 0.0
         return self.mask_model.cost(feature_um)
 
+    @traced(equation="5")
     def design_cost_per_cm2(self, n_transistors, sd, feature_um, n_wafers):
         """Eq. (5): ``Cd_sq = (C_MA + C_DE)/(N_w A_w)`` in $/cm²."""
         n_wafers = check_positive(n_wafers, "n_wafers")
@@ -103,6 +105,7 @@ class TotalCostModel:
         return result if any(np.ndim(a) for a in args) else float(result)
 
     # -- eq. (4) -----------------------------------------------------------
+    @traced(equation="4")
     def transistor_cost(self, sd, n_transistors, feature_um, n_wafers,
                         yield_fraction, cm_sq):
         """Eq. (4): total cost per functional (and used) transistor ($).
@@ -140,6 +143,7 @@ class TotalCostModel:
         args = (sd, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq)
         return result if any(np.ndim(a) for a in args) else float(result)
 
+    @traced(equation="4", attach_result=True)
     def breakdown(self, sd, n_transistors, feature_um, n_wafers,
                   yield_fraction, cm_sq) -> CostBreakdown:
         """Component-wise split of eq. (4) at a scalar operating point."""

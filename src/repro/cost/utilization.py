@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.instrument import traced
 from ..units import um_to_cm
 from ..validation import check_fraction, check_positive
 from ..wafer.specs import WAFER_200MM, WaferSpec
@@ -27,6 +28,7 @@ from .design import DesignCostModel
 __all__ = ["effective_yield", "UtilizedDevice", "fpga_vs_asic_crossover"]
 
 
+@traced(equation="s2.5")
 def effective_yield(yield_fraction, utilization):
     """The paper's §2.5 substitution: ``Y → u·Y``."""
     yield_fraction = check_fraction(yield_fraction, "yield_fraction")
@@ -70,6 +72,7 @@ class UtilizedDevice:
         if self.design_cost_usd < 0 or self.mask_cost_usd < 0:
             raise ValueError("costs must be non-negative")
 
+    @traced(equation="4")
     def cost_per_used_transistor(self, n_transistors, feature_um, n_wafers,
                                  yield_fraction, cm_sq, wafer: WaferSpec = WAFER_200MM):
         """Eq. (4) with ``Y → u·Y`` and this device's development costs."""
@@ -87,6 +90,8 @@ class UtilizedDevice:
         return result if any(np.ndim(a) for a in args) else float(result)
 
 
+@traced(equation="4", capture=("n_transistors", "feature_um", "yield_fraction",
+                               "cm_sq", "asic_sd", "max_wafers"))
 def fpga_vs_asic_crossover(
     n_transistors: float,
     feature_um: float,

@@ -32,6 +32,7 @@ rationale.
 from __future__ import annotations
 
 from ..errors import UnknownRecordError
+from ..obs.provenance import record_provenance
 from .records import RoadmapNode
 
 __all__ = [
@@ -69,6 +70,9 @@ ITRS_1999: tuple[RoadmapNode, ...] = (
 
 def load_itrs_1999() -> list[RoadmapNode]:
     """Return the reconstructed ITRS-1999 node list (chronological)."""
+    record_provenance("data.itrs1999.load_itrs_1999", "itrs1999",
+                      dataset="itrs1999",
+                      rows=tuple(n.year for n in ITRS_1999))
     return list(ITRS_1999)
 
 

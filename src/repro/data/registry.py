@@ -11,10 +11,18 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from ..errors import UnknownRecordError
+from ..obs import metrics as obs_metrics
+from ..obs.provenance import record_provenance
+from ..obs.trace import span
 from .records import DesignRecord, DeviceCategory
 from .table_a1 import load_table_a1
 
 __all__ = ["DesignRegistry"]
+
+#: Loaded-and-validated Table A1 rows, keyed by the ``validate`` flag.
+#: Rows are frozen dataclasses, so sharing them across registries is safe;
+#: the cache turns repeat loads (sweeps, benches, the CLI) into lookups.
+_TABLE_A1_CACHE: dict[bool, tuple[DesignRecord, ...]] = {}
 
 
 class DesignRegistry(Sequence[DesignRecord]):
@@ -36,8 +44,20 @@ class DesignRegistry(Sequence[DesignRecord]):
     # -- construction ---------------------------------------------------
     @classmethod
     def table_a1(cls, validate: bool = True) -> "DesignRegistry":
-        """The paper's Table A1 dataset (49 rows)."""
-        return cls(load_table_a1(validate=validate))
+        """The paper's Table A1 dataset (49 rows, cached after first load)."""
+        rows = _TABLE_A1_CACHE.get(validate)
+        if rows is not None:
+            obs_metrics.inc("data.table_a1.cache_hits")
+        else:
+            obs_metrics.inc("data.table_a1.cache_misses")
+            with span("data.registry.table_a1_load", validate=validate):
+                rows = tuple(load_table_a1(validate=validate))
+            _TABLE_A1_CACHE[validate] = rows
+        registry = cls(rows)
+        record_provenance("data.registry.DesignRegistry.table_a1", "table_a1",
+                          {"validate": validate}, dataset="table_a1",
+                          rows=tuple(r.index for r in rows))
+        return registry
 
     # -- Sequence protocol ----------------------------------------------
     def __len__(self) -> int:

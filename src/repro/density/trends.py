@@ -27,6 +27,7 @@ from ..analysis.stats import spearman_rho
 from ..data.records import DesignRecord
 from ..data.registry import DesignRegistry
 from ..errors import DomainError
+from ..obs.instrument import traced
 
 __all__ = [
     "TrendPoint",
@@ -114,6 +115,7 @@ def vendor_trends(registry: DesignRegistry, min_points: int = 2) -> list[VendorT
     return trends
 
 
+@traced()
 def sd_vs_feature_fit(registry: DesignRegistry) -> FitResult:
     """Power-law fit ``s_d = c · λ^p`` over all logic points.
 
@@ -126,6 +128,7 @@ def sd_vs_feature_fit(registry: DesignRegistry) -> FitResult:
     return loglog_fit([p.feature_um for p in points], [p.sd_logic for p in points])
 
 
+@traced()
 def sd_vs_year_fit(registry: DesignRegistry) -> FitResult:
     """Exponential time-trend fit ``s_d = c · exp(b·year)``."""
     points = extract_points(registry)

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import DomainError
+from ..obs import metrics as obs_metrics
+from ..obs.instrument import traced
 from ..validation import check_positive, check_positive_int
 from .iteration import IterationCostModel
 from .timing import TimingClosureModel
@@ -100,12 +102,16 @@ class DesignFlowSimulator:
             schedule_weeks=float(weeks),
         )
 
+    @traced("designflow.simulator.simulate_many", equation="6",
+            capture=("n_transistors", "sd", "feature_um", "n_projects",
+                     "regularity", "seed"))
     def simulate_many(self, n_transistors: float, sd: float, feature_um: float,
                       n_projects: int = 100, regularity: float = 0.0,
                       seed: int = 0) -> list[ProjectSample]:
         """Roll ``n_projects`` i.i.d. projects at one design point."""
         check_positive_int(n_projects, "n_projects")
         rng = np.random.default_rng(seed)
+        obs_metrics.inc("designflow.simulator.projects", n_projects)
         return [
             self.simulate_project(n_transistors, sd, feature_um, regularity, rng)
             for _ in range(n_projects)
@@ -134,6 +140,7 @@ class DesignFlowSimulator:
             )
         return float(self.iteration_cost.expected_cost(n_transistors, expected_iters))
 
+    @traced("designflow.simulator.sample_grid")
     def sample_grid(self, n_transistors_values, sd_values, feature_um: float,
                     n_projects: int = 50, regularity: float = 0.0,
                     seed: int = 0) -> list[ProjectSample]:

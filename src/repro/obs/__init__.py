@@ -1,0 +1,116 @@
+"""Observability: tracing, metrics, and provenance for model evaluations.
+
+Every public model evaluation in this library can report *what it did*
+(hierarchical timed spans), *how often and how large* (counters,
+gauges, histograms), and *where each number came from* (provenance:
+paper equation, parameters, dataset rows). All three share one global
+switch — :func:`enable` / :func:`disable` — and cost a single branch
+per instrumented call while disabled, so production hot paths are
+unaffected by default.
+
+Typical diagnostic session::
+
+    from repro import obs
+
+    with obs.enabled():
+        result = sd_sweep(PAPER_FIGURE4_MODEL, 1e7, 0.18, 5e3, 0.4, 8.0)
+        print(obs.format_span_tree())
+        print(obs.format_metrics_table())
+        print(obs.provenance_of(result))
+
+The CLI exposes the same data: ``python -m repro report --trace
+--metrics --profile``. See ``docs/observability.md`` for the full
+guide.
+"""
+
+from .export import (
+    export_jsonl,
+    format_metrics_table,
+    format_span_tree,
+    format_summary_table,
+    read_jsonl,
+    span_to_dict,
+    summary,
+)
+from .instrument import enabled, span_name_for, traced
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    inc,
+    observe,
+    set_gauge,
+)
+from .provenance import (
+    Provenance,
+    ProvenanceLedger,
+    attach,
+    get_ledger,
+    provenance_of,
+    record_provenance,
+    summarize_value,
+)
+from .trace import (
+    Span,
+    Stopwatch,
+    Tracer,
+    current_span,
+    disable,
+    enable,
+    get_tracer,
+    is_enabled,
+    span,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "Stopwatch",
+    "Tracer",
+    "current_span",
+    "disable",
+    "enable",
+    "get_tracer",
+    "is_enabled",
+    "span",
+    # instrument
+    "enabled",
+    "span_name_for",
+    "traced",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "inc",
+    "observe",
+    "set_gauge",
+    # provenance
+    "Provenance",
+    "ProvenanceLedger",
+    "attach",
+    "get_ledger",
+    "provenance_of",
+    "record_provenance",
+    "summarize_value",
+    # export
+    "export_jsonl",
+    "format_metrics_table",
+    "format_span_tree",
+    "format_summary_table",
+    "read_jsonl",
+    "span_to_dict",
+    "summary",
+    # module-level
+    "reset",
+]
+
+
+def reset() -> None:
+    """Clear all recorded observability state (spans, metrics, ledger)."""
+    get_tracer().reset()
+    get_registry().reset()
+    get_ledger().reset()

@@ -1,0 +1,175 @@
+"""Process-local metrics: counters, gauges, and histograms.
+
+A deliberately small, dependency-free registry in the Prometheus
+spirit: *counters* only go up (evaluations per model, cache hits),
+*gauges* hold the latest value (iterations of the last optimiser run),
+*histograms* accumulate value distributions (grid sizes, simulated
+yields) as count/sum/min/max plus fixed decade statistics — enough for
+a text report without reservoir sampling.
+
+All module-level helpers (:func:`inc`, :func:`set_gauge`,
+:func:`observe`) are gated on the global observability flag from
+:mod:`repro.obs.trace`, so instrumented hot paths cost one branch when
+observability is off. Direct use of :class:`MetricsRegistry` is not
+gated — tests and tools can always build their own.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from . import trace as _trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "inc",
+    "observe",
+    "set_gauge",
+]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can move both ways; remembers only the latest."""
+
+    name: str
+    value: float = math.nan
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of a value distribution.
+
+    Tracks count, sum, min, and max exactly — the aggregates the text
+    reports print — without storing samples.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+
+@dataclass
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges, and histograms."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name)
+        return h
+
+    def reset(self) -> None:
+        """Drop every metric."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def is_empty(self) -> bool:
+        """Whether no metric has been registered yet."""
+        return not (self.counters or self.gauges or self.histograms)
+
+    def rows(self) -> list[tuple[str, str, float, float]]:
+        """Flatten to ``(name, kind, value, count)`` rows, name-sorted.
+
+        For counters and gauges ``count`` repeats the sample count
+        implied by the kind (counter value / 1); for histograms
+        ``value`` is the mean.
+        """
+        out: list[tuple[str, str, float, float]] = []
+        for name, c in self.counters.items():
+            out.append((name, "counter", c.value, c.value))
+        for name, g in self.gauges.items():
+            out.append((name, "gauge", g.value, 1))
+        for name, h in self.histograms.items():
+            out.append((name, "histogram", h.mean, h.count))
+        out.sort(key=lambda r: (r[1], r[0]))
+        return out
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _REGISTRY
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Increment counter ``name`` iff observability is enabled."""
+    if not _trace._ENABLED:
+        return
+    _REGISTRY.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` iff observability is enabled."""
+    if not _trace._ENABLED:
+        return
+    _REGISTRY.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Observe ``value`` into histogram ``name`` iff observability is enabled."""
+    if not _trace._ENABLED:
+        return
+    _REGISTRY.histogram(name).observe(value)

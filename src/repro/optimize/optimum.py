@@ -26,6 +26,8 @@ import numpy as np
 from ..cost.generalized import GeneralizedCostModel
 from ..cost.total import TotalCostModel
 from ..errors import ConvergenceError, DomainError
+from ..obs import metrics as obs_metrics
+from ..obs.instrument import traced
 from ..validation import check_positive
 
 __all__ = ["OptimumResult", "optimal_sd", "optimal_sd_generalized",
@@ -77,6 +79,9 @@ def _golden_min(fn, lo: float, hi: float, tol: float, max_iter: int) -> tuple[fl
     raise ConvergenceError(f"golden-section search did not converge in {max_iter} iterations")
 
 
+@traced(equation="4", attach_result=True,
+        capture=("n_transistors", "feature_um", "n_wafers", "yield_fraction",
+                 "cm_sq", "sd_max"))
 def optimal_sd(
     model: TotalCostModel,
     n_transistors: float,
@@ -109,9 +114,12 @@ def optimal_sd(
         raise DomainError(
             f"optimum clipped at sd_max={sd_max}; design cost still dominates — widen the bracket"
         )
+    obs_metrics.set_gauge("optimize.optimal_sd.iterations", iters)
     return OptimumResult(sd_opt=sd_opt, cost_opt=cost_opt, iterations=iters, bracket=(lo, sd_max))
 
 
+@traced(equation="7", attach_result=True,
+        capture=("n_transistors", "feature_um", "n_wafers", "sd_max"))
 def optimal_sd_generalized(
     model: GeneralizedCostModel,
     n_transistors: float,
@@ -131,6 +139,7 @@ def optimal_sd_generalized(
         return float(model.transistor_cost(sd, n_transistors, feature_um, n_wafers))
 
     sd_opt, cost_opt, iters = _golden_min(fn, lo, sd_max, tol, max_iter)
+    obs_metrics.set_gauge("optimize.optimal_sd.iterations", iters)
     return OptimumResult(sd_opt=sd_opt, cost_opt=cost_opt, iterations=iters, bracket=(lo, sd_max))
 
 
@@ -163,6 +172,7 @@ def optimal_sd_condition(
     return float(cm_sq + (c_ma + c_de) / wafer_cm2 + sd * dc_de / wafer_cm2)
 
 
+@traced()
 def optimum_vs_volume(
     model: TotalCostModel,
     n_transistors: float,

@@ -14,6 +14,8 @@ import numpy as np
 from ..cost.generalized import GeneralizedCostModel
 from ..cost.total import TotalCostModel
 from ..errors import DomainError
+from ..obs import metrics as obs_metrics
+from ..obs.instrument import traced
 from ..validation import check_positive
 
 __all__ = ["SweepResult", "sd_grid", "sd_sweep", "sd_sweep_generalized", "volume_sweep"]
@@ -94,6 +96,9 @@ def sd_grid(sd0: float, sd_max: float = 1000.0, n: int = 400, margin: float = 5.
     return sd0 + np.geomspace(margin, sd_max - sd0, n)
 
 
+@traced(equation="4", attach_result=True,
+        capture=("n_transistors", "feature_um", "n_wafers", "yield_fraction",
+                 "cm_sq", "sd_values"))
 def sd_sweep(
     model: TotalCostModel,
     n_transistors: float,
@@ -107,6 +112,7 @@ def sd_sweep(
     if sd_values is None:
         sd_values = sd_grid(model.design_model.sd0)
     sd_values = np.asarray(sd_values, dtype=float)
+    obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
     cost = model.transistor_cost(
         sd_values, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq
     )
@@ -124,6 +130,8 @@ def sd_sweep(
     )
 
 
+@traced(equation="7", attach_result=True,
+        capture=("n_transistors", "feature_um", "n_wafers", "sd_values"))
 def sd_sweep_generalized(
     model: GeneralizedCostModel,
     n_transistors: float,
@@ -135,6 +143,7 @@ def sd_sweep_generalized(
     if sd_values is None:
         sd_values = sd_grid(model.design_model.sd0)
     sd_values = np.asarray(sd_values, dtype=float)
+    obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
     cost = model.transistor_cost(sd_values, n_transistors, feature_um, n_wafers)
     return SweepResult(
         parameter="sd",
@@ -149,6 +158,9 @@ def sd_sweep_generalized(
     )
 
 
+@traced(equation="4", attach_result=True,
+        capture=("sd", "n_transistors", "feature_um", "yield_fraction",
+                 "cm_sq", "n_wafers_values"))
 def volume_sweep(
     model: TotalCostModel,
     sd: float,
@@ -166,6 +178,7 @@ def volume_sweep(
     if n_wafers_values is None:
         n_wafers_values = np.geomspace(100, 1e6, 200)
     n_wafers_values = np.asarray(n_wafers_values, dtype=float)
+    obs_metrics.observe("optimize.sweep.grid_points", n_wafers_values.size)
     cost = model.transistor_cost(
         sd, n_transistors, feature_um, n_wafers_values, yield_fraction, cm_sq
     )

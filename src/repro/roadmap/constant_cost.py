@@ -30,6 +30,8 @@ from ..data.itrs1999 import (
     MPU_DIE_COST_1999_USD,
 )
 from ..data.records import RoadmapNode
+from ..obs.instrument import traced
+from ..obs.provenance import record_provenance
 from ..validation import check_fraction, check_positive
 
 __all__ = ["ConstantCostAssumptions", "ConstantCostPoint", "constant_cost_sd",
@@ -89,10 +91,17 @@ def constant_cost_sd(node: RoadmapNode,
     return a_max / (n_tr * node.feature_cm**2)
 
 
+@traced()
 def constant_cost_series(nodes: list[RoadmapNode],
                          assumptions: ConstantCostAssumptions = PAPER_FIGURE3_ASSUMPTIONS,
                          ) -> list[ConstantCostPoint]:
     """The full Figure 3 series over a node list (chronological)."""
+    record_provenance(
+        "roadmap.constant_cost.constant_cost_series", "3",
+        {"die_cost_usd": assumptions.die_cost_usd,
+         "cost_per_cm2": assumptions.cost_per_cm2,
+         "yield_fraction": assumptions.yield_fraction},
+        dataset="roadmap_nodes", rows=tuple(n.year for n in nodes))
     points = []
     for node in sorted(nodes, key=lambda n: n.year):
         points.append(ConstantCostPoint(

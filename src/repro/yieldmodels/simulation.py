@@ -24,6 +24,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import DomainError
+from ..obs import metrics as obs_metrics
+from ..obs.instrument import traced
 from ..validation import check_nonnegative, check_positive, check_positive_int
 from ..wafer.specs import WaferSpec
 
@@ -127,6 +129,8 @@ class WaferYieldExperiment:
         total = sites.shape[0]
         return total - int(killed.sum()), total
 
+    @traced("yieldmodels.simulation.run", capture=("n_wafers", "seed"),
+            equation="sim")
     def run(self, n_wafers: int = 20, seed: int = 0) -> float:
         """Simulated yield over ``n_wafers`` wafers."""
         check_positive_int(n_wafers, "n_wafers")
@@ -137,6 +141,9 @@ class WaferYieldExperiment:
             g, t = self.run_wafer(rng)
             good += g
             total += t
+        obs_metrics.inc("yieldmodels.simulation.wafers", n_wafers)
+        obs_metrics.inc("yieldmodels.simulation.dice", total)
+        obs_metrics.observe("yieldmodels.simulation.yield", good / total)
         return good / total
 
 

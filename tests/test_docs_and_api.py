@@ -28,6 +28,7 @@ SUBPACKAGES = [
     "repro.layout",
     "repro.economics",
     "repro.analysis",
+    "repro.obs",
     "repro.report",
 ]
 

@@ -32,6 +32,7 @@ SUBPACKAGES = [
     "repro.layout",
     "repro.economics",
     "repro.analysis",
+    "repro.obs",
     "repro.report",
 ]
 

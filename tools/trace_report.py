@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Pretty-print a saved JSON-lines trace as an indented span tree.
+
+Reads an export produced by :func:`repro.obs.export_jsonl` (for
+example from a diagnostic session or a CI run), prints the span tree
+with total/self times — same-named siblings collapsed as ``name xN``
+— followed by the per-span-name roll-up, and reports any metric and
+provenance record counts found in the file.
+
+Usage:  python tools/trace_report.py <trace.jsonl>
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+from pathlib import Path
+
+# Die quietly when the output is piped into `head` and the pipe closes.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.obs import format_span_tree, read_jsonl  # noqa: E402
+from repro.report import format_table  # noqa: E402
+
+
+def render(records: list[dict]) -> str:
+    """The full text report for one JSONL export."""
+    spans = [r for r in records if r.get("type") == "span"]
+    metrics = [r for r in records if r.get("type") == "metric"]
+    provenance = [r for r in records if r.get("type") == "provenance"]
+    sections = [
+        f"spans: {len(spans)} | metrics: {len(metrics)} | "
+        f"provenance records: {len(provenance)}",
+        "",
+        format_span_tree(records),
+    ]
+    if spans:
+        agg: dict[str, dict] = {}
+        for sp in spans:
+            row = agg.setdefault(sp["name"], {"calls": 0, "total": 0.0, "self": 0.0})
+            row["calls"] += 1
+            row["total"] += sp["duration"]
+            row["self"] += sp["self"]
+        rows = sorted(agg.items(), key=lambda kv: kv[1]["total"], reverse=True)
+        sections += ["", format_table(
+            ["span", "calls", "total_ms", "self_ms"],
+            [(name, r["calls"], r["total"] * 1e3, r["self"] * 1e3)
+             for name, r in rows],
+            float_spec=".3f", title="roll-up")]
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python tools/trace_report.py <trace.jsonl>", file=sys.stderr)
+        return 2
+    path = Path(argv[0])
+    if not path.exists():
+        print(f"no such file: {path}", file=sys.stderr)
+        return 2
+    try:
+        records = read_jsonl(path)
+    except ValueError as exc:  # json.JSONDecodeError is a ValueError
+        print(f"not a JSONL trace export: {path} ({exc})", file=sys.stderr)
+        return 2
+    print(render(records))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
