@@ -42,6 +42,9 @@ Subpackages
 ``repro.obs``
     Observability: span tracing, metrics, and per-evaluation
     provenance (off by default; ``repro.obs.enable()`` turns it on).
+``repro.robust``
+    Robustness: error policies for sweeps (RAISE/MASK/COLLECT), solver
+    retry budgets, quarantine CSV loading, and fault injection.
 """
 
 from . import (  # noqa: F401
@@ -57,11 +60,13 @@ from . import (  # noqa: F401
     optimize,
     report,
     roadmap,
+    robust,
     wafer,
     yieldmodels,
 )
 from .errors import (
     CalibrationError,
+    CollectedErrors,
     ConvergenceError,
     DataError,
     DomainError,
@@ -89,6 +94,7 @@ __all__ = [
     "analysis",
     "report",
     "obs",
+    "robust",
     "ReproError",
     "DomainError",
     "UnitError",
@@ -97,6 +103,7 @@ __all__ = [
     "InconsistentRecordError",
     "CalibrationError",
     "ConvergenceError",
+    "CollectedErrors",
     "LayoutError",
     "__version__",
 ]

@@ -1,11 +1,14 @@
-"""Command-line summary: ``python -m repro [report] [--trace] [--metrics] [--profile]``.
+"""Command-line summary: ``python -m repro [report] [flags]``.
 
 Prints a one-screen reproduction summary — the paper's headline numbers
 regenerated live — so a fresh checkout can be sanity-checked without
 running the full bench suite.
 
-Observability flags (any combination; without them the output is
-byte-identical to the bare report):
+Failure contract: any :class:`repro.errors.ReproError` exits nonzero
+with a one-line ``error: ...`` message on stderr — never a traceback.
+
+Flags (any combination; without them the output is byte-identical to
+the bare report):
 
 ``--trace``
     Append the hierarchical span tree of the evaluations behind the
@@ -14,6 +17,10 @@ byte-identical to the bare report):
     Append the counter/gauge/histogram table.
 ``--profile``
     Append the per-span-name timing roll-up (calls, total/self/mean).
+``--permissive``
+    Evaluate under :attr:`repro.robust.ErrorPolicy.MASK`: infeasible
+    points become NaN entries instead of aborting the report, and a
+    masked-point summary is appended when anything was masked.
 """
 
 from __future__ import annotations
@@ -24,17 +31,28 @@ from . import obs
 from .cost import PAPER_FIGURE4_MODEL
 from .data import DesignRegistry, load_itrs_1999
 from .density import sd_vs_feature_fit
+from .errors import ReproError
 from .obs.instrument import traced
 from .optimize import optimal_sd
 from .report import format_table
 from .roadmap import constant_cost_series
+from .robust import DEFAULT_RETRY_BUDGET, Diagnostic, ErrorPolicy
 
-_FLAGS = ("--trace", "--metrics", "--profile")
+_FLAGS = ("--trace", "--metrics", "--profile", "--permissive")
 
 
 @traced("report.build")
-def build_report() -> str:
-    """Assemble the summary text (importable for testing)."""
+def build_report(policy: ErrorPolicy = ErrorPolicy.RAISE,
+                 diagnostics: list | None = None) -> str:
+    """Assemble the summary text (importable for testing).
+
+    Under ``policy=ErrorPolicy.MASK`` (the CLI's ``--permissive``) the
+    sections degrade gracefully: series points that fail evaluate to
+    NaN, failing optima are reported as ``n/a``, and every failure
+    lands in the optional ``diagnostics`` list.
+    """
+    policy = ErrorPolicy.coerce(policy)
+    permissive = policy is not ErrorPolicy.RAISE
     lines = []
     lines.append("repro - Maly, 'IC Design in High-Cost Nanometer-Technologies "
                  "Era' (DAC 2001)")
@@ -47,7 +65,8 @@ def build_report() -> str:
                  f"{min(sd_logic):.0f}-{max(sd_logic):.0f} | trend s_d ~ "
                  f"lambda^{fit.slope:.2f} (rising as features shrink)")
 
-    series = constant_cost_series(load_itrs_1999())
+    series = constant_cost_series(load_itrs_1999(), policy=policy,
+                                  diagnostics=diagnostics)
     rows = [(p.node.year, p.node.feature_nm, p.sd_implied, p.sd_constant_cost,
              p.ratio) for p in series]
     lines.append("\n" + format_table(
@@ -55,11 +74,26 @@ def build_report() -> str:
         rows, float_spec=".4g",
         title="Figures 2-3: the cost contradiction ($34 die, 8 $/cm2, Y=0.8)"))
 
-    fig4a = optimal_sd(PAPER_FIGURE4_MODEL, 1e7, 0.18, 5_000, 0.4, 8.0)
-    fig4b = optimal_sd(PAPER_FIGURE4_MODEL, 1e7, 0.18, 50_000, 0.9, 8.0)
+    def fig4_opt(n_wafers: float, yield_fraction: float) -> str:
+        try:
+            res = optimal_sd(PAPER_FIGURE4_MODEL, 1e7, 0.18, n_wafers,
+                             yield_fraction, 8.0,
+                             retry=DEFAULT_RETRY_BUDGET if permissive else None)
+        except ReproError as exc:
+            if not permissive:
+                raise
+            if diagnostics is not None:
+                diagnostics.append(Diagnostic.from_exception(
+                    exc, where="optimize.optimum.optimal_sd", equation="4",
+                    parameter="n_wafers", value=n_wafers))
+            return "n/a"
+        return f"{res.sd_opt:.0f}"
+
+    fig4a = fig4_opt(5_000, 0.4)
+    fig4b = fig4_opt(50_000, 0.9)
     lines.append(f"\nFigure 4 optima (10M tx, 0.18 um): "
-                 f"s_d = {fig4a.sd_opt:.0f} at 5k wafers/Y=0.4 vs "
-                 f"{fig4b.sd_opt:.0f} at 50k wafers/Y=0.9")
+                 f"s_d = {fig4a} at 5k wafers/Y=0.4 vs "
+                 f"{fig4b} at 50k wafers/Y=0.9")
     lines.append("-> neither the smallest die nor maximum yield minimises "
                  "transistor cost (#3.1).")
     lines.append("\nFull regeneration: pytest benchmarks/ --benchmark-only "
@@ -85,6 +119,14 @@ def observability_sections(show_trace: bool, show_metrics: bool,
     return "\n\n".join(sections)
 
 
+def masked_summary(diagnostics: list) -> str:
+    """Render the ``--permissive`` masked-point summary section."""
+    lines = [f"permissive mode: {len(diagnostics)} point(s) masked",
+             "-" * 74]
+    lines.extend(f"  - {diag}" for diag in diagnostics)
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -93,22 +135,37 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [f for f in flags if f not in _FLAGS]
     if unknown:
         print(f"unknown flag {unknown[0]!r}; usage: python -m repro [report] "
-              "[--trace] [--metrics] [--profile]", file=sys.stderr)
+              "[--trace] [--metrics] [--profile] [--permissive]",
+              file=sys.stderr)
         return 2
     if positional and positional[0] not in ("report",):
         print(f"unknown command {positional[0]!r}; usage: python -m repro [report]",
               file=sys.stderr)
         return 2
-    if not flags:
-        print(build_report())
-        return 0
-    with obs.enabled():
-        obs.reset()
-        text = build_report()
+    permissive = "--permissive" in flags
+    policy = ErrorPolicy.MASK if permissive else ErrorPolicy.RAISE
+    diagnostics: list = []
+    obs_flags = [f for f in flags if f != "--permissive"]
+    try:
+        if not obs_flags:
+            text = build_report(policy=policy, diagnostics=diagnostics)
+            extra = ""
+        else:
+            with obs.enabled():
+                obs.reset()
+                text = build_report(policy=policy, diagnostics=diagnostics)
+            extra = observability_sections(
+                "--trace" in flags, "--metrics" in flags, "--profile" in flags)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(text)
-    print()
-    print(observability_sections("--trace" in flags, "--metrics" in flags,
-                                 "--profile" in flags))
+    if extra:
+        print()
+        print(extra)
+    if permissive and diagnostics:
+        print()
+        print(masked_summary(diagnostics))
     return 0
 
 

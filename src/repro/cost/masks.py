@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..obs.instrument import traced
+from ..errors import DomainError
 from ..validation import check_positive, check_positive_int
 
 __all__ = ["MaskSetCostModel", "DEFAULT_MASK_COST_MODEL", "layer_count_estimate"]
@@ -38,6 +39,9 @@ def layer_count_estimate(feature_um: float) -> int:
     feature_um = check_positive(feature_um, "feature_um")
     # Generations below 0.6 um, in x0.7 steps.
     generations = max(0.0, np.log(0.6 / feature_um) / np.log(1.0 / 0.7))
+    if not np.isfinite(generations):
+        raise DomainError(
+            f"feature_um={feature_um!r} is outside the mask-count model's range")
     return int(round(18 + 3.0 * generations))
 
 
@@ -101,7 +105,7 @@ class MaskSetCostModel:
         coupling between iteration count and ``C_MA``.
         """
         if n_respins < 0:
-            raise ValueError(f"n_respins must be >= 0; got {n_respins}")
+            raise DomainError(f"n_respins must be >= 0; got {n_respins}")
         return float(self.cost(feature_um, n_layers) * (1 + n_respins))
 
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..obs.instrument import traced
 from ..units import um_to_cm
+from ..errors import DomainError
 from ..validation import check_fraction, check_positive
 from ..wafer.specs import WAFER_200MM, WaferSpec
 from .design import DesignCostModel
@@ -70,7 +71,7 @@ class UtilizedDevice:
         check_positive(self.sd, "sd")
         check_fraction(self.utilization, "utilization")
         if self.design_cost_usd < 0 or self.mask_cost_usd < 0:
-            raise ValueError("costs must be non-negative")
+            raise DomainError("costs must be non-negative")
 
     @traced(equation="4")
     def cost_per_used_transistor(self, n_transistors, feature_um, n_wafers,

@@ -5,6 +5,15 @@ point of a figure-of-merit like ``s_d`` is tracking *your* products
 against the industry) and re-run every analysis on the merged data.
 The format is plain ``csv`` with a fixed header; empty cells encode the
 optional split columns.
+
+Two loading modes:
+
+* **strict** (the default) — the first malformed row raises a
+  :class:`repro.errors.DataError` carrying the source, line number and
+  offending column;
+* **lenient** — pass a :class:`repro.robust.QuarantineReport` as
+  ``quarantine`` and malformed rows are collected into it (row number,
+  column, cause, raw cells) while every well-formed row still loads.
 """
 
 from __future__ import annotations
@@ -12,9 +21,10 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from ..errors import DataError
+from ..robust.quarantine import QuarantineReport
 from .records import DesignRecord, DeviceCategory, Provenance, RoadmapNode
 
 __all__ = [
@@ -48,6 +58,38 @@ def _parse_opt_float(cell: str):
     return None if not cell else float(cell)
 
 
+class _RowReader:
+    """One CSV row plus the context needed for precise error messages.
+
+    Every cell conversion goes through :meth:`cell`, which wraps the
+    raw conversion error (``float('oops')`` raising ``ValueError``,
+    an unknown enum value raising ``KeyError``/``ValueError``) into a
+    :class:`~repro.errors.DataError` that names the source, the line,
+    the column, and the offending text — and records the column on the
+    exception (``.column``) so quarantine reports can attribute it.
+    """
+
+    def __init__(self, row: list[str], line_no: int, header: list[str], source: str):
+        self.row = row
+        self.line_no = line_no
+        self.header = header
+        self.source = source
+
+    def cell(self, idx: int, convert: Callable):
+        """Convert ``row[idx]``, contextualising any conversion failure."""
+        column = self.header[idx] if idx < len(self.header) else f"#{idx}"
+        try:
+            return convert(self.row[idx])
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            src = f"{self.source}: " if self.source else ""
+            raw = self.row[idx] if idx < len(self.row) else "<missing>"
+            short = f"cannot parse {raw!r} ({exc})"
+            err = DataError(f"{src}line {self.line_no}, column {column!r}: {short}")
+            err.column = column
+            err.short = short
+            raise err from exc
+
+
 def designs_to_csv(records: Iterable[DesignRecord], path: str | Path | None = None) -> str:
     """Serialise design records; returns the CSV text (and writes ``path``)."""
     buffer = io.StringIO()
@@ -68,7 +110,56 @@ def designs_to_csv(records: Iterable[DesignRecord], path: str | Path | None = No
     return text
 
 
-def designs_from_csv(source: str | Path, validate: bool = True) -> list[DesignRecord]:
+def _resolve_source(source: str | Path) -> tuple[str, str]:
+    """Return ``(csv_text, source_label)`` for text-or-path inputs."""
+    text = str(source)
+    if "\n" not in text and text.strip():
+        try:
+            return Path(source).read_text(), str(source)
+        except OSError as exc:
+            raise DataError(f"cannot read CSV {text!r}: {exc}") from exc
+    return text, ""
+
+
+def _read_header(reader, expected: list[str], what: str) -> None:
+    try:
+        header = next(reader)
+    except StopIteration as exc:
+        raise DataError("empty CSV") from exc
+    if not header:
+        raise DataError("empty CSV")
+    if header != expected:
+        raise DataError(
+            f"unexpected {what} CSV header {header!r}; expected {expected!r}")
+
+
+def _parse_design_row(cells: _RowReader, validate: bool) -> DesignRecord:
+    row = cells.row
+    record = DesignRecord(
+        index=cells.cell(0, int),
+        device=row[1],
+        vendor=row[2],
+        category=cells.cell(3, DeviceCategory),
+        year=cells.cell(4, int),
+        die_area_cm2=cells.cell(5, float),
+        feature_um=cells.cell(6, float),
+        transistors_total_m=cells.cell(7, float),
+        transistors_mem_m=cells.cell(8, _parse_opt_float),
+        transistors_logic_m=cells.cell(9, _parse_opt_float),
+        area_mem_cm2=cells.cell(10, _parse_opt_float),
+        area_logic_cm2=cells.cell(11, _parse_opt_float),
+        sd_mem=cells.cell(12, _parse_opt_float),
+        sd_logic=cells.cell(13, _parse_opt_float),
+        provenance=cells.cell(14, Provenance),
+        note=row[15],
+    )
+    if validate:
+        record.validate()
+    return record
+
+
+def designs_from_csv(source: str | Path, validate: bool = True,
+                     quarantine: QuarantineReport | None = None) -> list[DesignRecord]:
     """Parse design records from CSV text or a file path.
 
     Parameters
@@ -77,56 +168,41 @@ def designs_from_csv(source: str | Path, validate: bool = True) -> list[DesignRe
         CSV text (if it contains a newline) or a path to a CSV file.
     validate:
         Run :meth:`DesignRecord.validate` on every parsed row.
+    quarantine:
+        Switch to lenient mode: malformed rows are recorded here (with
+        line, column and cause) instead of aborting the import. Header
+        failures still raise — a wrong header means a wrong file, not a
+        bad row.
 
     Raises
     ------
     DataError
-        On a malformed header or unparseable row.
+        On a malformed header, or (strict mode only) an unparseable row.
     """
-    text = str(source)
-    if "\n" not in text:
-        text = Path(source).read_text()
+    text, label = _resolve_source(source)
     reader = csv.reader(io.StringIO(text))
-    try:
-        header = next(reader)
-    except StopIteration as exc:
-        raise DataError("empty CSV") from exc
-    if not header:
-        raise DataError("empty CSV")
-    if header != DESIGN_CSV_HEADER:
-        raise DataError(
-            f"unexpected design CSV header {header!r}; expected {DESIGN_CSV_HEADER!r}")
+    _read_header(reader, DESIGN_CSV_HEADER, "design")
+    if quarantine is not None and label and not quarantine.source:
+        quarantine.source = label
     records = []
     for line_no, row in enumerate(reader, start=2):
         if not row:
             continue
-        if len(row) != len(DESIGN_CSV_HEADER):
-            raise DataError(f"line {line_no}: expected {len(DESIGN_CSV_HEADER)} cells, "
-                            f"got {len(row)}")
         try:
-            record = DesignRecord(
-                index=int(row[0]),
-                device=row[1],
-                vendor=row[2],
-                category=DeviceCategory(row[3]),
-                year=int(row[4]),
-                die_area_cm2=float(row[5]),
-                feature_um=float(row[6]),
-                transistors_total_m=float(row[7]),
-                transistors_mem_m=_parse_opt_float(row[8]),
-                transistors_logic_m=_parse_opt_float(row[9]),
-                area_mem_cm2=_parse_opt_float(row[10]),
-                area_logic_cm2=_parse_opt_float(row[11]),
-                sd_mem=_parse_opt_float(row[12]),
-                sd_logic=_parse_opt_float(row[13]),
-                provenance=Provenance(row[14]),
-                note=row[15],
-            )
-        except (ValueError, KeyError) as exc:
-            raise DataError(f"line {line_no}: {exc}") from exc
-        if validate:
-            record.validate()
+            if len(row) != len(DESIGN_CSV_HEADER):
+                raise DataError(f"line {line_no}: expected {len(DESIGN_CSV_HEADER)} cells, "
+                                f"got {len(row)}")
+            record = _parse_design_row(_RowReader(row, line_no, DESIGN_CSV_HEADER, label),
+                                       validate)
+        except DataError as exc:
+            if quarantine is None:
+                raise
+            quarantine.quarantine(exc, line_no=line_no,
+                                  column=getattr(exc, "column", ""), raw=row)
+            continue
         records.append(record)
+    if quarantine is not None:
+        quarantine.n_loaded = len(records)
     return records
 
 
@@ -144,34 +220,41 @@ def roadmap_to_csv(nodes: Iterable[RoadmapNode], path: str | Path | None = None)
     return text
 
 
-def roadmap_from_csv(source: str | Path) -> list[RoadmapNode]:
-    """Parse roadmap nodes from CSV text or a file path."""
-    text = str(source)
-    if "\n" not in text:
-        text = Path(source).read_text()
+def _parse_roadmap_row(cells: _RowReader) -> RoadmapNode:
+    row = cells.row
+    return RoadmapNode(
+        year=cells.cell(0, int),
+        feature_nm=cells.cell(1, float),
+        mpu_transistors_m=cells.cell(2, float),
+        mpu_density_m_per_cm2=cells.cell(3, float),
+        mpu_die_cost_usd=cells.cell(4, float),
+        note=row[5] if len(row) > 5 else "",
+    )
+
+
+def roadmap_from_csv(source: str | Path,
+                     quarantine: QuarantineReport | None = None) -> list[RoadmapNode]:
+    """Parse roadmap nodes from CSV text or a file path.
+
+    ``quarantine`` switches to lenient mode as in
+    :func:`designs_from_csv`.
+    """
+    text, label = _resolve_source(source)
     reader = csv.reader(io.StringIO(text))
-    try:
-        header = next(reader)
-    except StopIteration as exc:
-        raise DataError("empty CSV") from exc
-    if not header:
-        raise DataError("empty CSV")
-    if header != ROADMAP_CSV_HEADER:
-        raise DataError(
-            f"unexpected roadmap CSV header {header!r}; expected {ROADMAP_CSV_HEADER!r}")
+    _read_header(reader, ROADMAP_CSV_HEADER, "roadmap")
+    if quarantine is not None and label and not quarantine.source:
+        quarantine.source = label
     nodes = []
     for line_no, row in enumerate(reader, start=2):
         if not row:
             continue
         try:
-            nodes.append(RoadmapNode(
-                year=int(row[0]),
-                feature_nm=float(row[1]),
-                mpu_transistors_m=float(row[2]),
-                mpu_density_m_per_cm2=float(row[3]),
-                mpu_die_cost_usd=float(row[4]),
-                note=row[5] if len(row) > 5 else "",
-            ))
-        except (ValueError, IndexError) as exc:
-            raise DataError(f"line {line_no}: {exc}") from exc
+            nodes.append(_parse_roadmap_row(_RowReader(row, line_no, ROADMAP_CSV_HEADER, label)))
+        except DataError as exc:
+            if quarantine is None:
+                raise
+            quarantine.quarantine(exc, line_no=line_no,
+                                  column=getattr(exc, "column", ""), raw=row)
+    if quarantine is not None:
+        quarantine.n_loaded = len(nodes)
     return nodes

@@ -14,6 +14,8 @@ from ..errors import UnknownRecordError
 from ..obs import metrics as obs_metrics
 from ..obs.provenance import record_provenance
 from ..obs.trace import span
+from ..robust.quarantine import QuarantineReport
+from .io import designs_from_csv
 from .records import DesignRecord, DeviceCategory
 from .table_a1 import load_table_a1
 
@@ -57,6 +59,32 @@ class DesignRegistry(Sequence[DesignRecord]):
         record_provenance("data.registry.DesignRegistry.table_a1", "table_a1",
                           {"validate": validate}, dataset="table_a1",
                           rows=tuple(r.index for r in rows))
+        return registry
+
+    @classmethod
+    def from_csv(cls, source, validate: bool = True,
+                 quarantine: QuarantineReport | None = None) -> "DesignRegistry":
+        """Load a registry from CSV text or a file path.
+
+        Strict by default; pass a
+        :class:`repro.robust.QuarantineReport` to load leniently —
+        malformed rows land in the report (line, column, cause) and
+        every well-formed row still becomes part of the registry. The
+        count of quarantined rows is exported on the
+        ``data.registry.from_csv.quarantined`` metric.
+        """
+        with span("data.registry.from_csv",
+                  lenient=quarantine is not None, validate=validate):
+            records = designs_from_csv(source, validate=validate,
+                                       quarantine=quarantine)
+        if quarantine is not None and quarantine:
+            obs_metrics.inc("data.registry.from_csv.quarantined", len(quarantine))
+        registry = cls(records)
+        record_provenance("data.registry.DesignRegistry.from_csv", "table_a1",
+                          {"validate": validate,
+                           "lenient": quarantine is not None},
+                          dataset="user_csv",
+                          rows=tuple(r.index for r in records))
         return registry
 
     # -- Sequence protocol ----------------------------------------------

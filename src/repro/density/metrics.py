@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..errors import DomainError
 from ..units import um_to_cm
 from ..validation import check_positive
 
@@ -88,7 +89,12 @@ def area_from_sd(sd, n_transistors, feature_um):
     sd = check_positive(sd, "sd")
     n_transistors = check_positive(n_transistors, "n_transistors")
     feature_cm = um_to_cm(check_positive(feature_um, "feature_um"))
-    return n_transistors * sd * feature_cm**2
+    try:
+        return n_transistors * sd * feature_cm**2
+    except OverflowError as exc:
+        raise DomainError(
+            f"implied die area overflows for feature_um={feature_um!r}, "
+            f"sd={sd!r}, n_transistors={n_transistors!r}") from exc
 
 
 def transistors_from_sd(sd, area_cm2, feature_um):

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..cost.design import DesignCostModel
 from ..errors import CalibrationError
+from ..robust.retry import RetryBudget, note_retry
 
 __all__ = ["CalibrationResult", "fit_design_cost_model"]
 
@@ -75,12 +76,38 @@ def _fit_fixed_sd0(log_n: np.ndarray, sd: np.ndarray, log_c: np.ndarray,
     return coef, sse
 
 
+def _search_sd0(log_n: np.ndarray, s: np.ndarray, log_c: np.ndarray,
+                lo: float, hi: float) -> tuple[float, np.ndarray, float]:
+    """Golden-section search for the SSE-minimising ``sd0`` in (lo, hi)."""
+    invphi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    x1 = b - invphi * (b - a)
+    x2 = a + invphi * (b - a)
+    f1 = _fit_fixed_sd0(log_n, s, log_c, x1)[1]
+    f2 = _fit_fixed_sd0(log_n, s, log_c, x2)[1]
+    for _ in range(200):
+        if abs(b - a) < 1e-9 * (abs(a) + abs(b) + 1):
+            break
+        if f1 < f2:
+            b, x2, f2 = x2, x1, f1
+            x1 = b - invphi * (b - a)
+            f1 = _fit_fixed_sd0(log_n, s, log_c, x1)[1]
+        else:
+            a, x1, f1 = x1, x2, f2
+            x2 = a + invphi * (b - a)
+            f2 = _fit_fixed_sd0(log_n, s, log_c, x2)[1]
+    best_sd0 = 0.5 * (a + b)
+    coef, sse = _fit_fixed_sd0(log_n, s, log_c, best_sd0)
+    return best_sd0, coef, sse
+
+
 def fit_design_cost_model(
     n_transistors,
     sd,
     cost_usd,
     sd0: float | None = None,
     sd0_bounds: tuple[float, float] = (1.0, None),  # type: ignore[assignment]
+    retry: RetryBudget | None = None,
 ) -> CalibrationResult:
     """Fit ``C = A0·N^p1/(s_d − s_d0)^p2`` to cost samples.
 
@@ -96,6 +123,13 @@ def fit_design_cost_model(
     sd0_bounds:
         Search interval for ``sd0`` when it is fitted; the upper bound
         defaults to just below the smallest observed ``sd``.
+    retry:
+        Optional :class:`repro.robust.RetryBudget`. When the fitted
+        ``sd0`` produces a non-positive divergence exponent ``p2`` —
+        usually the search hugging the smallest observed ``s_d``, where
+        near-zero margins destabilise the log-space fit — the search
+        restarts with the upper bound pulled in by
+        :attr:`~repro.robust.RetryBudget.perturb_fraction` per attempt.
 
     Raises
     ------
@@ -130,25 +164,14 @@ def fit_design_cost_model(
         hi = sd0_bounds[1] if sd0_bounds[1] is not None else s.min() * (1 - 1e-6)
         if not 0 < lo < hi:
             raise CalibrationError(f"invalid sd0 search interval ({lo}, {hi})")
-        invphi = (math.sqrt(5.0) - 1.0) / 2.0
-        a, b = lo, hi
-        x1 = b - invphi * (b - a)
-        x2 = a + invphi * (b - a)
-        f1 = _fit_fixed_sd0(log_n, s, log_c, x1)[1]
-        f2 = _fit_fixed_sd0(log_n, s, log_c, x2)[1]
-        for _ in range(200):
-            if abs(b - a) < 1e-9 * (abs(a) + abs(b) + 1):
+        attempts = 1 if retry is None else retry.max_attempts
+        for attempt in range(1, attempts + 1):
+            best_sd0, coef, sse = _search_sd0(log_n, s, log_c, lo, hi)
+            if float(coef[2]) > 0 or attempt >= attempts:
                 break
-            if f1 < f2:
-                b, x2, f2 = x2, x1, f1
-                x1 = b - invphi * (b - a)
-                f1 = _fit_fixed_sd0(log_n, s, log_c, x1)[1]
-            else:
-                a, x1, f1 = x1, x2, f2
-                x2 = a + invphi * (b - a)
-                f2 = _fit_fixed_sd0(log_n, s, log_c, x2)[1]
-        best_sd0 = 0.5 * (a + b)
-        coef, sse = _fit_fixed_sd0(log_n, s, log_c, best_sd0)
+            note_retry("designflow.calibration.fit_design_cost_model",
+                       attempt, "non-positive-p2")
+            hi = lo + (hi - lo) * (1.0 - retry.perturb_fraction * attempt)
 
     ln_a0, p1, p2 = (float(v) for v in coef)
     if p2 <= 0:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import DomainError
 from ..validation import check_fraction, check_nonnegative, check_positive
 
 __all__ = ["IterationCostModel"]
@@ -90,7 +91,7 @@ class IterationCostModel:
         expected_iterations = check_positive(expected_iterations, "expected_iterations")
         iters = np.asarray(expected_iterations, dtype=float)
         if np.any(iters < 1.0):
-            raise ValueError("expected_iterations must be >= 1")
+            raise DomainError("expected_iterations must be >= 1")
         passes = iters * np.asarray(self.cost_per_pass(n_transistors))
         respins = (iters - 1.0) * self.silicon_fraction * self.mask_set_usd
         result = passes + respins

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import DomainError
 from ..validation import check_fraction, check_positive
 from ..wafer.specs import WAFER_200MM, WaferSpec
 
@@ -46,7 +47,7 @@ def moores_second_law_capex(feature_um: float, anchor_capex_usd: float = 1.5e9,
     check_positive(anchor_capex_usd, "anchor_capex_usd")
     check_positive(growth_per_node, "growth_per_node")
     if not 0 < shrink_per_node < 1:
-        raise ValueError(f"shrink_per_node must be in (0,1); got {shrink_per_node}")
+        raise DomainError(f"shrink_per_node must be in (0,1); got {shrink_per_node}")
     import math
     nodes = math.log(anchor_feature_um / feature_um) / math.log(1.0 / shrink_per_node)
     return anchor_capex_usd * growth_per_node**nodes
@@ -118,7 +119,7 @@ class FabModel:
     def breakeven_wafer_price(self, margin: float = 0.0) -> float:
         """Wafer price covering costs plus a gross margin fraction."""
         if margin < 0 or margin >= 1:
-            raise ValueError(f"margin must be in [0,1); got {margin}")
+            raise DomainError(f"margin must be in [0,1); got {margin}")
         return self.cost_per_wafer() / (1.0 - margin)
 
     def idle_cost_per_year(self, actual_utilization: float) -> float:

@@ -30,12 +30,12 @@ from ..cost.manufacturing import die_cost
 from ..cost.total import TotalCostModel
 from ..designflow.iteration import IterationCostModel
 from ..designflow.timing import TimingClosureModel
-from ..errors import ConvergenceError, DomainError
+from ..errors import DomainError
+from ..robust.retry import RetryBudget
+from ..robust.solvers import retrying_golden_min
 from ..validation import check_positive
 
 __all__ = ["MarketWindowModel", "ProfitPoint", "profit_optimal_sd"]
-
-_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
 
 
 @dataclass(frozen=True)
@@ -128,6 +128,7 @@ def profit_optimal_sd(
     sd_max: float = 5000.0,
     tol: float = 1e-9,
     max_iter: int = 500,
+    retry: RetryBudget | None = None,
 ) -> ProfitPoint:
     """Density maximising profit = revenue(schedule) − costs.
 
@@ -136,6 +137,11 @@ def profit_optimal_sd(
     n_units:
         Good dice the program will sell; the silicon bill is
         ``n_units × die_cost(s_d)`` (eq. 3), so it rises with ``s_d``.
+    retry:
+        Optional :class:`repro.robust.RetryBudget`; a convergence stall
+        restarts with a grown iteration cap and a perturbed lower bound
+        before the :class:`~repro.errors.ConvergenceError` (carrying
+        its :class:`repro.robust.ConvergenceReport`) propagates.
     (remaining parameters as in :func:`repro.optimize.optimal_sd`)
 
     Golden-section search over ``(s_d0, sd_max]``; profit is unimodal
@@ -156,24 +162,9 @@ def profit_optimal_sd(
                           cm_sq, regularity)
         return -point.profit_usd
 
-    a, b = lo, sd_max
-    c = b - _INVPHI * (b - a)
-    d = a + _INVPHI * (b - a)
-    fc, fd = neg_profit(c), neg_profit(d)
-    for _ in range(max_iter):
-        if abs(b - a) <= tol * (abs(a) + abs(b)):
-            break
-        if fc < fd:
-            b, d, fd = d, c, fc
-            c = b - _INVPHI * (b - a)
-            fc = neg_profit(c)
-        else:
-            a, c, fc = c, d, fd
-            d = a + _INVPHI * (b - a)
-            fd = neg_profit(d)
-    else:
-        raise ConvergenceError(f"profit optimisation did not converge in {max_iter} iterations")
-    sd_opt = 0.5 * (a + b)
+    sd_opt, _, _, _ = retrying_golden_min(
+        neg_profit, lo, sd_max, tol, max_iter,
+        solver="economics.market.profit_optimal_sd", retry=retry, lo_floor=sd0)
     return _evaluate(sd_opt, market, cost_model, closure, iteration_cost,
                      n_transistors, feature_um, n_units, yield_fraction,
                      cm_sq, regularity)

@@ -27,6 +27,7 @@ __all__ = [
     "InconsistentRecordError",
     "CalibrationError",
     "ConvergenceError",
+    "CollectedErrors",
     "LayoutError",
 ]
 
@@ -67,7 +68,47 @@ class CalibrationError(ReproError, RuntimeError):
 
 
 class ConvergenceError(ReproError, RuntimeError):
-    """An iterative solver failed to converge within its budget."""
+    """An iterative solver failed to converge within its budget.
+
+    Attributes
+    ----------
+    report:
+        Optional :class:`repro.robust.ConvergenceReport` describing the
+        failed run — iterations used, last bracket, best point found —
+        attached by the hardened solvers so failures are debuggable.
+    """
+
+    def __init__(self, *args, report=None):
+        super().__init__(*args)
+        self.report = report
+
+
+class CollectedErrors(ReproError):
+    """Several deferred failures, gathered under ``ErrorPolicy.COLLECT``.
+
+    Raised at the *end* of a sweep/series so one pass surfaces every
+    infeasible point at once instead of dying on the first.
+
+    Attributes
+    ----------
+    diagnostics:
+        Tuple of :class:`repro.robust.Diagnostic` records, one per
+        collected failure.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.diagnostics:
+            return base
+        preview = "; ".join(str(d) for d in self.diagnostics[:3])
+        more = len(self.diagnostics) - 3
+        if more > 0:
+            preview += f"; ... {more} more"
+        return f"{base}: {preview}"
 
 
 class LayoutError(ReproError, ValueError):

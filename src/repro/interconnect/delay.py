@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import DomainError
 from ..validation import check_fraction, check_in_range, check_positive
 
 __all__ = ["WireTechnology", "wire_delay_ps", "gate_delay_ps",
@@ -78,7 +79,7 @@ def wire_delay_ps(tech: WireTechnology, length_um, driver_ohm: float = 500.0,
     length_um = check_positive(length_um, "length_um")
     driver_ohm = check_positive(driver_ohm, "driver_ohm")
     if load_ff < 0:
-        raise ValueError(f"load_ff must be >= 0; got {load_ff}")
+        raise DomainError(f"load_ff must be >= 0; got {load_ff}")
     length = np.asarray(length_um, dtype=float)
     rw = tech.r_per_um_ohm * length
     cw = tech.c_per_um_ff * length
@@ -107,7 +108,7 @@ def wire_dominance_length_um(tech: WireTechnology, driver_ohm: float = 500.0,
     while wire_delay_ps(tech, hi, driver_ohm, load_ff) < gate:
         hi *= 2.0
         if hi > 1e9:
-            raise ValueError("wire never dominates with these parameters")
+            raise DomainError("wire never dominates with these parameters")
     for _ in range(200):
         mid = math.sqrt(lo * hi)
         if wire_delay_ps(tech, mid, driver_ohm, load_ff) < gate:
@@ -158,7 +159,7 @@ class PredictionErrorModel:
         check_positive(self.exponent, "exponent")
         check_positive(self.regularity_gain, "regularity_gain")
         if self.regularity_gain < 1.0:
-            raise ValueError("regularity_gain must be >= 1")
+            raise DomainError("regularity_gain must be >= 1")
 
     def sigma(self, feature_um, regularity: float = 0.0):
         """Relative prediction error at a node and layout regularity.

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..errors import DomainError
 from ..validation import check_positive
 from .delay import WireTechnology, gate_delay_ps
 
@@ -125,7 +126,7 @@ def repeater_count_per_chip(
     die_edge_um = check_positive(die_edge_um, "die_edge_um")
     n_global_wires = check_positive(n_global_wires, "n_global_wires")
     if not 0 < mean_length_fraction <= 1:
-        raise ValueError(f"mean_length_fraction must be in (0,1]; got {mean_length_fraction}")
+        raise DomainError(f"mean_length_fraction must be in (0,1]; got {mean_length_fraction}")
     length = die_edge_um * mean_length_fraction
     design = optimal_repeaters(tech, length, r0_ohm, c0_ff)
     return float(design.n_repeaters) * n_global_wires

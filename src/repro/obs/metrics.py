@@ -20,6 +20,7 @@ import math
 from dataclasses import dataclass, field
 
 from . import trace as _trace
+from ..errors import DomainError
 
 __all__ = [
     "Counter",
@@ -43,7 +44,7 @@ class Counter:
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be >= 0) to the counter."""
         if amount < 0:
-            raise ValueError(f"counter {self.name}: increment must be >= 0, got {amount}")
+            raise DomainError(f"counter {self.name}: increment must be >= 0, got {amount}")
         self.value += amount
 
 

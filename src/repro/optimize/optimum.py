@@ -18,22 +18,22 @@ Figure 4(a)→(b) contrast.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..cost.generalized import GeneralizedCostModel
 from ..cost.total import TotalCostModel
-from ..errors import ConvergenceError, DomainError
+from ..errors import DomainError
 from ..obs import metrics as obs_metrics
 from ..obs.instrument import traced
+from ..robust.policy import DiagnosticLog, ErrorPolicy
+from ..robust.retry import RetryBudget, note_retry
+from ..robust.solvers import retrying_golden_min
 from ..validation import check_positive
 
 __all__ = ["OptimumResult", "optimal_sd", "optimal_sd_generalized",
            "optimal_sd_condition", "optimum_vs_volume"]
-
-_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
 
 
 @dataclass(frozen=True)
@@ -47,36 +47,19 @@ class OptimumResult:
     cost_opt:
         Transistor cost at the optimum ($).
     iterations:
-        Golden-section iterations used.
+        Golden-section iterations used (by the successful attempt).
     bracket:
-        The search interval (lo, hi).
+        The search interval (lo, hi) of the successful attempt.
+    attempts:
+        Solve attempts consumed (> 1 only when a
+        :class:`repro.robust.RetryBudget` rode through failures).
     """
 
     sd_opt: float
     cost_opt: float
     iterations: int
     bracket: tuple[float, float]
-
-
-def _golden_min(fn, lo: float, hi: float, tol: float, max_iter: int) -> tuple[float, float, int]:
-    """Golden-section minimisation of a unimodal scalar function."""
-    a, b = lo, hi
-    c = b - _INVPHI * (b - a)
-    d = a + _INVPHI * (b - a)
-    fc, fd = fn(c), fn(d)
-    for i in range(max_iter):
-        if abs(b - a) <= tol * (abs(a) + abs(b)):
-            x = 0.5 * (a + b)
-            return x, fn(x), i
-        if fc < fd:
-            b, d, fd = d, c, fc
-            c = b - _INVPHI * (b - a)
-            fc = fn(c)
-        else:
-            a, c, fc = c, d, fd
-            d = a + _INVPHI * (b - a)
-            fd = fn(d)
-    raise ConvergenceError(f"golden-section search did not converge in {max_iter} iterations")
+    attempts: int = 1
 
 
 @traced(equation="4", attach_result=True,
@@ -92,6 +75,7 @@ def optimal_sd(
     sd_max: float = 5000.0,
     tol: float = 1e-10,
     max_iter: int = 500,
+    retry: RetryBudget | None = None,
 ) -> OptimumResult:
     """Cost-minimising ``s_d`` for eq. (4) at a fixed operating point.
 
@@ -99,6 +83,14 @@ def optimal_sd(
     minimum sits on the upper boundary (i.e. ``sd_max`` clipped it —
     physically, design cost dominates so completely that ever-sparser
     design keeps paying; widen ``sd_max``).
+
+    With a :class:`repro.robust.RetryBudget` the solver rides through
+    both failure modes before giving up: a convergence stall restarts
+    with a grown iteration cap and perturbed lower bound, and a clipped
+    optimum re-solves with the bracket expanded by
+    :attr:`~repro.robust.RetryBudget.bracket_growth`. Final failures
+    carry a :class:`repro.robust.ConvergenceReport` (stalls) or name
+    the last bracket tried (clips).
     """
     sd0 = model.design_model.sd0
     lo = sd0 * (1 + 1e-6) + 1e-9
@@ -109,13 +101,24 @@ def optimal_sd(
         return float(model.transistor_cost(sd, n_transistors, feature_um,
                                            n_wafers, yield_fraction, cm_sq))
 
-    sd_opt, cost_opt, iters = _golden_min(fn, lo, sd_max, tol, max_iter)
-    if sd_opt > sd_max * (1 - 1e-3):
-        raise DomainError(
-            f"optimum clipped at sd_max={sd_max}; design cost still dominates — widen the bracket"
-        )
+    solver = "optimize.optimum.optimal_sd"
+    hi = sd_max
+    attempts_used = 0
+    for expansion in range(1, (1 if retry is None else retry.max_attempts) + 1):
+        sd_opt, cost_opt, iters, attempts = retrying_golden_min(
+            fn, lo, hi, tol, max_iter, solver=solver, retry=retry, lo_floor=sd0)
+        attempts_used += attempts
+        if sd_opt <= hi * (1 - 1e-3):
+            break
+        if retry is None or expansion >= retry.max_attempts:
+            raise DomainError(
+                f"optimum clipped at sd_max={hi}; design cost still dominates — widen the bracket"
+            )
+        note_retry(solver, expansion, "bracket-clipped")
+        hi *= retry.bracket_growth
     obs_metrics.set_gauge("optimize.optimal_sd.iterations", iters)
-    return OptimumResult(sd_opt=sd_opt, cost_opt=cost_opt, iterations=iters, bracket=(lo, sd_max))
+    return OptimumResult(sd_opt=sd_opt, cost_opt=cost_opt, iterations=iters,
+                         bracket=(lo, hi), attempts=attempts_used)
 
 
 @traced(equation="7", attach_result=True,
@@ -128,8 +131,12 @@ def optimal_sd_generalized(
     sd_max: float = 5000.0,
     tol: float = 1e-10,
     max_iter: int = 500,
+    retry: RetryBudget | None = None,
 ) -> OptimumResult:
-    """Cost-minimising ``s_d`` for the eq.-(7) model (yield coupled)."""
+    """Cost-minimising ``s_d`` for the eq.-(7) model (yield coupled).
+
+    ``retry`` hardens convergence stalls as in :func:`optimal_sd`.
+    """
     sd0 = model.design_model.sd0
     lo = sd0 * (1 + 1e-6) + 1e-9
     if sd_max <= lo:
@@ -138,9 +145,12 @@ def optimal_sd_generalized(
     def fn(sd: float) -> float:
         return float(model.transistor_cost(sd, n_transistors, feature_um, n_wafers))
 
-    sd_opt, cost_opt, iters = _golden_min(fn, lo, sd_max, tol, max_iter)
+    sd_opt, cost_opt, iters, attempts = retrying_golden_min(
+        fn, lo, sd_max, tol, max_iter,
+        solver="optimize.optimum.optimal_sd_generalized", retry=retry, lo_floor=sd0)
     obs_metrics.set_gauge("optimize.optimal_sd.iterations", iters)
-    return OptimumResult(sd_opt=sd_opt, cost_opt=cost_opt, iterations=iters, bracket=(lo, sd_max))
+    return OptimumResult(sd_opt=sd_opt, cost_opt=cost_opt, iterations=iters,
+                         bracket=(lo, sd_max), attempts=attempts)
 
 
 def optimal_sd_condition(
@@ -181,18 +191,33 @@ def optimum_vs_volume(
     cm_sq: float,
     n_wafers_values=None,
     sd_max: float = 5000.0,
+    policy: ErrorPolicy = ErrorPolicy.RAISE,
+    retry: RetryBudget | None = None,
 ) -> list[tuple[float, OptimumResult]]:
     """Trace the optimal ``s_d`` across wafer volumes.
 
     Returns ``[(n_wafers, OptimumResult), ...]``. The paper's Figure 4
     message appears as a monotone fall of ``sd_opt`` with volume: high
     volume amortises design cost, so dense (small-``s_d``) design pays.
+
+    Under ``policy=ErrorPolicy.MASK`` a volume whose solve fails is
+    dropped from the returned list (its failure lands on the obs
+    counters); COLLECT raises the aggregate after every volume was
+    tried. ``retry`` is forwarded to each :func:`optimal_sd` call.
     """
+    policy = ErrorPolicy.coerce(policy)
     if n_wafers_values is None:
         n_wafers_values = np.geomspace(1e3, 1e6, 13)
+    log = DiagnosticLog(policy, "optimize.optimum.optimum_vs_volume", equation="4")
     out = []
-    for nw in np.asarray(n_wafers_values, dtype=float):
-        res = optimal_sd(model, n_transistors, feature_um, float(nw),
-                         yield_fraction, cm_sq, sd_max=sd_max)
+    for i, nw in enumerate(np.asarray(n_wafers_values, dtype=float)):
+        try:
+            res = optimal_sd(model, n_transistors, feature_um, float(nw),
+                             yield_fraction, cm_sq, sd_max=sd_max, retry=retry)
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter="n_wafers", value=float(nw), index=i):
+                raise
+            continue
         out.append((float(nw), res))
+    log.finish()
     return out

@@ -19,6 +19,7 @@ import numpy as np
 from ..cost.total import TotalCostModel
 from ..density.metrics import area_from_sd
 from ..errors import DomainError
+from ..robust.policy import DiagnosticLog, ErrorPolicy
 from .sweep import sd_grid
 
 __all__ = ["DesignPoint", "evaluate_points", "pareto_front", "knee_point"]
@@ -46,19 +47,37 @@ def evaluate_points(
     yield_fraction: float,
     cm_sq: float,
     sd_values=None,
+    policy: ErrorPolicy = ErrorPolicy.RAISE,
+    diagnostics: list | None = None,
 ) -> list[DesignPoint]:
-    """Objective vectors for a grid of candidate ``s_d`` values."""
+    """Objective vectors for a grid of candidate ``s_d`` values.
+
+    Under ``policy=ErrorPolicy.MASK`` infeasible candidates are dropped
+    from the returned list (a NaN objective vector would corrupt Pareto
+    domination); pass a list as ``diagnostics`` to receive one
+    :class:`repro.robust.Diagnostic` per dropped candidate. COLLECT
+    raises :class:`repro.errors.CollectedErrors` after the full grid.
+    """
+    policy = ErrorPolicy.coerce(policy)
     if sd_values is None:
         sd_values = sd_grid(model.design_model.sd0, n=200)
+    log = DiagnosticLog(policy, "optimize.pareto.evaluate_points", equation="4")
     points = []
-    for sd in np.asarray(sd_values, dtype=float):
-        points.append(DesignPoint(
-            sd=float(sd),
-            die_area_cm2=float(area_from_sd(sd, n_transistors, feature_um)),
-            transistor_cost_usd=float(model.transistor_cost(
-                sd, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq)),
-            design_cost_usd=float(model.design_model.cost(n_transistors, sd)),
-        ))
+    for i, sd in enumerate(np.asarray(sd_values, dtype=float)):
+        try:
+            points.append(DesignPoint(
+                sd=float(sd),
+                die_area_cm2=float(area_from_sd(sd, n_transistors, feature_um)),
+                transistor_cost_usd=float(model.transistor_cost(
+                    sd, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq)),
+                design_cost_usd=float(model.design_model.cost(n_transistors, sd)),
+            ))
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter="sd", value=float(sd), index=i):
+                raise
+    collected = log.finish()
+    if diagnostics is not None:
+        diagnostics.extend(collected)
     return points
 
 

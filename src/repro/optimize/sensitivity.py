@@ -14,10 +14,12 @@ the other operating-point parameters) wiggle. This module provides:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 
 from ..cost.total import TotalCostModel
 from ..errors import DomainError
+from ..robust.policy import DiagnosticLog, ErrorPolicy
 from .optimum import optimal_sd
 
 __all__ = ["SensitivityEntry", "parameter_elasticities", "tornado"]
@@ -91,6 +93,7 @@ def parameter_elasticities(
     parameters=None,
     rel_step: float = 0.05,
     sd_max: float = 5000.0,
+    policy: ErrorPolicy = ErrorPolicy.RAISE,
 ) -> dict[str, float]:
     """Local elasticities ``d ln(sd_opt) / d ln(θ)`` (central differences).
 
@@ -106,21 +109,32 @@ def parameter_elasticities(
         ``yield_fraction`` when a +5 % step would exceed 1.
     rel_step:
         Relative perturbation for the central difference.
+    policy:
+        Under MASK a parameter whose perturbed solve fails maps to a
+        NaN elasticity instead of aborting the whole analysis; COLLECT
+        raises the aggregate after every parameter was tried.
     """
-    import math
-
+    policy = ErrorPolicy.coerce(policy)
     if parameters is None:
         parameters = list(_POINT_PARAMS) + list(_MODEL_PARAMS)
+    log = DiagnosticLog(policy, "optimize.sensitivity.parameter_elasticities",
+                        equation="4")
     out: dict[str, float] = {}
-    for name in parameters:
-        base = _base_value(model, point, name)
-        lo_v, hi_v = base * (1 - rel_step), base * (1 + rel_step)
-        if name == "yield_fraction" and hi_v > 1.0:
-            hi_v = 1.0
-            lo_v = base * base / hi_v  # keep geometric symmetry
-        sd_lo, _ = _perturbed(model, point, name, lo_v, sd_max)
-        sd_hi, _ = _perturbed(model, point, name, hi_v, sd_max)
-        out[name] = (math.log(sd_hi) - math.log(sd_lo)) / (math.log(hi_v) - math.log(lo_v))
+    for i, name in enumerate(parameters):
+        try:
+            base = _base_value(model, point, name)
+            lo_v, hi_v = base * (1 - rel_step), base * (1 + rel_step)
+            if name == "yield_fraction" and hi_v > 1.0:
+                hi_v = 1.0
+                lo_v = base * base / hi_v  # keep geometric symmetry
+            sd_lo, _ = _perturbed(model, point, name, lo_v, sd_max)
+            sd_hi, _ = _perturbed(model, point, name, hi_v, sd_max)
+            out[name] = (math.log(sd_hi) - math.log(sd_lo)) / (math.log(hi_v) - math.log(lo_v))
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter=name, index=i):
+                raise
+            out[name] = math.nan
+    log.finish()
     return out
 
 
@@ -129,21 +143,34 @@ def tornado(
     point: dict,
     excursions: dict[str, tuple[float, float]],
     sd_max: float = 5000.0,
+    policy: ErrorPolicy = ErrorPolicy.RAISE,
 ) -> list[SensitivityEntry]:
     """One-at-a-time excursion analysis, sorted by cost swing (largest first).
 
     ``excursions`` maps parameter name → (low, high) values to try.
+    Under MASK a parameter whose excursion solve fails becomes an
+    all-NaN :class:`SensitivityEntry` (sorted last) instead of aborting
+    the analysis; COLLECT defers and aggregates the failures.
     """
+    policy = ErrorPolicy.coerce(policy)
+    log = DiagnosticLog(policy, "optimize.sensitivity.tornado", equation="4")
     entries = []
-    for name, (lo_v, hi_v) in excursions.items():
+    for i, (name, (lo_v, hi_v)) in enumerate(excursions.items()):
         if lo_v >= hi_v:
             raise DomainError(f"excursion for {name!r} must have low < high; got {lo_v}, {hi_v}")
-        sd_lo, cost_lo = _perturbed(model, point, name, lo_v, sd_max)
-        sd_hi, cost_hi = _perturbed(model, point, name, hi_v, sd_max)
+        try:
+            sd_lo, cost_lo = _perturbed(model, point, name, lo_v, sd_max)
+            sd_hi, cost_hi = _perturbed(model, point, name, hi_v, sd_max)
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter=name, index=i):
+                raise
+            sd_lo = sd_hi = cost_lo = cost_hi = math.nan
         entries.append(SensitivityEntry(
             parameter=name, low_value=lo_v, high_value=hi_v,
             sd_opt_low=sd_lo, sd_opt_high=sd_hi,
             cost_opt_low=cost_lo, cost_opt_high=cost_hi,
         ))
-    entries.sort(key=lambda e: e.cost_swing, reverse=True)
+    log.finish()
+    entries.sort(key=lambda e: (math.isnan(e.cost_swing), -e.cost_swing
+                                if not math.isnan(e.cost_swing) else 0.0))
     return entries

@@ -7,7 +7,7 @@ minimum, and convenience accessors used by the plots/benches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -16,6 +16,7 @@ from ..cost.total import TotalCostModel
 from ..errors import DomainError
 from ..obs import metrics as obs_metrics
 from ..obs.instrument import traced
+from ..robust.policy import Diagnostic, DiagnosticLog, ErrorPolicy
 from ..validation import check_positive
 
 __all__ = ["SweepResult", "sd_grid", "sd_sweep", "sd_sweep_generalized", "volume_sweep"]
@@ -32,15 +33,20 @@ class SweepResult:
     x:
         Grid values.
     cost:
-        Transistor cost at each grid point ($).
+        Transistor cost at each grid point ($); NaN marks a point
+        masked under :attr:`repro.robust.ErrorPolicy.MASK`.
     meta:
         The fixed operating point (for reporting).
+    diagnostics:
+        One :class:`repro.robust.Diagnostic` per masked point (empty
+        for RAISE-policy sweeps).
     """
 
     parameter: str
     x: np.ndarray
     cost: np.ndarray
     meta: dict
+    diagnostics: tuple[Diagnostic, ...] = field(default=())
 
     def __post_init__(self) -> None:
         if self.x.shape != self.cost.shape:
@@ -49,9 +55,18 @@ class SweepResult:
             raise DomainError("a sweep needs at least 2 grid points")
 
     @property
+    def n_masked(self) -> int:
+        """Grid points masked to NaN by the error policy."""
+        return int(np.count_nonzero(np.isnan(self.cost)))
+
+    @property
     def argmin(self) -> int:
-        """Index of the cheapest grid point."""
-        return int(np.argmin(self.cost))
+        """Index of the cheapest (unmasked) grid point."""
+        if np.all(np.isnan(self.cost)):
+            raise DomainError(
+                f"every grid point of the {self.parameter!r} sweep is masked; "
+                "no feasible minimum (see .diagnostics)")
+        return int(np.nanargmin(self.cost))
 
     @property
     def x_opt(self) -> float:
@@ -96,6 +111,26 @@ def sd_grid(sd0: float, sd_max: float = 1000.0, n: int = 400, margin: float = 5.
     return sd0 + np.geomspace(margin, sd_max - sd0, n)
 
 
+def _policy_curve(point_fn, grid: np.ndarray, *, where: str, equation: str,
+                  parameter: str, policy: ErrorPolicy) -> tuple[np.ndarray, tuple]:
+    """Evaluate ``point_fn`` over ``grid`` point-by-point under a policy.
+
+    Infeasible points (any :class:`~repro.errors.ReproError`) become
+    NaN entries with an attached :class:`~repro.robust.Diagnostic`;
+    COLLECT raises the aggregate at the end via
+    :meth:`~repro.robust.DiagnosticLog.finish`.
+    """
+    log = DiagnosticLog(policy, where, equation=equation)
+    cost = np.full(grid.shape, np.nan, dtype=float)
+    for i, x in enumerate(grid):
+        try:
+            cost[i] = point_fn(float(x))
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter=parameter, value=float(x), index=i):
+                raise
+    return cost, log.finish()
+
+
 @traced(equation="4", attach_result=True,
         capture=("n_transistors", "feature_um", "n_wafers", "yield_fraction",
                  "cm_sq", "sd_values"))
@@ -107,15 +142,32 @@ def sd_sweep(
     yield_fraction: float,
     cm_sq: float,
     sd_values: np.ndarray | None = None,
+    policy: ErrorPolicy = ErrorPolicy.RAISE,
 ) -> SweepResult:
-    """Figure 4's sweep: eq. (4) cost versus ``s_d`` at a fixed point."""
+    """Figure 4's sweep: eq. (4) cost versus ``s_d`` at a fixed point.
+
+    Under the default ``policy=ErrorPolicy.RAISE`` the grid is
+    evaluated vectorised and any infeasible point aborts the sweep —
+    the historical behavior. MASK/COLLECT evaluate point-by-point so a
+    grid straddling ``s_d0`` yields NaN-masked entries plus per-point
+    diagnostics (see :mod:`repro.robust`).
+    """
+    policy = ErrorPolicy.coerce(policy)
     if sd_values is None:
         sd_values = sd_grid(model.design_model.sd0)
     sd_values = np.asarray(sd_values, dtype=float)
     obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
-    cost = model.transistor_cost(
-        sd_values, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq
-    )
+    diagnostics: tuple = ()
+    if policy is ErrorPolicy.RAISE:
+        cost = model.transistor_cost(
+            sd_values, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq
+        )
+    else:
+        cost, diagnostics = _policy_curve(
+            lambda sd: model.transistor_cost(
+                sd, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq),
+            sd_values, where="optimize.sweep.sd_sweep", equation="4",
+            parameter="sd", policy=policy)
     return SweepResult(
         parameter="sd",
         x=sd_values,
@@ -127,6 +179,7 @@ def sd_sweep(
             "yield_fraction": yield_fraction,
             "cm_sq": cm_sq,
         },
+        diagnostics=diagnostics,
     )
 
 
@@ -138,13 +191,25 @@ def sd_sweep_generalized(
     feature_um: float,
     n_wafers: float,
     sd_values: np.ndarray | None = None,
+    policy: ErrorPolicy = ErrorPolicy.RAISE,
 ) -> SweepResult:
-    """The eq.-(7) version of the sweep — yield responds to ``s_d``."""
+    """The eq.-(7) version of the sweep — yield responds to ``s_d``.
+
+    ``policy`` behaves as in :func:`sd_sweep`.
+    """
+    policy = ErrorPolicy.coerce(policy)
     if sd_values is None:
         sd_values = sd_grid(model.design_model.sd0)
     sd_values = np.asarray(sd_values, dtype=float)
     obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
-    cost = model.transistor_cost(sd_values, n_transistors, feature_um, n_wafers)
+    diagnostics: tuple = ()
+    if policy is ErrorPolicy.RAISE:
+        cost = model.transistor_cost(sd_values, n_transistors, feature_um, n_wafers)
+    else:
+        cost, diagnostics = _policy_curve(
+            lambda sd: model.transistor_cost(sd, n_transistors, feature_um, n_wafers),
+            sd_values, where="optimize.sweep.sd_sweep_generalized", equation="7",
+            parameter="sd", policy=policy)
     return SweepResult(
         parameter="sd",
         x=sd_values,
@@ -155,6 +220,7 @@ def sd_sweep_generalized(
             "n_wafers": n_wafers,
             "model": "generalized",
         },
+        diagnostics=diagnostics,
     )
 
 
@@ -169,19 +235,30 @@ def volume_sweep(
     yield_fraction: float,
     cm_sq: float,
     n_wafers_values: np.ndarray | None = None,
+    policy: ErrorPolicy = ErrorPolicy.RAISE,
 ) -> SweepResult:
     """Cost versus wafer volume at a fixed design point.
 
     Shows the eq.-(5) amortisation: cost falls hyperbolically towards
-    the eq.-(3) manufacturing floor as ``N_w`` grows.
+    the eq.-(3) manufacturing floor as ``N_w`` grows. ``policy``
+    behaves as in :func:`sd_sweep`.
     """
+    policy = ErrorPolicy.coerce(policy)
     if n_wafers_values is None:
         n_wafers_values = np.geomspace(100, 1e6, 200)
     n_wafers_values = np.asarray(n_wafers_values, dtype=float)
     obs_metrics.observe("optimize.sweep.grid_points", n_wafers_values.size)
-    cost = model.transistor_cost(
-        sd, n_transistors, feature_um, n_wafers_values, yield_fraction, cm_sq
-    )
+    diagnostics: tuple = ()
+    if policy is ErrorPolicy.RAISE:
+        cost = model.transistor_cost(
+            sd, n_transistors, feature_um, n_wafers_values, yield_fraction, cm_sq
+        )
+    else:
+        cost, diagnostics = _policy_curve(
+            lambda nw: model.transistor_cost(
+                sd, n_transistors, feature_um, nw, yield_fraction, cm_sq),
+            n_wafers_values, where="optimize.sweep.volume_sweep", equation="4",
+            parameter="n_wafers", policy=policy)
     return SweepResult(
         parameter="n_wafers",
         x=n_wafers_values,
@@ -193,4 +270,5 @@ def volume_sweep(
             "yield_fraction": yield_fraction,
             "cm_sq": cm_sq,
         },
+        diagnostics=diagnostics,
     )

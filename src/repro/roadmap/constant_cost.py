@@ -22,6 +22,7 @@ density targets are too sparse to hold the die cost — the paper's
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..data.itrs1999 import (
@@ -32,6 +33,7 @@ from ..data.itrs1999 import (
 from ..data.records import RoadmapNode
 from ..obs.instrument import traced
 from ..obs.provenance import record_provenance
+from ..robust.policy import DiagnosticLog, ErrorPolicy
 from ..validation import check_fraction, check_positive
 
 __all__ = ["ConstantCostAssumptions", "ConstantCostPoint", "constant_cost_sd",
@@ -94,19 +96,40 @@ def constant_cost_sd(node: RoadmapNode,
 @traced()
 def constant_cost_series(nodes: list[RoadmapNode],
                          assumptions: ConstantCostAssumptions = PAPER_FIGURE3_ASSUMPTIONS,
+                         policy: ErrorPolicy = ErrorPolicy.RAISE,
+                         diagnostics: list | None = None,
                          ) -> list[ConstantCostPoint]:
-    """The full Figure 3 series over a node list (chronological)."""
+    """The full Figure 3 series over a node list (chronological).
+
+    Under ``policy=ErrorPolicy.MASK`` a node whose evaluation fails
+    becomes a point with NaN densities (its :attr:`ConstantCostPoint.ratio`
+    is NaN) and a :class:`repro.robust.Diagnostic` is appended to the
+    optional ``diagnostics`` list; COLLECT raises the aggregate after
+    the whole series was attempted.
+    """
+    policy = ErrorPolicy.coerce(policy)
     record_provenance(
         "roadmap.constant_cost.constant_cost_series", "3",
         {"die_cost_usd": assumptions.die_cost_usd,
          "cost_per_cm2": assumptions.cost_per_cm2,
          "yield_fraction": assumptions.yield_fraction},
         dataset="roadmap_nodes", rows=tuple(n.year for n in nodes))
+    log = DiagnosticLog(policy, "roadmap.constant_cost.constant_cost_series",
+                        equation="3")
     points = []
-    for node in sorted(nodes, key=lambda n: n.year):
-        points.append(ConstantCostPoint(
-            node=node,
-            sd_implied=node.implied_sd(),
-            sd_constant_cost=constant_cost_sd(node, assumptions),
-        ))
+    for i, node in enumerate(sorted(nodes, key=lambda n: n.year)):
+        try:
+            points.append(ConstantCostPoint(
+                node=node,
+                sd_implied=node.implied_sd(),
+                sd_constant_cost=constant_cost_sd(node, assumptions),
+            ))
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter="year", value=node.year, index=i):
+                raise
+            points.append(ConstantCostPoint(
+                node=node, sd_implied=math.nan, sd_constant_cost=math.nan))
+    collected = log.finish()
+    if diagnostics is not None:
+        diagnostics.extend(collected)
     return points

@@ -25,8 +25,11 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable
 
+import math
+
 from ..data.records import RoadmapNode
 from ..errors import DomainError
+from ..robust.policy import DiagnosticLog, ErrorPolicy
 from ..wafer.cost import WaferCostModel
 from ..yieldmodels.composite import CompositeYield
 from .constant_cost import ConstantCostAssumptions, ConstantCostPoint, constant_cost_sd
@@ -125,14 +128,35 @@ def scenario(name: str) -> Scenario:
             f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}") from exc
 
 
-def scenario_series(nodes: list[RoadmapNode], scn: Scenario) -> list[ConstantCostPoint]:
-    """The Figure-3 series with per-node scenario assumptions."""
+def scenario_series(nodes: list[RoadmapNode], scn: Scenario,
+                    policy: ErrorPolicy = ErrorPolicy.RAISE,
+                    diagnostics: list | None = None) -> list[ConstantCostPoint]:
+    """The Figure-3 series with per-node scenario assumptions.
+
+    Scenario callables evaluate real models per node (wafer cost,
+    composite yield), so single-node failures are expected at extreme
+    nodes; under ``policy=ErrorPolicy.MASK`` such a node becomes an
+    all-NaN point (plus a :class:`repro.robust.Diagnostic` in the
+    optional ``diagnostics`` list) instead of killing the series, and
+    COLLECT raises the aggregate at the end.
+    """
+    policy = ErrorPolicy.coerce(policy)
+    log = DiagnosticLog(policy, "roadmap.scenarios.scenario_series", equation="3")
     points = []
-    for node in sorted(nodes, key=lambda n: n.year):
-        assumptions = scn.assumptions_at(node)
-        points.append(ConstantCostPoint(
-            node=node,
-            sd_implied=node.implied_sd(),
-            sd_constant_cost=constant_cost_sd(node, assumptions),
-        ))
+    for i, node in enumerate(sorted(nodes, key=lambda n: n.year)):
+        try:
+            assumptions = scn.assumptions_at(node)
+            points.append(ConstantCostPoint(
+                node=node,
+                sd_implied=node.implied_sd(),
+                sd_constant_cost=constant_cost_sd(node, assumptions),
+            ))
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter="year", value=node.year, index=i):
+                raise
+            points.append(ConstantCostPoint(
+                node=node, sd_implied=math.nan, sd_constant_cost=math.nan))
+    collected = log.finish()
+    if diagnostics is not None:
+        diagnostics.extend(collected)
     return points

@@ -1,0 +1,171 @@
+"""Error policies — what a sweep does when one grid point is infeasible.
+
+The paper's argument is a *scan* over design space: eq. (4)/(7) cost
+curves, ITRS trend series, the Figure-4 optimum migration. A scan that
+aborts on its first infeasible point (``s_d ≤ s_d0`` in eq. (6), a
+yield outside (0, 1], a degenerate node) throws away every feasible
+point computed so far. :class:`ErrorPolicy` makes the failure mode a
+caller choice:
+
+* :attr:`ErrorPolicy.RAISE` — propagate immediately (the default;
+  byte-identical to the historical behavior);
+* :attr:`ErrorPolicy.MASK` — replace the failing point with NaN,
+  record a :class:`Diagnostic`, and continue;
+* :attr:`ErrorPolicy.COLLECT` — like MASK while the scan runs, but
+  raise a single :class:`repro.errors.CollectedErrors` carrying every
+  :class:`Diagnostic` once the scan completes — one pass surfaces
+  *all* the infeasible points.
+
+Only :class:`repro.errors.ReproError` subclasses are ever masked or
+collected; programming errors (``TypeError``, ``AttributeError``)
+always propagate.
+
+Every masked/collected failure increments ``robust.policy.masked`` /
+``robust.policy.collected`` counters in :mod:`repro.obs.metrics` and
+annotates the innermost open span, so PR 1's tracing shows robustness
+events alongside timings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import CollectedErrors, ReproError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
+__all__ = ["ErrorPolicy", "Diagnostic", "DiagnosticLog"]
+
+
+class ErrorPolicy(enum.Enum):
+    """How a multi-point evaluation treats a failing point."""
+
+    RAISE = "raise"
+    MASK = "mask"
+    COLLECT = "collect"
+
+    @classmethod
+    def coerce(cls, value: "ErrorPolicy | str") -> "ErrorPolicy":
+        """Accept an :class:`ErrorPolicy` or its string name/value.
+
+        >>> ErrorPolicy.coerce("mask")
+        <ErrorPolicy.MASK: 'mask'>
+        """
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:
+            known = ", ".join(p.value for p in cls)
+            # DomainError would be natural here, but importing it lazily
+            # keeps this module free of a validation dependency cycle.
+            from ..errors import DomainError
+
+            raise DomainError(f"unknown error policy {value!r}; known: {known}") from exc
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured failure record from a masked/collected evaluation.
+
+    Attributes
+    ----------
+    where:
+        Dotted name of the evaluation that failed
+        (``"optimize.sweep.sd_sweep"``).
+    equation:
+        Paper equation id the evaluation implements (``"4"``, ``"6"``),
+        or ``""`` when not tied to one.
+    parameter:
+        Name of the swept/offending parameter (``"sd"``, ``"year"``).
+    value:
+        The offending parameter value (repr-friendly scalar).
+    index:
+        Grid/series index of the failing point, or ``None`` when the
+        failure is not positional.
+    error_type:
+        Exception class name (``"DomainError"``).
+    message:
+        The exception message.
+    """
+
+    where: str
+    equation: str
+    parameter: str
+    value: object
+    index: int | None
+    error_type: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, where: str, equation: str = "",
+                       parameter: str = "", value: object = None,
+                       index: int | None = None) -> "Diagnostic":
+        """Build a record from a caught exception plus call-site context."""
+        return cls(
+            where=where,
+            equation=equation,
+            parameter=parameter,
+            value=value,
+            index=index,
+            error_type=type(exc).__name__,
+            message=str(exc),
+        )
+
+    def __str__(self) -> str:
+        pos = f"[{self.index}]" if self.index is not None else ""
+        param = f" {self.parameter}={self.value!r}" if self.parameter else ""
+        eq = f" (eq. {self.equation})" if self.equation else ""
+        return f"{self.where}{pos}{eq}{param}: {self.error_type}: {self.message}"
+
+
+@dataclass
+class DiagnosticLog:
+    """Accumulates :class:`Diagnostic` records during one policy-guarded scan.
+
+    The policy-aware call sites (`sd_sweep`, ``constant_cost_series``,
+    ...) create one per invocation; :meth:`capture` decides — per the
+    policy — whether an exception is swallowed (MASK/COLLECT) or
+    propagates (RAISE), and :meth:`finish` raises the aggregate
+    :class:`repro.errors.CollectedErrors` for COLLECT runs.
+    """
+
+    policy: ErrorPolicy
+    where: str
+    equation: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def capture(self, exc: BaseException, *, parameter: str = "",
+                value: object = None, index: int | None = None) -> bool:
+        """Handle one failing point; returns True when it was absorbed.
+
+        Non-:class:`~repro.errors.ReproError` exceptions are never
+        absorbed — a ``TypeError`` in a sweep is a bug, not an
+        infeasible operating point.
+        """
+        if self.policy is ErrorPolicy.RAISE or not isinstance(exc, ReproError):
+            return False
+        diag = Diagnostic.from_exception(
+            exc, where=self.where, equation=self.equation,
+            parameter=parameter, value=value, index=index)
+        self.diagnostics.append(diag)
+        kind = "masked" if self.policy is ErrorPolicy.MASK else "collected"
+        obs_metrics.inc(f"robust.policy.{kind}")
+        obs_metrics.inc(f"robust.policy.{kind}.{self.where}")
+        span = obs_trace.current_span()
+        if span is not None:
+            span.set_attr("robust.policy", self.policy.value)
+            span.set_attr(f"robust.{kind}", len(self.diagnostics))
+        return True
+
+    def finish(self) -> tuple[Diagnostic, ...]:
+        """End the scan: raise for COLLECT with failures, else return diagnostics."""
+        diags = tuple(self.diagnostics)
+        if self.policy is ErrorPolicy.COLLECT and diags:
+            raise CollectedErrors(
+                f"{self.where}: {len(diags)} point(s) failed", diags)
+        return diags
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)

@@ -1,0 +1,110 @@
+"""Quarantine loading — keep the good rows, report the bad ones.
+
+Strict CSV loading (the default in :mod:`repro.data.io`) fails the
+whole import on the first malformed row. That is right for the
+curated, shipped datasets — and wrong for the user-extended ones the
+CSV round-trip exists for: a 500-row internal design table with three
+typo'd cells should load 497 rows and *say which three failed*.
+
+:class:`QuarantineReport` is the container the lenient loaders fill:
+one :class:`QuarantinedRow` per rejected row, carrying the row number,
+the offending column (when attributable), the cause, and the raw cells
+so the row can be repaired and re-imported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+
+__all__ = ["QuarantinedRow", "QuarantineReport"]
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """One rejected CSV row and why it was rejected.
+
+    Attributes
+    ----------
+    line_no:
+        1-based line number in the source (header = line 1).
+    column:
+        Header name of the offending cell, or ``""`` when the failure
+        is row-level (wrong cell count, validation failure).
+    cause:
+        Human-readable reason, usually the wrapped exception message.
+    error_type:
+        Exception class name that rejected the row.
+    raw:
+        The raw cell tuple, for repair-and-reimport workflows.
+    """
+
+    line_no: int
+    column: str
+    cause: str
+    error_type: str
+    raw: tuple[str, ...]
+
+    def __str__(self) -> str:
+        col = f", column {self.column!r}" if self.column else ""
+        return f"line {self.line_no}{col}: {self.error_type}: {self.cause}"
+
+
+@dataclass
+class QuarantineReport:
+    """Sink for rows a lenient CSV load rejected.
+
+    Pass an instance to :func:`repro.data.io.designs_from_csv` /
+    :func:`repro.data.io.roadmap_from_csv` via their ``quarantine``
+    parameter to switch those loaders from strict to lenient mode::
+
+        report = QuarantineReport()
+        records = designs_from_csv(text, quarantine=report)
+        if report:
+            print(report.summary())
+    """
+
+    source: str = ""
+    rows: list[QuarantinedRow] = field(default_factory=list)
+    n_loaded: int = 0
+
+    def quarantine(self, exc: BaseException, *, line_no: int, column: str = "",
+                   raw: tuple[str, ...] = ()) -> None:
+        """Record one rejected row (and its obs counter/span event).
+
+        A ``short`` attribute on the exception (set by the cell-level
+        parsers) wins over ``str(exc)`` so causes don't repeat the
+        line/column prefix the report prints anyway.
+        """
+        self.rows.append(QuarantinedRow(
+            line_no=line_no,
+            column=column,
+            cause=getattr(exc, "short", None) or str(exc),
+            error_type=type(exc).__name__,
+            raw=tuple(raw),
+        ))
+        obs_metrics.inc("robust.quarantine.rows")
+        span = obs_trace.current_span()
+        if span is not None:
+            span.set_attr("robust.quarantined", len(self.rows))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def summary(self) -> str:
+        """One-paragraph human summary of the quarantined rows."""
+        if not self.rows:
+            return "quarantine: clean (0 rows rejected)"
+        src = f" from {self.source}" if self.source else ""
+        lines = [f"quarantine{src}: {len(self.rows)} row(s) rejected, "
+                 f"{self.n_loaded} loaded"]
+        lines.extend(f"  - {row}" for row in self.rows)
+        return "\n".join(lines)

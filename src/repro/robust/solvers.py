@@ -1,0 +1,103 @@
+"""Hardened scalar minimisation — golden section with reports and retries.
+
+One implementation of the golden-section search used across the
+library (``optimal_sd``, ``profit_optimal_sd``, historically
+copy-pasted per call site), upgraded with the robustness contract:
+
+* :func:`golden_min` tracks the best point seen, and on iteration
+  exhaustion raises a :class:`repro.errors.ConvergenceError` carrying a
+  :class:`~repro.robust.retry.ConvergenceReport` (iterations used, last
+  bracket, best-so-far) instead of a bare message;
+* :func:`retrying_golden_min` wraps it in a
+  :class:`~repro.robust.retry.RetryBudget`: each retry grows the
+  iteration cap and nudges the lower bound by a deterministic fraction
+  of its margin — no global RNG — before the final failure propagates
+  with the last report attached.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from ..errors import ConvergenceError
+from .retry import ConvergenceReport, RetryBudget, note_retry
+
+__all__ = ["golden_min", "retrying_golden_min"]
+
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+def golden_min(fn: Callable[[float], float], lo: float, hi: float,
+               tol: float, max_iter: int, *,
+               solver: str = "robust.solvers.golden_min",
+               attempt: int = 1) -> tuple[float, float, int]:
+    """Golden-section minimisation of a unimodal scalar function.
+
+    Returns ``(x, fn(x), iterations)``. Raises
+    :class:`~repro.errors.ConvergenceError` (with a
+    :class:`~repro.robust.retry.ConvergenceReport`) when the bracket
+    has not collapsed within ``max_iter`` iterations.
+    """
+    a, b = lo, hi
+    c = b - _INVPHI * (b - a)
+    d = a + _INVPHI * (b - a)
+    fc, fd = fn(c), fn(d)
+    best_x, best_fx = (c, fc) if fc <= fd else (d, fd)
+    for i in range(max_iter):
+        if abs(b - a) <= tol * (abs(a) + abs(b)):
+            x = 0.5 * (a + b)
+            return x, fn(x), i
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - _INVPHI * (b - a)
+            fc = fn(c)
+            if fc < best_fx:
+                best_x, best_fx = c, fc
+        else:
+            a, c, fc = c, d, fd
+            d = a + _INVPHI * (b - a)
+            fd = fn(d)
+            if fd < best_fx:
+                best_x, best_fx = d, fd
+    raise ConvergenceError(
+        f"golden-section search did not converge in {max_iter} iterations",
+        report=ConvergenceReport(
+            solver=solver, attempts=attempt, iterations=max_iter,
+            last_bracket=(a, b), best_x=best_x, best_fx=best_fx))
+
+
+def retrying_golden_min(fn: Callable[[float], float], lo: float, hi: float,
+                        tol: float, max_iter: int, *,
+                        solver: str,
+                        retry: RetryBudget | None = None,
+                        lo_floor: float | None = None,
+                        ) -> tuple[float, float, int, int]:
+    """Golden-section search with restart-on-failure semantics.
+
+    Returns ``(x, fn(x), iterations, attempts)``. With ``retry=None``
+    this is exactly one :func:`golden_min` call. With a budget, each
+    failed attempt grows the iteration cap by
+    :attr:`~repro.robust.retry.RetryBudget.iter_growth` and restarts
+    from a lower bound whose margin above ``lo_floor`` (default: the
+    original ``lo``) is stretched by
+    :attr:`~repro.robust.retry.RetryBudget.perturb_fraction` — a
+    deterministic perturbation small relative to the bracket, large
+    relative to a degenerate starting interval.
+    """
+    floor = lo if lo_floor is None else lo_floor
+    cur_lo, cur_iter = lo, max_iter
+    for attempt in range(1, (1 if retry is None else retry.max_attempts) + 1):
+        try:
+            x, fx, iters = golden_min(fn, cur_lo, hi, tol, cur_iter,
+                                      solver=solver, attempt=attempt)
+            return x, fx, iters, attempt
+        except ConvergenceError as exc:
+            if retry is None or attempt >= retry.max_attempts:
+                raise
+            note_retry(solver, attempt, type(exc).__name__)
+            cur_iter = max(cur_iter + 1, int(cur_iter * retry.iter_growth))
+            margin = cur_lo - floor
+            if margin > 0:
+                cur_lo = floor + margin * (1.0 + retry.perturb_fraction * attempt)
+    raise ConvergenceError(f"{solver}: retry loop exited without a result")  # pragma: no cover

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..errors import DomainError
 from ..validation import check_nonnegative, check_positive
 
 __all__ = ["WaferSpec", "WAFER_150MM", "WAFER_200MM", "WAFER_300MM", "standard_wafers"]
@@ -46,7 +47,7 @@ class WaferSpec:
         check_nonnegative(self.edge_exclusion_mm, "edge_exclusion_mm")
         check_nonnegative(self.scribe_mm, "scribe_mm")
         if 2 * self.edge_exclusion_mm >= self.diameter_mm:
-            raise ValueError("edge exclusion leaves no usable wafer")
+            raise DomainError("edge exclusion leaves no usable wafer")
 
     @property
     def radius_cm(self) -> float:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import DomainError
 from ..validation import check_positive
 
 __all__ = ["YieldLearningCurve", "DEFAULT_LEARNING_CURVE"]
@@ -46,14 +47,14 @@ class YieldLearningCurve:
     def __post_init__(self) -> None:
         m = check_positive(self.initial_multiplier, "initial_multiplier")
         if m < 1.0:
-            raise ValueError(f"initial_multiplier must be >= 1; got {m}")
+            raise DomainError(f"initial_multiplier must be >= 1; got {m}")
         check_positive(self.learning_wafers, "learning_wafers")
 
     def multiplier(self, cumulative_wafers):
         """Defect-density multiplier after ``cumulative_wafers`` have run."""
         n = np.asarray(cumulative_wafers, dtype=float)
         if np.any(n < 0):
-            raise ValueError(f"cumulative_wafers must be >= 0; got {cumulative_wafers!r}")
+            raise DomainError(f"cumulative_wafers must be >= 0; got {cumulative_wafers!r}")
         result = 1.0 + (self.initial_multiplier - 1.0) * np.exp(-n / self.learning_wafers)
         return result if np.ndim(cumulative_wafers) else float(result)
 
@@ -74,7 +75,7 @@ class YieldLearningCurve:
         """Cumulative wafers needed to bring the multiplier down to target."""
         target = check_positive(target_multiplier, "target_multiplier")
         if not 1.0 < target <= self.initial_multiplier:
-            raise ValueError(
+            raise DomainError(
                 f"target_multiplier must lie in (1, {self.initial_multiplier}]; got {target}"
             )
         return -self.learning_wafers * math.log((target - 1.0) / (self.initial_multiplier - 1.0))

@@ -29,6 +29,7 @@ SUBPACKAGES = [
     "repro.economics",
     "repro.analysis",
     "repro.obs",
+    "repro.robust",
     "repro.report",
 ]
 

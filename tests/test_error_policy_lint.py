@@ -1,0 +1,100 @@
+"""Wire tools/check_error_policy.py into the suite.
+
+The lint enforces the robustness contract of docs/robustness.md: no
+bare ``except:``, no swallowing ``except Exception`` without a
+re-raise, and no raw ``raise ValueError`` outside the exception /
+validation modules. A second check keeps the repo free of tracked
+bytecode caches.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO / "tools"))
+
+from check_error_policy import check_file, main  # noqa: E402
+
+
+def test_src_tree_is_clean():
+    assert main() == 0
+
+
+def _violations(source: str, tmp_path, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return check_file(path)
+
+
+def test_lint_flags_bare_except(tmp_path):
+    out = _violations("""
+        try:
+            x = 1
+        except:
+            pass
+    """, tmp_path)
+    assert len(out) == 1 and "bare 'except:'" in out[0]
+
+
+def test_lint_flags_swallowed_exception(tmp_path):
+    out = _violations("""
+        try:
+            x = 1
+        except Exception:
+            x = 2
+    """, tmp_path)
+    assert len(out) == 1 and "without a re-raise" in out[0]
+
+
+def test_lint_allows_capture_reraise_pattern(tmp_path):
+    out = _violations("""
+        try:
+            x = 1
+        except Exception as exc:
+            if not log.capture(exc):
+                raise
+    """, tmp_path)
+    assert out == []
+
+
+def test_lint_flags_raw_value_error(tmp_path):
+    out = _violations("""
+        def f(x):
+            if x < 0:
+                raise ValueError("no")
+    """, tmp_path)
+    assert len(out) == 1 and "raise ValueError" in out[0]
+
+
+def test_lint_allows_domain_error(tmp_path):
+    out = _violations("""
+        from repro.errors import DomainError
+        def f(x):
+            if x < 0:
+                raise DomainError("no")
+    """, tmp_path)
+    assert out == []
+
+
+def test_lint_exempts_errors_and_validation_modules():
+    # The real exemption: errors.py / validation.py may raise builtins.
+    for name in ("errors.py", "validation.py"):
+        path = REPO / "src" / "repro" / name
+        assert path.exists()
+        assert check_file(path) == []
+
+
+def test_no_tracked_bytecode():
+    """No ``__pycache__``/``.pyc`` artifacts may be tracked by git."""
+    tracked = subprocess.run(
+        ["git", "ls-files"], cwd=REPO, capture_output=True, text=True,
+        check=True).stdout.splitlines()
+    offenders = [f for f in tracked
+                 if f.endswith(".pyc") or "__pycache__" in f]
+    assert offenders == []

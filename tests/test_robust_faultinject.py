@@ -1,0 +1,236 @@
+"""Chaos suite: corrupted inputs must never leak non-ReproError failures.
+
+The contract (see docs/robustness.md): every public ``repro.*`` entry
+point, fed any corrupted scalar input — NaN, ±Inf, negatives, zeros,
+magnitude extremes, non-numeric garbage — either
+
+* succeeds with output free of *silent* NaN, or
+* raises a :class:`repro.errors.ReproError` subclass (``TypeError`` is
+  also tolerated for garbage types — wrong type is a programming
+  error, not a domain failure),
+
+and never a bare ``ValueError``, ``ZeroDivisionError``,
+``FloatingPointError`` or ``OverflowError``.
+
+Fault generation is exhaustive and deterministic
+(:func:`repro.robust.corrupted_calls` walks every field × mode pair),
+so a failure reproduces byte-for-byte from the test id.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+
+from repro.cost import (
+    DEFAULT_GENERALIZED_MODEL,
+    PAPER_FIGURE4_MODEL,
+    die_cost,
+    transistor_cost,
+)
+from repro.errors import ConvergenceError, DomainError, ReproError
+from repro.optimize import optimal_sd, sd_sweep, volume_sweep
+from repro.robust import (
+    FAULT_MODES,
+    FaultInjector,
+    corrupt,
+    corrupted_calls,
+    flaky,
+)
+from repro.wafer import WAFER_200MM, gross_die_per_wafer
+from repro.yieldmodels import NegativeBinomialYield, PoissonYield
+
+SEED = 20010618  # DAC 2001 keynote date
+
+
+# -- fault primitives ----------------------------------------------------
+
+def test_corrupt_modes():
+    assert math.isnan(corrupt(5.0, "nan"))
+    assert corrupt(5.0, "inf") == math.inf
+    assert corrupt(5.0, "neg_inf") == -math.inf
+    assert corrupt(5.0, "negative") == -5.0
+    assert corrupt(0.0, "negative") == -1.0
+    assert corrupt(5.0, "zero") == 0.0
+    assert corrupt(5.0, "huge") == 1e308
+    assert 0 < corrupt(5.0, "tiny") < 1e-300
+    assert isinstance(corrupt(5.0, "string"), str)
+    with pytest.raises(DomainError):
+        corrupt(5.0, "frobnicate")
+
+
+def test_corrupted_calls_exhaustive_and_deterministic():
+    kwargs = dict(a=1.0, b=2.0, c=3.0)
+    calls = list(corrupted_calls(kwargs, seed=SEED))
+    assert len(calls) == 3 * len(FAULT_MODES)
+    labels = [c.describe() for c in calls]
+    assert len(set(labels)) == len(labels)
+    again = [c.describe() for c in corrupted_calls(kwargs, seed=SEED)]
+    assert labels == again
+    # the original call is never mutated
+    assert kwargs == dict(a=1.0, b=2.0, c=3.0)
+
+
+def test_injector_is_seed_deterministic():
+    a = FaultInjector(1234)
+    b = FaultInjector(1234)
+    kwargs = dict(x=1.0, y=2.0)
+    for _ in range(20):
+        assert a.corrupt_call(kwargs) == b.corrupt_call(kwargs)
+
+
+def test_injector_rejects_unknown_field():
+    with pytest.raises(DomainError):
+        FaultInjector(0).corrupt_call(dict(x=1.0), field="nope")
+
+
+def test_flaky_fails_exactly_n_times():
+    fn = flaky(lambda: 42, fail_times=2)
+    for _ in range(2):
+        with pytest.raises(ConvergenceError, match="injected"):
+            fn()
+    assert fn() == 42
+    assert fn.state == {"calls": 3, "failures": 2}
+    with pytest.raises(DomainError):
+        flaky(lambda: 0, fail_times=-1)
+
+
+# -- the chaos contract --------------------------------------------------
+
+def _contains_nan(obj, depth: int = 0) -> bool:
+    """Recursively look for NaN in floats/arrays/dataclass fields."""
+    if depth > 4:
+        return False
+    if isinstance(obj, float):
+        return math.isnan(obj)
+    if isinstance(obj, np.ndarray):
+        return bool(np.isnan(np.asarray(obj, dtype=float)).any())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return any(_contains_nan(getattr(obj, f.name), depth + 1)
+                   for f in dataclasses.fields(obj)
+                   if f.name not in ("meta",))
+    if isinstance(obj, (list, tuple)):
+        return any(_contains_nan(v, depth + 1) for v in obj)
+    return False
+
+
+def _assert_robust(fn, call, fixed=None):
+    """One chaos probe: success without silent NaN, or a clean error."""
+    try:
+        result = fn(**(fixed or {}), **call.kwargs)
+    except ReproError:
+        return
+    except TypeError:
+        return
+    except Exception as exc:  # noqa: BLE001 — the assertion under test
+        pytest.fail(f"{fn.__name__}({call.describe()}) leaked "
+                    f"{type(exc).__name__}: {exc}")
+    assert not _contains_nan(result), (
+        f"{fn.__name__}({call.describe()}) silently returned NaN")
+
+
+VALID_FIG4 = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5_000.0,
+                  yield_fraction=0.4, cm_sq=8.0)
+
+
+@pytest.mark.parametrize("call", corrupted_calls(VALID_FIG4, seed=SEED),
+                         ids=lambda c: c.describe())
+def test_chaos_sd_sweep(call):
+    _assert_robust(sd_sweep, call, fixed=dict(model=PAPER_FIGURE4_MODEL))
+
+
+@pytest.mark.parametrize("call", corrupted_calls(VALID_FIG4, seed=SEED),
+                         ids=lambda c: c.describe())
+def test_chaos_optimal_sd(call):
+    _assert_robust(optimal_sd, call, fixed=dict(model=PAPER_FIGURE4_MODEL))
+
+
+VALID_VOLUME = dict(sd=300.0, n_transistors=1e7, feature_um=0.18,
+                    yield_fraction=0.4, cm_sq=8.0)
+
+
+@pytest.mark.parametrize("call", corrupted_calls(VALID_VOLUME, seed=SEED),
+                         ids=lambda c: c.describe())
+def test_chaos_volume_sweep(call):
+    _assert_robust(volume_sweep, call, fixed=dict(model=PAPER_FIGURE4_MODEL))
+
+
+VALID_EQ3 = dict(cost_per_cm2=8.0, feature_um=0.18, sd=300.0,
+                 yield_fraction=0.8)
+
+
+@pytest.mark.parametrize("call", corrupted_calls(VALID_EQ3, seed=SEED),
+                         ids=lambda c: c.describe())
+def test_chaos_transistor_cost(call):
+    _assert_robust(transistor_cost, call)
+
+
+VALID_DIE = dict(cost_per_cm2=8.0, feature_um=0.18, sd=300.0,
+                 n_transistors=1e7, yield_fraction=0.8)
+
+
+@pytest.mark.parametrize("call", corrupted_calls(VALID_DIE, seed=SEED),
+                         ids=lambda c: c.describe())
+def test_chaos_die_cost(call):
+    _assert_robust(die_cost, call)
+
+
+VALID_YIELD = dict(area_cm2=1.0, defect_density_per_cm2=0.5)
+
+
+@pytest.mark.parametrize("call", corrupted_calls(VALID_YIELD, seed=SEED),
+                         ids=lambda c: c.describe())
+def test_chaos_poisson_yield(call):
+    _assert_robust(PoissonYield().__call__, call)
+
+
+@pytest.mark.parametrize("call", corrupted_calls(VALID_YIELD, seed=SEED),
+                         ids=lambda c: c.describe())
+def test_chaos_negative_binomial_yield(call):
+    _assert_robust(NegativeBinomialYield().__call__, call)
+
+
+VALID_DICE = dict(die_area_cm2=1.0, aspect_ratio=1.0)
+
+
+@pytest.mark.parametrize("call", corrupted_calls(VALID_DICE, seed=SEED),
+                         ids=lambda c: c.describe())
+def test_chaos_gross_die(call):
+    _assert_robust(gross_die_per_wafer, call, fixed=dict(wafer=WAFER_200MM))
+
+
+def test_chaos_generalized_sweep_sample():
+    # one representative pass over the eq.-(7) model
+    base = dict(n_transistors=1e7, feature_um=0.18, n_wafers=20_000.0)
+    for call in corrupted_calls(base, seed=SEED):
+        _assert_robust(
+            lambda **kw: __import__("repro.optimize", fromlist=["x"])
+            .sd_sweep_generalized(DEFAULT_GENERALIZED_MODEL, **kw), call)
+
+
+# -- forced solver failure through the public optimum API ----------------
+
+def test_forced_solver_failure_raises_convergence_error():
+    from repro.robust import RetryBudget, retrying_golden_min
+    exhausted = flaky(lambda x: x * x, fail_times=10)
+    with pytest.raises(ConvergenceError):
+        retrying_golden_min(exhausted, 1.0, 2.0, tol=1e-12, max_iter=50,
+                            solver="chaos", retry=RetryBudget(max_attempts=3))
+
+
+# -- CLI failure contract ------------------------------------------------
+
+def test_cli_repro_error_is_one_line(monkeypatch, capsys):
+    import repro.__main__ as cli
+
+    def boom(policy=None, diagnostics=None):
+        raise DomainError("synthetic failure for the CLI contract")
+
+    monkeypatch.setattr(cli, "build_report", boom)
+    rc = cli.main([])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert captured.err.strip() == (
+        "error: synthetic failure for the CLI contract")
+    assert "Traceback" not in captured.err

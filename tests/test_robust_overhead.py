@@ -1,0 +1,94 @@
+"""Guard: the default RAISE policy path must not tax the seed hot path.
+
+The robustness layer promises that ``policy=ErrorPolicy.RAISE`` (the
+default) keeps the vectorised sweep untouched — the only additions are
+one ``ErrorPolicy.coerce`` call and one branch. This mirrors
+``test_obs_overhead.py``: interleaved min-of-repeats against an inline
+policy-free equivalent of the seed's sweep body, 5% budget, with a
+noise self-check that skips on unstable boxes.
+"""
+
+import timeit
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cost import PAPER_FIGURE4_MODEL
+from repro.obs import metrics as obs_metrics
+from repro.optimize import sd_sweep
+from repro.optimize.sweep import SweepResult, sd_grid
+
+#: Maximum tolerated relative overhead of the RAISE-policy path.
+MAX_OVERHEAD = 0.05
+#: Baseline jitter above which the measurement is declared meaningless.
+MAX_NOISE = 0.10
+#: Interleaved (seed, policy) measurement pairs / calls per measurement.
+REPEATS = 10
+CALLS = 30
+
+ARGS = (1e7, 0.18, 5000.0, 0.4, 8.0)
+
+
+def seed_equivalent_sweep(model, n_transistors, feature_um, n_wafers,
+                          yield_fraction, cm_sq, sd_values=None):
+    """The pre-robustness ``sd_sweep`` body, line for line, minus policy.
+
+    The seed already carried the ``obs_metrics.observe`` call and the
+    default-grid branch, so both belong to the baseline — only the
+    policy coerce/branch and the diagnostics field are under test.
+    """
+    if sd_values is None:
+        sd_values = sd_grid(model.design_model.sd0)
+    sd_values = np.asarray(sd_values, dtype=float)
+    obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
+    cost = model.transistor_cost(
+        sd_values, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq)
+    return SweepResult(
+        parameter="sd", x=sd_values, cost=np.asarray(cost, dtype=float),
+        meta={
+            "n_transistors": n_transistors,
+            "feature_um": feature_um,
+            "n_wafers": n_wafers,
+            "yield_fraction": yield_fraction,
+            "cm_sq": cm_sq,
+        })
+
+
+@pytest.fixture(autouse=True)
+def tracing_off():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def test_raise_policy_overhead_under_five_percent():
+    current = sd_sweep.__wrapped__  # strip tracing; policy code remains
+
+    def run_policy():
+        current(PAPER_FIGURE4_MODEL, *ARGS)
+
+    def run_seed():
+        seed_equivalent_sweep(PAPER_FIGURE4_MODEL, *ARGS)
+
+    run_policy()
+    run_seed()
+
+    seed_times: list[float] = []
+    policy_times: list[float] = []
+    for _ in range(REPEATS):
+        seed_times.append(timeit.timeit(run_seed, number=CALLS))
+        policy_times.append(timeit.timeit(run_policy, number=CALLS))
+
+    half = REPEATS // 2
+    noise = (abs(min(seed_times[:half]) - min(seed_times[half:]))
+             / min(seed_times))
+    if noise > MAX_NOISE:
+        pytest.skip(f"timing too noisy to judge overhead ({noise:.1%} jitter)")
+
+    overhead = min(policy_times) / min(seed_times) - 1.0
+    assert overhead < MAX_OVERHEAD, (
+        f"RAISE-policy path costs {overhead:.1%} over the seed equivalent "
+        f"(policy {min(policy_times):.4f}s vs seed {min(seed_times):.4f}s)")

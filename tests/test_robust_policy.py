@@ -1,0 +1,225 @@
+"""Error-policy unit tests: ErrorPolicy / Diagnostic / DiagnosticLog
+plus the policy-threaded scan entry points.
+
+The acceptance scenario from the robustness issue: a Figure-4
+``sd_sweep`` over a grid *straddling* ``s_d0`` completes under MASK
+with the infeasible points NaN-masked and diagnosed, raises
+identically to the seed under the default RAISE, and surfaces every
+failure at once under COLLECT.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cost import PAPER_FIGURE4_MODEL
+from repro.data import load_itrs_1999
+from repro.errors import CollectedErrors, DomainError, ReproError
+from repro.optimize import (
+    evaluate_points,
+    optimum_vs_volume,
+    parameter_elasticities,
+    sd_sweep,
+    sd_sweep_generalized,
+    tornado,
+)
+from repro.roadmap import constant_cost_series, scenario, scenario_series
+from repro.robust import Diagnostic, DiagnosticLog, ErrorPolicy
+
+SD0 = PAPER_FIGURE4_MODEL.design_model.sd0  # 100.0
+FIG4_ARGS = (1e7, 0.18, 5_000, 0.4, 8.0)
+POINT = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5_000,
+             yield_fraction=0.4, cm_sq=8.0)
+
+#: 6 points at/below sd0 (infeasible: eq. (6) diverges) + 30 above.
+STRADDLING_GRID = np.concatenate([
+    np.linspace(50.0, SD0, 6), np.geomspace(SD0 + 5, 1000.0, 30)])
+
+
+# -- ErrorPolicy ---------------------------------------------------------
+
+def test_coerce_accepts_enum_and_strings():
+    assert ErrorPolicy.coerce(ErrorPolicy.MASK) is ErrorPolicy.MASK
+    assert ErrorPolicy.coerce("mask") is ErrorPolicy.MASK
+    assert ErrorPolicy.coerce("RAISE") is ErrorPolicy.RAISE
+    assert ErrorPolicy.coerce("Collect") is ErrorPolicy.COLLECT
+
+
+def test_coerce_rejects_unknown_policy():
+    with pytest.raises(DomainError, match="unknown error policy"):
+        ErrorPolicy.coerce("explode")
+
+
+# -- Diagnostic ----------------------------------------------------------
+
+def test_diagnostic_from_exception_and_str():
+    diag = Diagnostic.from_exception(
+        DomainError("sd must exceed sd0"), where="optimize.sweep.sd_sweep",
+        equation="4", parameter="sd", value=50.0, index=0)
+    assert diag.error_type == "DomainError"
+    text = str(diag)
+    assert "optimize.sweep.sd_sweep[0]" in text
+    assert "(eq. 4)" in text
+    assert "sd=50.0" in text
+    assert "sd must exceed sd0" in text
+
+
+# -- DiagnosticLog -------------------------------------------------------
+
+def test_capture_raise_policy_absorbs_nothing():
+    log = DiagnosticLog(ErrorPolicy.RAISE, "w")
+    assert log.capture(DomainError("x")) is False
+    assert len(log) == 0
+
+
+def test_capture_mask_absorbs_repro_errors_only():
+    log = DiagnosticLog(ErrorPolicy.MASK, "w")
+    assert log.capture(DomainError("bad"), parameter="sd", value=1.0, index=3)
+    assert log.capture(TypeError("bug")) is False
+    assert len(log) == 1
+    assert log.finish()[0].index == 3
+
+
+def test_collect_finish_raises_aggregate():
+    log = DiagnosticLog(ErrorPolicy.COLLECT, "scan")
+    for i in range(4):
+        assert log.capture(DomainError(f"p{i}"), index=i)
+    with pytest.raises(CollectedErrors) as err:
+        log.finish()
+    assert len(err.value.diagnostics) == 4
+    assert "4 point(s) failed" in str(err.value)
+
+
+def test_masked_failures_increment_obs_counters():
+    with obs.enabled():
+        obs.reset()
+        log = DiagnosticLog(ErrorPolicy.MASK, "w")
+        log.capture(DomainError("bad"))
+        log.capture(DomainError("bad"))
+        assert obs.get_registry().counter("robust.policy.masked").value == 2
+    obs.disable()
+    obs.reset()
+
+
+# -- the acceptance scenario: sd_sweep over a straddling grid ------------
+
+def test_sd_sweep_mask_straddling_grid():
+    res = sd_sweep(PAPER_FIGURE4_MODEL, *FIG4_ARGS,
+                   sd_values=STRADDLING_GRID, policy=ErrorPolicy.MASK)
+    assert res.n_masked == 6
+    assert np.all(np.isnan(res.cost[:6]))
+    assert np.all(np.isfinite(res.cost[6:]))
+    assert len(res.diagnostics) == 6
+    assert {d.index for d in res.diagnostics} == set(range(6))
+    assert all(d.parameter == "sd" for d in res.diagnostics)
+    assert all(d.error_type == "DomainError" for d in res.diagnostics)
+    # nan-aware optimum still lands on the feasible branch
+    assert res.x_opt > SD0
+    assert math.isfinite(res.cost_opt)
+
+
+def test_sd_sweep_raise_policy_identical_to_seed():
+    feasible = STRADDLING_GRID[6:]
+    default = sd_sweep(PAPER_FIGURE4_MODEL, *FIG4_ARGS, sd_values=feasible)
+    masked = sd_sweep(PAPER_FIGURE4_MODEL, *FIG4_ARGS, sd_values=feasible,
+                      policy=ErrorPolicy.MASK)
+    np.testing.assert_array_equal(default.cost, masked.cost)
+    assert default.diagnostics == ()
+    assert default.n_masked == 0
+    with pytest.raises(ReproError):
+        sd_sweep(PAPER_FIGURE4_MODEL, *FIG4_ARGS, sd_values=STRADDLING_GRID)
+
+
+def test_sd_sweep_collect_raises_with_every_diagnostic():
+    with pytest.raises(CollectedErrors) as err:
+        sd_sweep(PAPER_FIGURE4_MODEL, *FIG4_ARGS,
+                 sd_values=STRADDLING_GRID, policy="collect")
+    assert len(err.value.diagnostics) == 6
+
+
+def test_sd_sweep_all_masked_argmin_raises():
+    res = sd_sweep(PAPER_FIGURE4_MODEL, *FIG4_ARGS,
+                   sd_values=np.linspace(10.0, SD0, 12),
+                   policy=ErrorPolicy.MASK)
+    assert res.n_masked == 12
+    with pytest.raises(DomainError, match="every grid point"):
+        res.argmin
+
+
+def test_sd_sweep_generalized_masks_infeasible_points():
+    from repro.cost import DEFAULT_GENERALIZED_MODEL
+    res = sd_sweep_generalized(DEFAULT_GENERALIZED_MODEL, 1e7, 0.18, 20_000,
+                               sd_values=STRADDLING_GRID,
+                               policy=ErrorPolicy.MASK)
+    assert res.n_masked >= 6
+    assert math.isfinite(res.cost_opt)
+
+
+# -- policy threading through the other scan entry points ----------------
+
+def test_constant_cost_series_mask_vs_raise():
+    nodes = load_itrs_1999()
+    baseline = constant_cost_series(nodes)
+    diags: list = []
+    masked = constant_cost_series(nodes, policy=ErrorPolicy.MASK,
+                                  diagnostics=diags)
+    assert diags == []  # the shipped roadmap is fully feasible
+    assert [p.node.year for p in masked] == [p.node.year for p in baseline]
+
+
+def test_scenario_series_accepts_policy():
+    nodes = load_itrs_1999()
+    diags: list = []
+    series = scenario_series(nodes, scenario("realistic"), policy="mask",
+                             diagnostics=diags)
+    assert len(series) == len(nodes)
+    assert diags == []
+
+
+def test_optimum_vs_volume_accepts_policy():
+    points = optimum_vs_volume(PAPER_FIGURE4_MODEL, 1e7, 0.18, 0.4, 8.0,
+                               n_wafers_values=np.geomspace(1e3, 1e5, 5),
+                               policy=ErrorPolicy.MASK)
+    assert len(points) == 5
+
+
+def test_elasticities_mask_policy_all_finite_on_feasible_point():
+    out = parameter_elasticities(PAPER_FIGURE4_MODEL, POINT,
+                                 parameters=["n_wafers", "cm_sq"],
+                                 policy=ErrorPolicy.MASK)
+    assert all(math.isfinite(v) for v in out.values())
+
+
+EXCURSIONS = {"n_wafers": (2_000, 20_000), "cm_sq": (4.0, 16.0)}
+
+
+def test_tornado_order_stable_under_mask():
+    default = tornado(PAPER_FIGURE4_MODEL, POINT, EXCURSIONS)
+    masked = tornado(PAPER_FIGURE4_MODEL, POINT, EXCURSIONS,
+                     policy=ErrorPolicy.MASK)
+    assert [e.parameter for e in default] == [e.parameter for e in masked]
+
+
+def test_evaluate_points_mask_drops_infeasible_and_diagnoses():
+    diags: list = []
+    points = evaluate_points(PAPER_FIGURE4_MODEL, **POINT,
+                             sd_values=[50.0, 300.0, 500.0],
+                             policy=ErrorPolicy.MASK, diagnostics=diags)
+    assert len(points) == 2
+    assert len(diags) == 1
+    assert diags[0].error_type == "DomainError"
+
+
+def test_masked_sweep_annotates_enclosing_span():
+    with obs.enabled():
+        obs.reset()
+        sd_sweep(PAPER_FIGURE4_MODEL, *FIG4_ARGS,
+                 sd_values=STRADDLING_GRID, policy=ErrorPolicy.MASK)
+        spans = obs.get_tracer().spans
+        sweep_spans = [s for s in spans if "sd_sweep" in s.name]
+        assert sweep_spans
+        assert sweep_spans[0].attrs.get("robust.masked") == 6
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,123 @@
+"""Quarantine-loading tests: lenient CSV import keeps the good rows
+and reports the bad ones with line/column/cause attribution.
+"""
+
+import pytest
+
+from repro.data import DesignRegistry, load_itrs_1999, load_table_a1
+from repro.data.io import (
+    designs_from_csv,
+    designs_to_csv,
+    roadmap_from_csv,
+    roadmap_to_csv,
+)
+from repro.errors import DataError
+from repro.robust import QuarantineReport
+
+
+def _design_csv_with_faults() -> str:
+    """Round-trip the shipped table, then corrupt three rows."""
+    import csv
+    import io
+
+    rows = list(csv.reader(io.StringIO(designs_to_csv(load_table_a1()))))
+    rows[2][5] = "not-a-number"   # die_area_cm2 on CSV line 3
+    rows[5].append("extra-cell")  # wrong cell count on CSV line 6
+    rows[9][4] = "199x"           # year on CSV line 10
+    out = io.StringIO()
+    csv.writer(out, lineterminator="\n").writerows(rows)
+    return out.getvalue()
+
+
+def test_strict_mode_raises_on_first_bad_row():
+    with pytest.raises(DataError, match="line 3"):
+        designs_from_csv(_design_csv_with_faults())
+
+
+def test_lenient_mode_loads_good_rows_and_quarantines_bad():
+    report = QuarantineReport()
+    n_total = len(load_table_a1())
+    records = designs_from_csv(_design_csv_with_faults(), quarantine=report)
+    assert len(records) == n_total - 3
+    assert len(report) == 3
+    assert report.n_loaded == n_total - 3
+    assert bool(report)
+    assert {r.line_no for r in report} == {3, 6, 10}
+
+
+def test_quarantined_rows_attribute_the_column():
+    report = QuarantineReport()
+    designs_from_csv(_design_csv_with_faults(), quarantine=report)
+    by_line = {r.line_no: r for r in report}
+    assert by_line[3].column == "die_area_cm2"
+    assert by_line[10].column == "year"
+    # the wrong-cell-count row is a row-level failure: no column
+    assert by_line[6].column == ""
+    assert "expected 16 cells" in by_line[6].cause
+    assert all(r.error_type == "DataError" for r in report)
+
+
+def test_quarantine_summary_is_readable():
+    report = QuarantineReport()
+    designs_from_csv(_design_csv_with_faults(), quarantine=report)
+    text = report.summary()
+    assert "3 row(s) rejected" in text
+    assert "line 3" in text
+    assert "die_area_cm2" in text
+    # causes must not duplicate the line/column prefix
+    assert text.count("line 3") == 1
+
+
+def test_quarantine_clean_summary():
+    report = QuarantineReport()
+    designs_from_csv(designs_to_csv(load_table_a1()), quarantine=report)
+    assert not report
+    assert report.summary() == "quarantine: clean (0 rows rejected)"
+
+
+def test_quarantine_keeps_raw_cells_for_repair():
+    report = QuarantineReport()
+    designs_from_csv(_design_csv_with_faults(), quarantine=report)
+    bad = next(iter(report))
+    assert bad.raw  # the original cells survive for repair-and-reimport
+    assert "not-a-number" in bad.raw
+
+
+def test_header_failure_raises_even_in_lenient_mode():
+    report = QuarantineReport()
+    with pytest.raises(DataError, match="header"):
+        designs_from_csv("a,b,c\n1,2,3\n", quarantine=report)
+    with pytest.raises(DataError, match="empty"):
+        designs_from_csv("", quarantine=report)
+
+
+def test_roadmap_lenient_mode():
+    text = roadmap_to_csv(load_itrs_1999())
+    lines = text.splitlines()
+    parts = lines[1].split(",")
+    parts[1] = "thin"  # feature_nm
+    lines[1] = ",".join(parts)
+    report = QuarantineReport()
+    nodes = roadmap_from_csv("\n".join(lines) + "\n", quarantine=report)
+    assert len(nodes) == len(load_itrs_1999()) - 1
+    assert len(report) == 1
+    assert report.rows[0].column == "feature_nm"
+    with pytest.raises(DataError, match="feature_nm"):
+        roadmap_from_csv("\n".join(lines) + "\n")
+
+
+def test_registry_from_csv_lenient(tmp_path):
+    path = tmp_path / "designs.csv"
+    path.write_text(_design_csv_with_faults())
+    report = QuarantineReport()
+    registry = DesignRegistry.from_csv(path, quarantine=report)
+    assert len(registry) == len(load_table_a1()) - 3
+    assert report.source == str(path)
+    assert len(report) == 3
+
+
+def test_registry_from_csv_strict_raises(tmp_path):
+    path = tmp_path / "designs.csv"
+    path.write_text(_design_csv_with_faults())
+    with pytest.raises(DataError):
+        DesignRegistry.from_csv(path)

@@ -1,0 +1,171 @@
+"""Solver-hardening tests: RetryBudget, ConvergenceReport,
+golden_min / retrying_golden_min, and the hardened call sites.
+"""
+
+import math
+
+import pytest
+
+from repro.cost import DesignCostModel, PAPER_FIGURE4_MODEL
+from repro.designflow import fit_design_cost_model
+from repro.economics import MarketWindowModel, profit_optimal_sd
+from repro.errors import ConvergenceError, DomainError
+from repro.optimize import optimal_sd
+from repro.robust import (
+    DEFAULT_RETRY_BUDGET,
+    ConvergenceReport,
+    RetryBudget,
+    flaky,
+    golden_min,
+    retrying_golden_min,
+)
+
+
+# -- RetryBudget ---------------------------------------------------------
+
+def test_budget_defaults_and_attempts_range():
+    budget = RetryBudget()
+    assert budget.max_attempts == 3
+    assert list(budget.attempts()) == [0, 1, 2]
+    assert DEFAULT_RETRY_BUDGET == budget
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(max_attempts=0),
+    dict(bracket_growth=0.5),
+    dict(perturb_fraction=-0.1),
+    dict(perturb_fraction=1.0),
+    dict(iter_growth=0.9),
+])
+def test_budget_rejects_bad_values(kwargs):
+    with pytest.raises(DomainError):
+        RetryBudget(**kwargs)
+
+
+def test_convergence_report_str_mentions_everything():
+    report = ConvergenceReport(solver="s.olver", attempts=2, iterations=40,
+                               last_bracket=(1.0, 2.0), best_x=1.5, best_fx=0.25)
+    text = str(report)
+    assert "s.olver" in text
+    assert "2 attempt(s)" in text
+    assert "40 iterations" in text
+
+
+# -- golden_min ----------------------------------------------------------
+
+def test_golden_min_finds_parabola_minimum():
+    x, fx, iters = golden_min(lambda x: (x - 3.0) ** 2, 0.0, 10.0,
+                              tol=1e-12, max_iter=200)
+    assert x == pytest.approx(3.0, abs=1e-6)
+    assert fx == pytest.approx(0.0, abs=1e-10)
+    assert iters > 0
+
+
+def test_golden_min_exhaustion_carries_report():
+    with pytest.raises(ConvergenceError) as err:
+        golden_min(lambda x: (x - 3.0) ** 2, 0.0, 10.0,
+                   tol=1e-15, max_iter=3, solver="test.solver")
+    report = err.value.report
+    assert isinstance(report, ConvergenceReport)
+    assert report.solver == "test.solver"
+    assert report.iterations == 3
+    assert report.last_bracket[0] < report.best_x < report.last_bracket[1]
+    assert math.isfinite(report.best_fx)
+
+
+# -- retrying_golden_min -------------------------------------------------
+
+def test_retry_recovers_from_tight_iteration_cap():
+    # 4 iterations cannot collapse the bracket at this tol; the budget's
+    # iter_growth must ride through.
+    x, fx, iters, attempts = retrying_golden_min(
+        lambda x: (x - 3.0) ** 2, 0.0, 10.0, tol=1e-10, max_iter=4,
+        solver="test.retry", retry=RetryBudget(max_attempts=6, iter_growth=3.0))
+    assert x == pytest.approx(3.0, abs=1e-4)
+    assert attempts > 1
+
+
+def test_retry_none_is_single_attempt():
+    with pytest.raises(ConvergenceError):
+        retrying_golden_min(lambda x: (x - 3.0) ** 2, 0.0, 10.0,
+                            tol=1e-15, max_iter=3, solver="t", retry=None)
+
+
+def test_retry_exhaustion_propagates_last_report():
+    with pytest.raises(ConvergenceError) as err:
+        retrying_golden_min(lambda x: (x - 3.0) ** 2, 0.0, 10.0,
+                            tol=1e-15, max_iter=2, solver="t",
+                            retry=RetryBudget(max_attempts=2, iter_growth=1.0))
+    assert err.value.report.attempts == 2
+
+
+def test_retry_rides_through_flaky_objective():
+    objective = flaky(lambda x: (x - 3.0) ** 2, fail_times=2)
+    x, fx, iters, attempts = retrying_golden_min(
+        objective, 0.0, 10.0, tol=1e-10, max_iter=200, solver="test.flaky",
+        retry=RetryBudget(max_attempts=5))
+    assert x == pytest.approx(3.0, abs=1e-4)
+    # the first two attempts die on the injected failure
+    assert attempts == 3
+    assert objective.state["failures"] == 2
+
+
+def test_retry_is_deterministic():
+    def run():
+        objective = flaky(lambda x: (x - 3.0) ** 2, fail_times=1)
+        return retrying_golden_min(objective, 0.0, 10.0, tol=1e-10,
+                                   max_iter=40, solver="t",
+                                   retry=RetryBudget(max_attempts=4))
+    assert run() == run()
+
+
+# -- hardened call sites -------------------------------------------------
+
+FIG4_ARGS = (1e7, 0.18, 5_000, 0.4, 8.0)
+
+
+def test_optimal_sd_retry_none_matches_default():
+    plain = optimal_sd(PAPER_FIGURE4_MODEL, *FIG4_ARGS)
+    hardened = optimal_sd(PAPER_FIGURE4_MODEL, *FIG4_ARGS,
+                          retry=DEFAULT_RETRY_BUDGET)
+    assert hardened.sd_opt == pytest.approx(plain.sd_opt, rel=1e-9)
+    assert plain.attempts == 1
+
+
+def test_optimal_sd_bracket_expansion_recovers_clipped_optimum():
+    # sd_max=320 clips the ~sd 310-330 optimum region for this point;
+    # plain call raises, the budget's bracket growth recovers it.
+    reference = optimal_sd(PAPER_FIGURE4_MODEL, *FIG4_ARGS)
+    tight = reference.sd_opt / 2
+    with pytest.raises(DomainError, match="clipped"):
+        optimal_sd(PAPER_FIGURE4_MODEL, *FIG4_ARGS, sd_max=tight)
+    recovered = optimal_sd(PAPER_FIGURE4_MODEL, *FIG4_ARGS, sd_max=tight,
+                           retry=DEFAULT_RETRY_BUDGET)
+    assert recovered.sd_opt == pytest.approx(reference.sd_opt, rel=1e-3)
+
+
+def test_profit_optimal_sd_accepts_retry():
+    market = MarketWindowModel()
+    args = (1e7, 0.18, 1e6, 0.4, 8.0)
+    plain = profit_optimal_sd(market, PAPER_FIGURE4_MODEL, *args)
+    hardened = profit_optimal_sd(market, PAPER_FIGURE4_MODEL, *args,
+                                 retry=DEFAULT_RETRY_BUDGET)
+    assert hardened.sd == pytest.approx(plain.sd, rel=1e-9)
+
+
+def _calibration_samples():
+    truth = DesignCostModel()  # A0=1000, p1=1, p2=1.2, sd0=100
+    n, s, c = [], [], []
+    for n_tr in (1e6, 3e6, 1e7, 3e7, 1e8):
+        for sd in (110, 125, 150, 200, 300, 500):
+            n.append(n_tr)
+            s.append(sd)
+            c.append(truth.cost(n_tr, sd))
+    return n, s, c
+
+
+def test_calibration_accepts_retry():
+    n, s, c = _calibration_samples()
+    plain = fit_design_cost_model(n, s, c)
+    hardened = fit_design_cost_model(n, s, c, retry=DEFAULT_RETRY_BUDGET)
+    assert hardened.p2 == pytest.approx(plain.p2, rel=1e-6)

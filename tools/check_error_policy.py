@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""AST lint enforcing the error-policy contract in ``src/``.
+
+The robustness layer (``repro.robust``, see docs/robustness.md) only
+works if failures surface as :class:`repro.errors.ReproError`
+subclasses and are never silently swallowed. This lint walks every
+module under ``src/`` and fails on:
+
+* **bare ``except:``** — swallows ``KeyboardInterrupt`` and hides bugs;
+* **``except Exception`` that never re-raises** — a blanket handler is
+  only acceptable in the policy-capture pattern, where non-ReproError
+  exceptions are re-raised via a bare ``raise``;
+* **``raise ValueError`` / ``raise ZeroDivisionError`` /
+  ``raise ArithmeticError``** outside ``errors.py`` and
+  ``validation.py`` — domain failures must be ``DomainError`` (which
+  still subclasses ``ValueError`` for compatibility) so callers can
+  catch ``ReproError`` uniformly.
+
+Usage:  python tools/check_error_policy.py  (exit 0 clean, 1 violations)
+
+Wired into the suite as ``tests/test_error_policy_lint.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+#: Modules allowed to raise the bare builtin types: the exception
+#: definitions themselves and the low-level validators they wrap.
+EXEMPT_FILES = {"errors.py", "validation.py"}
+
+#: Builtin exception names that must not be raised directly elsewhere.
+FORBIDDEN_RAISES = {"ValueError", "ZeroDivisionError", "ArithmeticError"}
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    """True if the handler body contains a bare ``raise`` (re-raise)."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """The exception class name of ``raise X(...)`` / ``raise X``, if any."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def check_file(path: Path) -> list[str]:
+    """Return the lint violations for one source file."""
+    rel = path.relative_to(REPO) if path.is_relative_to(REPO) else path
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+    exempt = path.name in EXEMPT_FILES
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                violations.append(
+                    f"{rel}:{node.lineno}: bare 'except:' swallows everything "
+                    "— catch a ReproError subclass instead")
+            elif (isinstance(node.type, ast.Name)
+                  and node.type.id in ("Exception", "BaseException")
+                  and not _handler_reraises(node)):
+                violations.append(
+                    f"{rel}:{node.lineno}: 'except {node.type.id}:' without a "
+                    "re-raise — use the DiagnosticLog.capture() pattern "
+                    "(re-raise non-ReproError) or catch a specific type")
+        elif isinstance(node, ast.Raise) and not exempt:
+            name = _raised_name(node)
+            if name in FORBIDDEN_RAISES:
+                violations.append(
+                    f"{rel}:{node.lineno}: 'raise {name}' — raise "
+                    "repro.errors.DomainError (or another ReproError) so "
+                    "callers can catch failures uniformly")
+    return violations
+
+
+def main() -> int:
+    """Lint every python file under ``src/``; print violations."""
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        violations.extend(check_file(path))
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"\n{len(violations)} error-policy violation(s)", file=sys.stderr)
+        return 1
+    print(f"error-policy lint: clean ({len(list(SRC.rglob('*.py')))} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

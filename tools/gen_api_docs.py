@@ -33,6 +33,7 @@ SUBPACKAGES = [
     "repro.economics",
     "repro.analysis",
     "repro.obs",
+    "repro.robust",
     "repro.report",
 ]
 
