@@ -45,10 +45,18 @@ Subpackages
 ``repro.robust``
     Robustness: error policies for sweeps (RAISE/MASK/COLLECT), solver
     retry budgets, quarantine CSV loading, and fault injection.
+``repro.constants``
+    The paper-sourced numeric anchors (Eq. (6) fit, Table A1 / ITRS
+    cost figures) every other module imports instead of re-typing.
+``repro.lint``
+    Multi-pass static analysis enforcing the library's units, error,
+    policy, constants, API, and observability contracts
+    (``python -m repro.lint``).
 """
 
 from . import (  # noqa: F401
     analysis,
+    constants,
     cost,
     data,
     density,
@@ -56,6 +64,7 @@ from . import (  # noqa: F401
     economics,
     interconnect,
     layout,
+    lint,
     obs,
     optimize,
     report,
@@ -72,6 +81,7 @@ from .errors import (
     DomainError,
     InconsistentRecordError,
     LayoutError,
+    LintError,
     ReproError,
     UnitError,
     UnknownRecordError,
@@ -95,6 +105,8 @@ __all__ = [
     "report",
     "obs",
     "robust",
+    "constants",
+    "lint",
     "ReproError",
     "DomainError",
     "UnitError",
@@ -105,5 +117,6 @@ __all__ = [
     "ConvergenceError",
     "CollectedErrors",
     "LayoutError",
+    "LintError",
     "__version__",
 ]

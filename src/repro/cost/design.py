@@ -34,6 +34,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..constants import EQ6_A0, EQ6_P1, EQ6_P2, EQ6_SD0
 from ..errors import DomainError
 from ..obs.instrument import traced
 from ..validation import check_positive
@@ -57,10 +58,10 @@ class DesignCostModel:
         Full-custom density bound ``s_d0`` (paper value 100).
     """
 
-    a0: float = 1000.0
-    p1: float = 1.0
-    p2: float = 1.2
-    sd0: float = 100.0
+    a0: float = EQ6_A0
+    p1: float = EQ6_P1
+    p2: float = EQ6_P2
+    sd0: float = EQ6_SD0
 
     def __post_init__(self) -> None:
         check_positive(self.a0, "a0")

@@ -31,6 +31,11 @@ rationale.
 
 from __future__ import annotations
 
+from ..constants import (
+    ASSUMED_YIELD,
+    MANUFACTURING_COST_PER_CM2_USD,
+    MPU_DIE_COST_1999_USD,
+)
 from ..errors import UnknownRecordError
 from ..obs.provenance import record_provenance
 from .records import RoadmapNode
@@ -44,10 +49,8 @@ __all__ = [
     "ASSUMED_YIELD",
 ]
 
-#: Figure 3's cost anchors, quoted verbatim from §2.2.3 of the paper.
-MPU_DIE_COST_1999_USD = 34.0
-MANUFACTURING_COST_PER_CM2_USD = 8.0
-ASSUMED_YIELD = 0.8
+#: Figure 3's cost anchors are re-exported here for backward
+#: compatibility; :mod:`repro.constants` is their single home.
 
 #: Reconstructed ITRS-1999 ORTC, main nodes only (see module docstring).
 ITRS_1999: tuple[RoadmapNode, ...] = (

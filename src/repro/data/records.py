@@ -38,8 +38,9 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional
 
+from ..constants import MPU_DIE_COST_1999_USD
 from ..errors import InconsistentRecordError
-from ..units import um_to_cm
+from ..units import nm_to_cm, nm_to_um, um_to_cm
 
 __all__ = ["Provenance", "DeviceCategory", "DesignRecord", "RoadmapNode"]
 
@@ -248,18 +249,18 @@ class RoadmapNode:
     feature_nm: float
     mpu_transistors_m: float
     mpu_density_m_per_cm2: float
-    mpu_die_cost_usd: float = 34.0
+    mpu_die_cost_usd: float = MPU_DIE_COST_1999_USD
     note: str = ""
 
     @property
     def feature_um(self) -> float:
         """Feature size in µm."""
-        return self.feature_nm / 1.0e3
+        return nm_to_um(self.feature_nm)
 
     @property
     def feature_cm(self) -> float:
         """Feature size in cm."""
-        return self.feature_nm / 1.0e7
+        return nm_to_cm(self.feature_nm)
 
     def implied_sd(self) -> float:
         """``s_d`` implied by the roadmap's density target (Figure 2).

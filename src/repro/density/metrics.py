@@ -27,7 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import DomainError
-from ..units import um_to_cm
+from ..units import cm_to_um, um_to_cm
 from ..validation import check_positive
 
 __all__ = [
@@ -114,4 +114,4 @@ def feature_from_sd(sd, area_cm2, n_transistors):
     area_cm2 = check_positive(area_cm2, "area_cm2")
     n_transistors = check_positive(n_transistors, "n_transistors")
     feature_cm = np.sqrt(area_cm2 / (sd * n_transistors))
-    return feature_cm * 1.0e4
+    return cm_to_um(feature_cm)

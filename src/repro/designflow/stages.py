@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..constants import EQ6_SD0
 from ..errors import DomainError
 from ..validation import check_positive
 from .timing import normal_cdf
@@ -126,7 +127,7 @@ class StagedFlowModel:
 
     stages: tuple[Stage, ...] = DEFAULT_STAGES
     sigma0: float = 0.10
-    sd0: float = 100.0
+    sd0: float = EQ6_SD0
     margin_per_headroom: float = 0.35
     floor_probability: float = 1.0e-3
 

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..constants import EQ6_SD0
 from ..errors import DomainError
 from ..interconnect.delay import PredictionErrorModel
 from ..validation import check_positive
@@ -76,7 +77,7 @@ class TimingClosureModel:
     """
 
     prediction_error: PredictionErrorModel = PredictionErrorModel()
-    sd0: float = 100.0
+    sd0: float = EQ6_SD0
     margin_per_headroom: float = 0.35
     floor_probability: float = 1.0e-3
 

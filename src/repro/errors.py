@@ -29,6 +29,7 @@ __all__ = [
     "ConvergenceError",
     "CollectedErrors",
     "LayoutError",
+    "LintError",
 ]
 
 
@@ -113,3 +114,13 @@ class CollectedErrors(ReproError):
 
 class LayoutError(ReproError, ValueError):
     """A layout object is malformed (negative extent, empty cell, ...)."""
+
+
+class LintError(ReproError):
+    """The static analyzer could not run (bad config, unreadable tree).
+
+    Raised by :mod:`repro.lint` for *analyzer* failures — an unknown
+    rule id in the config, an unparseable baseline file, a scan root
+    with no python modules. Findings in the analyzed code are reported
+    as :class:`repro.lint.Finding` records, never as exceptions.
+    """

@@ -1,0 +1,77 @@
+"""Baseline file — accepted findings that do not fail the build.
+
+The committed baseline (``tools/lint_baseline.json``) records findings
+the team has explicitly accepted; the CLI subtracts them before
+deciding the exit code, so a new rule can land with its existing
+violations grandfathered while still failing on *new* ones. Matching
+is by :attr:`~repro.lint.findings.Finding.fingerprint` (rule + path +
+message, no line number) with multiplicity, so edits above a baselined
+site do not resurrect it but a second identical violation does fail.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from ..errors import LintError
+from .findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline"]
+
+#: Current baseline file schema version.
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path | str) -> Counter:
+    """Load a baseline file into a fingerprint multiset.
+
+    Raises
+    ------
+    LintError
+        If the file is not valid JSON or not a baseline document.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "findings" not in data:
+        raise LintError(f"baseline {path} lacks a 'findings' list")
+    if data.get("version", BASELINE_VERSION) != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} has unsupported version {data.get('version')!r}")
+    counter: Counter = Counter()
+    for record in data["findings"]:
+        counter[Finding.from_dict(record).fingerprint] += 1
+    return counter
+
+
+def write_baseline(path: Path | str, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable diffs)."""
+    path = Path(path)
+    document = {
+        "version": BASELINE_VERSION,
+        "tool": "repro.lint",
+        "findings": [f.to_dict() for f in sorted(findings, key=Finding.sort_key)],
+    }
+    path.write_text(json.dumps(document, indent=2, ensure_ascii=False) + "\n",
+                    encoding="utf-8")
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: Counter) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, baselined)`` against the multiset."""
+    budget = Counter(baseline)
+    fresh: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in findings:
+        if budget[finding.fingerprint] > 0:
+            budget[finding.fingerprint] -= 1
+            accepted.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, accepted

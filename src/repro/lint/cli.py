@@ -1,0 +1,115 @@
+"""Command-line driver: ``python -m repro.lint``.
+
+Exit-code contract:
+
+* ``0`` — no findings at ERROR severity after baseline/suppressions
+  (warnings are reported but do not fail; ``--strict`` makes them);
+* ``1`` — at least one failing finding;
+* ``2`` — the analyzer itself could not run (bad flag, bad config,
+  unreadable baseline), reported as a one-line ``error:`` on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import ReproError
+from . import baseline as baseline_mod
+from .findings import Severity
+from .manager import default_root, run_lint
+from .passes import DEFAULT_PASSES
+from .project import load_project
+from .reporters import render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for doc generation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Multi-pass static analyzer enforcing the repro "
+                    "library's units, error, policy, constants, API, and "
+                    "observability contracts.")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="package directory to scan (default: the "
+                             "installed repro package)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select", default="",
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file (default: tools/lint_baseline.json "
+                             "beside the discovered pyproject.toml)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept the current findings: rewrite the "
+                             "baseline file and exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on warnings too, not only errors")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _baseline_path(args, repo_root: Path | None) -> Path | None:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return args.baseline
+    if repo_root is not None:
+        default = repo_root / "tools" / "lint_baseline.json"
+        if default.is_file() or args.write_baseline:
+            return default
+    return None
+
+
+def _list_rules() -> str:
+    lines = ["rule      severity  pass              summary"]
+    for pss in DEFAULT_PASSES:
+        for spec in pss.rules:
+            lines.append(f"{spec.rule:<9} {spec.severity.label:<9} "
+                         f"{pss.name:<17} {spec.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the analyzer; returns the process exit code."""
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on bad flags already
+        return int(exc.code or 0)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        root = args.root if args.root is not None else default_root()
+        project = load_project(root)
+        select = tuple(r.strip() for r in args.select.split(",") if r.strip())
+        result = run_lint(root, select=select)
+        findings = list(result.findings)
+        base_path = _baseline_path(args, project.repo_root)
+        if args.write_baseline:
+            if base_path is None:
+                base_path = Path("lint_baseline.json")
+            base_path.parent.mkdir(parents=True, exist_ok=True)
+            baseline_mod.write_baseline(base_path, findings)
+            print(f"wrote {len(findings)} finding(s) to {base_path}")
+            return 0
+        baselined: list = []
+        if base_path is not None and base_path.is_file():
+            known = baseline_mod.load_baseline(base_path)
+            findings, baselined = baseline_mod.apply_baseline(findings, known)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, modules_scanned=result.modules_scanned,
+                 baselined=len(baselined), suppressed=result.suppressed))
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    failing = [f for f in findings if f.severity >= threshold]
+    return 1 if failing else 0

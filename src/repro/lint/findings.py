@@ -1,0 +1,117 @@
+"""Finding records and severities — the currency of the analyzer.
+
+Every checker pass emits :class:`Finding` records; the pass manager
+filters them (suppressions, baseline, config) and the reporters render
+them. A finding is a plain frozen dataclass so it serialises trivially
+to JSON and round-trips through the baseline file.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import LintError
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering is meaningful (``ERROR > WARNING``)."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, value: "Severity | str") -> "Severity":
+        """Coerce ``"error"``/``"warning"``/``"note"`` (any case) to a member."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls[str(value).strip().upper()]
+        except KeyError as exc:
+            known = ", ".join(m.name.lower() for m in cls)
+            raise LintError(
+                f"unknown severity {value!r}; expected one of: {known}") from exc
+
+    @property
+    def label(self) -> str:
+        """Lower-case name used in reports and config files."""
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule id, e.g. ``"UNITS001"``.
+    severity:
+        :class:`Severity` after any config override.
+    path:
+        Repo-root-relative posix path of the offending file.
+    line:
+        1-based line number (0 for file-level findings).
+    message:
+        Human-readable statement of the violation.
+    suggestion:
+        Optional remedy ("use um_to_cm from repro.units").
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    suggestion: str = field(default="")
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching.
+
+        Excludes the line number so that unrelated edits above a
+        baselined finding do not resurrect it.
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def format(self) -> str:
+        """Render the one-line text-report form."""
+        text = f"{self.path}:{self.line}: {self.severity.label}: {self.rule} {self.message}"
+        if self.suggestion:
+            text += f" [{self.suggestion}]"
+        return text
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used by the JSON reporter and baseline)."""
+        out = {
+            "rule": self.rule,
+            "severity": self.severity.label,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+        if self.suggestion:
+            out["suggestion"] = self.suggestion
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (tolerates missing suggestion)."""
+        try:
+            return cls(
+                rule=str(data["rule"]),
+                severity=Severity.parse(data.get("severity", "error")),
+                path=str(data["path"]),
+                line=int(data.get("line", 0)),
+                message=str(data["message"]),
+                suggestion=str(data.get("suggestion", "")),
+            )
+        except (KeyError, TypeError) as exc:
+            raise LintError(f"malformed finding record: {data!r}") from exc
+
+    def sort_key(self) -> tuple:
+        """Stable report order: path, line, rule."""
+        return (self.path, self.line, self.rule, self.message)

@@ -1,0 +1,155 @@
+"""Pass manager — run the checker passes and filter their findings.
+
+The manager owns the cross-cutting semantics every pass gets for free:
+``# lint: disable=`` suppression comments, per-rule path excludes,
+config severity overrides, select/ignore filters, and stable ordering.
+:func:`run_lint` is the one-call programmatic entry point the CLI and
+the test suite share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+from ..errors import LintError
+from .config import LintConfig, load_config
+from .findings import Finding, Severity
+from .passes import DEFAULT_PASSES, LintPass
+from .project import LintProject, load_project
+
+__all__ = ["PassManager", "LintResult", "run_lint"]
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one analyzer run.
+
+    Attributes
+    ----------
+    findings:
+        Findings that survived suppressions/filters (baseline is
+        applied by the CLI, not here).
+    suppressed:
+        Count removed by ``# lint: disable`` comments.
+    excluded:
+        Count removed by config path excludes.
+    modules_scanned:
+        Modules parsed in the project.
+    """
+
+    findings: tuple[Finding, ...]
+    suppressed: int = 0
+    excluded: int = 0
+    modules_scanned: int = 0
+
+    def at_least(self, severity: Severity) -> tuple[Finding, ...]:
+        """Findings at or above ``severity``."""
+        return tuple(f for f in self.findings if f.severity >= severity)
+
+
+@dataclass
+class PassManager:
+    """Run a pass suite over a project under a config.
+
+    Attributes
+    ----------
+    passes:
+        The checker passes to run (default: the built-in suite).
+    config:
+        Effective :class:`~repro.lint.config.LintConfig`.
+    """
+
+    passes: tuple[LintPass, ...] = DEFAULT_PASSES
+    config: LintConfig = field(default_factory=LintConfig)
+
+    def known_rules(self) -> dict[str, tuple[LintPass, str]]:
+        """Map rule id → (owning pass, summary)."""
+        catalog: dict[str, tuple[LintPass, str]] = {}
+        for pss in self.passes:
+            for spec in pss.rules:
+                catalog[spec.rule] = (pss, spec.summary)
+        return catalog
+
+    def run(self, project: LintProject) -> LintResult:
+        """Execute every pass; apply suppressions, excludes, overrides."""
+        raw: list[Finding] = []
+        for pss in self.passes:
+            raw.extend(pss.run(project, self.config))
+        by_display = {project.display_path(m): m for m in project.modules}
+        kept: list[Finding] = []
+        suppressed = excluded = 0
+        for finding in raw:
+            if not self.config.rule_enabled(finding.rule):
+                continue
+            module = by_display.get(finding.path)
+            if module is not None and module.is_suppressed(finding.rule,
+                                                           finding.line):
+                suppressed += 1
+                continue
+            if self._excluded(finding, module):
+                excluded += 1
+                continue
+            severity = self.config.severity_for(finding.rule, finding.severity)
+            if severity is not finding.severity:
+                finding = Finding(rule=finding.rule, severity=severity,
+                                  path=finding.path, line=finding.line,
+                                  message=finding.message,
+                                  suggestion=finding.suggestion)
+            kept.append(finding)
+        kept.sort(key=Finding.sort_key)
+        return LintResult(findings=tuple(kept), suppressed=suppressed,
+                          excluded=excluded,
+                          modules_scanned=len(project.modules))
+
+    def _excluded(self, finding: Finding, module) -> bool:
+        patterns = self.config.excludes.get(finding.rule, ())
+        if not patterns:
+            return False
+        candidates = [finding.path]
+        if module is not None:
+            candidates.append(module.rel)
+        return any(fnmatch(c, p) for c in candidates for p in patterns)
+
+
+def default_root() -> Path:
+    """The installed package directory — what ``python -m repro.lint`` scans."""
+    return Path(__file__).resolve().parents[1]
+
+
+def run_lint(root: Path | str | None = None, *,
+             config: LintConfig | None = None,
+             passes: tuple[LintPass, ...] | None = None,
+             select: tuple[str, ...] = ()) -> LintResult:
+    """Analyze ``root`` (default: the ``repro`` package) in one call.
+
+    Parameters
+    ----------
+    root:
+        Package directory to scan; defaults to the installed package.
+    config:
+        Explicit config; when omitted it is loaded from the
+        ``pyproject.toml`` discovered above ``root``.
+    passes:
+        Pass suite override (used by tests to isolate one pass).
+    select:
+        Convenience rule filter merged into the config.
+    """
+    root = Path(root) if root is not None else default_root()
+    project = load_project(root)
+    if config is None:
+        pyproject = (project.repo_root / "pyproject.toml"
+                     if project.repo_root is not None else None)
+        config = load_config(pyproject)
+    if select:
+        known = {spec.rule
+                 for pss in (passes or DEFAULT_PASSES) for spec in pss.rules}
+        unknown = set(select) - known
+        if unknown:
+            raise LintError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}")
+        config = LintConfig(**{**config.__dict__, "select": tuple(select)})
+    manager = PassManager(passes=passes or DEFAULT_PASSES, config=config)
+    return manager.run(project)

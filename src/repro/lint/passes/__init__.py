@@ -1,0 +1,40 @@
+"""The built-in checker passes.
+
+Each pass lives in its own module and registers one or more rule ids;
+:data:`DEFAULT_PASSES` is the suite the CLI runs. Adding a pass means
+subclassing :class:`~repro.lint.passes.base.LintPass`, declaring its
+:class:`~repro.lint.passes.base.RuleSpec` rows, and appending an
+instance here.
+"""
+
+from __future__ import annotations
+
+from .api_parity import ApiParityPass
+from .base import LintPass, RuleSpec
+from .constants import PaperConstantsPass
+from .error_taxonomy import ErrorTaxonomyPass
+from .obs_wiring import ObsWiringPass
+from .policy import PolicyThreadingPass
+from .units import UnitsPass
+
+__all__ = [
+    "LintPass",
+    "RuleSpec",
+    "UnitsPass",
+    "ErrorTaxonomyPass",
+    "PolicyThreadingPass",
+    "PaperConstantsPass",
+    "ApiParityPass",
+    "ObsWiringPass",
+    "DEFAULT_PASSES",
+]
+
+#: The default pass suite, in report order.
+DEFAULT_PASSES: tuple[LintPass, ...] = (
+    UnitsPass(),
+    ErrorTaxonomyPass(),
+    PolicyThreadingPass(),
+    PaperConstantsPass(),
+    ApiParityPass(),
+    ObsWiringPass(),
+)

@@ -1,0 +1,189 @@
+"""Checker-pass base class and shared AST helpers.
+
+A pass declares the rules it owns (:class:`RuleSpec`) and implements
+:meth:`LintPass.run` over a parsed :class:`~repro.lint.project.LintProject`.
+Passes only *emit* findings; suppression comments, baseline filtering,
+severity overrides and excludes are applied uniformly by the manager.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..findings import Finding, Severity
+from ..project import LintModule, LintProject
+
+__all__ = ["RuleSpec", "LintPass"]
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Metadata for one rule id owned by a pass.
+
+    Attributes
+    ----------
+    rule:
+        Id, e.g. ``"UNITS001"``.
+    severity:
+        Default severity (config can override).
+    summary:
+        One-line description for ``--list-rules`` and the docs catalog.
+    """
+
+    rule: str
+    severity: Severity
+    summary: str
+
+
+class LintPass(abc.ABC):
+    """One checker pass over the parsed project.
+
+    Subclasses set :attr:`name`, :attr:`rules` and implement
+    :meth:`run`. The helper :meth:`finding` builds records with the
+    rule's default severity and the module's display path filled in.
+    """
+
+    #: Short pass name used by ``--select`` and the progress output.
+    name: str = ""
+    #: The rule ids this pass can emit.
+    rules: tuple[RuleSpec, ...] = ()
+
+    def spec(self, rule: str) -> RuleSpec:
+        """The :class:`RuleSpec` for one of this pass's rule ids."""
+        for spec in self.rules:
+            if spec.rule == rule:
+                return spec
+        raise KeyError(rule)
+
+    @abc.abstractmethod
+    def run(self, project: LintProject, config) -> Iterator[Finding]:
+        """Yield findings over the whole project."""
+
+    def finding(self, project: LintProject, module: LintModule | None,
+                rule: str, line: int, message: str,
+                suggestion: str = "", path: str | None = None) -> Finding:
+        """Build a :class:`Finding` at a module location (or explicit path)."""
+        if path is None:
+            path = project.display_path(module) if module is not None else "<project>"
+        return Finding(rule=rule, severity=self.spec(rule).severity,
+                       path=path, line=line, message=message,
+                       suggestion=suggestion)
+
+
+def walk_with_parents(tree: ast.Module) -> Iterator[ast.AST]:
+    """``ast.walk`` that first annotates every node with ``._lint_parent``."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child._lint_parent = parent  # type: ignore[attr-defined]
+    return ast.walk(tree)
+
+
+def top_level_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Module-level function definitions (sync only — the library has no async API)."""
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            yield node
+
+
+def decorator_names(node: ast.FunctionDef | ast.ClassDef) -> Iterable[str]:
+    """Terminal names of a definition's decorators (``traced``, ``dataclass``...)."""
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            yield target.id
+        elif isinstance(target, ast.Attribute):
+            yield target.attr
+
+
+def called_names(node: ast.AST) -> Iterator[str]:
+    """Terminal names of every call inside ``node``'s subtree."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            target = sub.func
+            if isinstance(target, ast.Name):
+                yield target.id
+            elif isinstance(target, ast.Attribute):
+                yield target.attr
+
+
+def all_parameter_names(node: ast.FunctionDef) -> list[str]:
+    """Every parameter name of a function (positional, kw-only, varargs)."""
+    args = node.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def static_all(tree: ast.Module) -> tuple[list[str] | None, int]:
+    """Statically parse ``__all__`` from a module.
+
+    Returns ``(names, lineno)``; names is ``None`` when ``__all__`` is
+    absent or not a literal list/tuple of strings.
+    """
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)) and all(
+                        isinstance(e, ast.Constant) and isinstance(e.value, str)
+                        for e in value.elts):
+                    return [e.value for e in value.elts], node.lineno
+                return None, node.lineno
+    return None, 0
+
+
+def top_level_bindings(tree: ast.Module) -> set[str]:
+    """Names bound at module top level (defs, classes, assigns, imports)."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                names.update(_target_names(target))
+        elif isinstance(node, ast.AnnAssign):
+            names.update(_target_names(node.target))
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.If, ast.Try)):
+            # try/except import fallbacks and version gates bind too.
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            names.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        names.update(_target_names(target))
+    return names
+
+
+def _target_names(target: ast.AST) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: set[str] = set()
+        for elt in target.elts:
+            out |= _target_names(elt)
+        return out
+    return set()

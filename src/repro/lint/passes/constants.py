@@ -1,0 +1,96 @@
+"""Paper-constants pass — registered constants live in ``repro.constants``.
+
+Eq. (6)'s calibration (``A0=1000, p1=1.0, p2=1.2, s_d0=100``) and the
+Figure 3 anchors ($34 die, 8 $/cm², Y=0.8) are quoted once in the
+paper and must be bound once in the code. The
+:data:`repro.constants.PAPER_CONSTANT_ALIASES` registry maps the
+parameter names these values ride on; this pass flags any *binding* of
+a registered name to its raw literal outside the constants module:
+
+* ``CONST001`` — module-level assignment, dataclass field, or
+  parameter default re-binding a registered paper constant.
+
+Call-site keyword arguments (``yield_fraction=0.8`` at an operating
+point) are deliberately not flagged — those are inputs, not
+definitions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ...constants import PAPER_CONSTANT_ALIASES
+from ..findings import Finding, Severity
+from ..project import LintModule, LintProject
+from .base import LintPass, RuleSpec
+
+__all__ = ["PaperConstantsPass"]
+
+
+def _literal_value(node: ast.AST) -> float | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+class PaperConstantsPass(LintPass):
+    """Flag duplicated bindings of registered paper constants."""
+
+    name = "paper-constants"
+    rules = (
+        RuleSpec("CONST001", Severity.ERROR,
+                 "paper constant re-bound as a raw literal outside "
+                 "repro.constants"),
+    )
+
+    def run(self, project: LintProject, config) -> Iterator[Finding]:
+        """Check assignments, class fields, and defaults in every module."""
+        for module in project.modules:
+            if module.rel in config.constants_modules:
+                continue
+            yield from self._check_body(project, module, module.tree.body)
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_body(project, module, node.body)
+                elif isinstance(node, ast.FunctionDef):
+                    yield from self._check_defaults(project, module, node)
+
+    def _check_body(self, project: LintProject, module: LintModule,
+                    body) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None \
+                    and isinstance(stmt.target, ast.Name):
+                yield from self._check_binding(
+                    project, module, stmt.target.id, stmt.value)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        yield from self._check_binding(
+                            project, module, target.id, stmt.value)
+
+    def _check_defaults(self, project: LintProject, module: LintModule,
+                        fn: ast.FunctionDef) -> Iterator[Finding]:
+        args = fn.args
+        positional = [*args.posonlyargs, *args.args]
+        for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                                args.defaults):
+            yield from self._check_binding(project, module, arg.arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                yield from self._check_binding(project, module, arg.arg, default)
+
+    def _check_binding(self, project: LintProject, module: LintModule,
+                       name: str, value: ast.AST) -> Iterator[Finding]:
+        registered = PAPER_CONSTANT_ALIASES.get(name.lower())
+        if registered is None:
+            return
+        literal = _literal_value(value)
+        if literal is None or literal != registered.value:
+            return
+        yield self.finding(
+            project, module, "CONST001", value.lineno,
+            f"paper constant {name}={literal:g} ({registered.source}) "
+            "duplicated outside repro.constants",
+            suggestion=f"import {registered.symbol} from repro.constants")

@@ -1,0 +1,67 @@
+"""Obs-wiring pass — public model entry points sit on the obs grid.
+
+PR 1's convention (``docs/observability.md``): every public model
+evaluation is reachable by the tracer — decorated ``@traced`` or
+explicitly instrumented through the metrics/provenance APIs — so that
+``python -m repro --trace`` shows the real call tree, not a partial
+one. This pass audits the same entry-point population as the
+policy-threading pass, plus the single-point solvers (``optimal_*``):
+
+* ``OBS001`` — a public entry point in the configured packages is
+  neither ``@traced`` nor instrumented via
+  ``record_provenance``/metrics calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..project import LintProject
+from .base import (
+    LintPass,
+    RuleSpec,
+    called_names,
+    decorator_names,
+    top_level_functions,
+)
+from .policy import matches_entry_patterns
+
+__all__ = ["ObsWiringPass"]
+
+#: Calls that count as explicit instrumentation when ``@traced`` is absent.
+_INSTRUMENTATION_CALLS = frozenset({
+    "record_provenance", "observe", "set_gauge", "counter", "span",
+})
+
+
+class ObsWiringPass(LintPass):
+    """Flag uninstrumented public entry points in optimize/roadmap."""
+
+    name = "obs-wiring"
+    rules = (
+        RuleSpec("OBS001", Severity.ERROR,
+                 "public model entry point is neither @traced nor "
+                 "metrics-instrumented"),
+    )
+
+    def run(self, project: LintProject, config) -> Iterator[Finding]:
+        """Check entry-point functions in the configured packages."""
+        for module in project.modules:
+            if not module.rel.startswith(tuple(config.entry_packages)):
+                continue
+            for fn in top_level_functions(module.tree):
+                if fn.name.startswith("_"):
+                    continue
+                if not matches_entry_patterns(fn.name, config.obs_patterns):
+                    continue
+                if "traced" in set(decorator_names(fn)):
+                    continue
+                if _INSTRUMENTATION_CALLS & set(called_names(fn)):
+                    continue
+                yield self.finding(
+                    project, module, "OBS001", fn.lineno,
+                    f"entry point {fn.name}() is not observability-wired",
+                    suggestion="decorate with @traced (repro.obs.instrument) "
+                               "or record provenance/metrics explicitly")

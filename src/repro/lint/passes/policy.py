@@ -1,0 +1,75 @@
+"""Policy-threading pass — sweeps and scans must thread ``ErrorPolicy``.
+
+The robustness contract (PR 2, ``docs/robustness.md``) is that every
+multi-point evaluation — sweeps, series, reports, elasticities — lets
+the caller choose RAISE/MASK/COLLECT semantics via a ``policy=``
+keyword and actually forwards it. This pass audits the public entry
+points of the configured packages (``optimize/``, ``roadmap/`` by
+default; the sensitivity module lives under ``optimize/``):
+
+* ``POL001`` — the entry point does not accept a ``policy`` parameter;
+* ``POL002`` — it accepts one but never uses it (dead parameter).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..project import LintProject
+from .base import LintPass, RuleSpec, all_parameter_names, top_level_functions
+
+__all__ = ["PolicyThreadingPass"]
+
+
+def matches_entry_patterns(name: str, patterns) -> bool:
+    """True when a function name matches any configured entry-point regex."""
+    return any(re.search(p, name) for p in patterns)
+
+
+class PolicyThreadingPass(LintPass):
+    """Audit sweep/scan entry points for ``policy=`` acceptance and use."""
+
+    name = "policy-threading"
+    rules = (
+        RuleSpec("POL001", Severity.ERROR,
+                 "sweep/scan entry point does not accept policy="),
+        RuleSpec("POL002", Severity.ERROR,
+                 "policy parameter accepted but never forwarded"),
+    )
+
+    def run(self, project: LintProject, config) -> Iterator[Finding]:
+        """Check public entry-point functions in the configured packages."""
+        for module in project.modules:
+            if not module.rel.startswith(tuple(config.entry_packages)):
+                continue
+            for fn in top_level_functions(module.tree):
+                if fn.name.startswith("_"):
+                    continue
+                if not matches_entry_patterns(fn.name, config.policy_patterns):
+                    continue
+                params = all_parameter_names(fn)
+                if "policy" not in params:
+                    yield self.finding(
+                        project, module, "POL001", fn.lineno,
+                        f"entry point {fn.name}() does not accept policy=",
+                        suggestion="add policy: ErrorPolicy = ErrorPolicy.RAISE "
+                                   "and thread it through the evaluation")
+                elif not self._uses_policy(fn):
+                    yield self.finding(
+                        project, module, "POL002", fn.lineno,
+                        f"{fn.name}() accepts policy= but never uses it",
+                        suggestion="forward policy to the per-point evaluation "
+                                   "(DiagnosticLog / downstream call)")
+
+    @staticmethod
+    def _uses_policy(fn: ast.FunctionDef) -> bool:
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and node.id == "policy" \
+                    and isinstance(node.ctx, ast.Load):
+                return True
+            if isinstance(node, ast.keyword) and node.arg == "policy":
+                return True
+        return False

@@ -1,0 +1,96 @@
+"""Units pass — unit-conversion literals belong in ``repro.units`` only.
+
+The library's central identity ``s_d = A_ch/(N_tr·λ²)`` is only
+dimensionless because every length is carried in cm; the conversion
+factors (``1e4`` µm/cm, ``1e7`` nm/cm) are allowed to appear exactly
+once, in ``units.py``. This pass flags the two ways the discipline
+erodes:
+
+* ``UNITS001`` — multiplying or dividing by a cm↔µm/nm conversion
+  factor (``1e4``, ``1e-4``, ``1e7``, ``1e-7``) outside the units
+  module;
+* ``UNITS002`` — µm/nm-named quantities scaled by ``1e3``/``1e-3``
+  (a µm↔nm conversion spelled inline). Heuristic, so it defaults to
+  *warning* severity.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..project import LintProject
+from .base import LintPass, RuleSpec
+
+__all__ = ["UnitsPass"]
+
+#: cm↔µm / cm↔nm conversion factors — unambiguous length conversions.
+_LENGTH_FACTORS = (1.0e4, 1.0e-4, 1.0e7, 1.0e-7)
+#: µm↔nm factors; only flagged next to a length-named operand.
+_KILO_FACTORS = (1.0e3, 1.0e-3)
+#: Operand names that mark a quantity as a length in µm/nm.
+_LENGTH_NAME_RE = re.compile(r"(^|_)(um|nm|micron|feature)($|_)", re.IGNORECASE)
+
+
+def _operand_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _factor_value(node: ast.AST) -> float | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)) \
+            and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+class UnitsPass(LintPass):
+    """Flag inline unit-conversion arithmetic outside the units module."""
+
+    name = "units"
+    rules = (
+        RuleSpec("UNITS001", Severity.ERROR,
+                 "cm↔µm/nm conversion factor (1e4/1e-4/1e7/1e-7) used "
+                 "outside the units module"),
+        RuleSpec("UNITS002", Severity.WARNING,
+                 "µm/nm-named quantity scaled by 1e3/1e-3 inline "
+                 "(µm↔nm conversion outside the units module)"),
+    )
+
+    def run(self, project: LintProject, config) -> Iterator[Finding]:
+        """Scan every binary multiply/divide for conversion-factor literals."""
+        for module in project.modules:
+            if module.path.name in config.units_modules:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.BinOp) or not isinstance(
+                        node.op, (ast.Mult, ast.Div)):
+                    continue
+                for operand, other in ((node.left, node.right),
+                                       (node.right, node.left)):
+                    value = _factor_value(operand)
+                    if value is None:
+                        continue
+                    if value in _LENGTH_FACTORS:
+                        yield self.finding(
+                            project, module, "UNITS001", node.lineno,
+                            f"unit-conversion factor {value:g} outside the "
+                            "units module",
+                            suggestion="convert via repro.units (um_to_cm, "
+                                       "cm_to_um, nm_to_cm, ...)")
+                        break
+                    name = _operand_name(other)
+                    if value in _KILO_FACTORS and name is not None \
+                            and _LENGTH_NAME_RE.search(name):
+                        yield self.finding(
+                            project, module, "UNITS002", node.lineno,
+                            f"{name!r} scaled by {value:g} looks like an "
+                            "inline µm↔nm conversion",
+                            suggestion="convert via repro.units (nm_to_um, "
+                                       "um_to_nm)")
+                        break

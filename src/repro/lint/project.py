@@ -1,0 +1,191 @@
+"""Project loader — parse the package once, annotate, share across passes.
+
+:func:`load_project` walks a package root, parses every module into an
+AST exactly once, and records the suppression comments
+(``# lint: disable=RULE`` / ``# lint: disable-file=RULE``) so the pass
+manager can honour them without re-tokenising per pass. Passes receive
+the resulting :class:`LintProject` and never touch the filesystem.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import LintError
+
+__all__ = ["LintModule", "LintProject", "load_project"]
+
+#: ``# lint: disable=RULE[,RULE...]`` — suppress on this (or next) line.
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_*,\s]+)")
+#: ``# lint: disable-file=RULE[,RULE...]`` — suppress for the whole file.
+_DISABLE_FILE_RE = re.compile(r"#\s*lint:\s*disable-file=([A-Za-z0-9_*,\s]+)")
+
+
+def _rule_set(spec: str) -> frozenset[str]:
+    return frozenset(r.strip() for r in spec.split(",") if r.strip())
+
+
+@dataclass(frozen=True)
+class LintModule:
+    """One parsed source module.
+
+    Attributes
+    ----------
+    path:
+        Absolute filesystem path.
+    rel:
+        Posix path relative to the scanned package root
+        (``"optimize/sweep.py"``) — the key passes and excludes match on.
+    name:
+        Dotted module name under the package (``"optimize.sweep"``).
+    source:
+        Raw source text.
+    tree:
+        Parsed :class:`ast.Module`.
+    line_suppressions:
+        Line number → rule ids suppressed on that line (``"*"`` = all).
+    file_suppressions:
+        Rule ids suppressed for the whole file.
+    """
+
+    path: Path
+    rel: str
+    name: str
+    source: str
+    tree: ast.Module
+    line_suppressions: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_suppressions: frozenset[str] = field(default_factory=frozenset)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True if ``rule`` is disabled at ``line`` (or file-wide)."""
+        if rule in self.file_suppressions or "*" in self.file_suppressions:
+            return True
+        rules = self.line_suppressions.get(line, frozenset())
+        return rule in rules or "*" in rules
+
+
+@dataclass(frozen=True)
+class LintProject:
+    """The fully parsed scan target shared by every pass.
+
+    Attributes
+    ----------
+    root:
+        Package source root that was scanned (e.g. ``src/repro``).
+    repo_root:
+        Enclosing repository root when discoverable (directory holding
+        ``pyproject.toml``); passes that cross-check non-python
+        artifacts (``docs/API.md``) use it and skip when ``None``.
+    modules:
+        Parsed modules, sorted by relative path.
+    """
+
+    root: Path
+    repo_root: Path | None
+    modules: tuple[LintModule, ...]
+
+    def module_at(self, rel: str) -> LintModule | None:
+        """Look up a module by package-relative posix path."""
+        for module in self.modules:
+            if module.rel == rel:
+                return module
+        return None
+
+    def display_path(self, module: LintModule) -> str:
+        """Path to report for ``module``: repo-relative when possible."""
+        if self.repo_root is not None:
+            try:
+                return module.path.relative_to(self.repo_root).as_posix()
+            except ValueError:
+                pass
+        return module.rel
+
+
+def _suppressions(source: str) -> tuple[dict[int, frozenset[str]], frozenset[str]]:
+    """Extract suppression comments via the token stream.
+
+    A disable comment on a code line applies to that line; a comment on
+    a line of its own applies to the *next* line (so it can sit above
+    the statement it silences). ``disable-file`` applies everywhere.
+    """
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - ast parsed already
+        tokens = []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DISABLE_FILE_RE.search(tok.string)
+        if match:
+            file_wide |= _rule_set(match.group(1))
+            continue
+        match = _DISABLE_RE.search(tok.string)
+        if not match:
+            continue
+        rules = _rule_set(match.group(1))
+        lineno = tok.start[0]
+        own_line = lines[lineno - 1].lstrip().startswith("#") if lineno <= len(lines) else False
+        target = lineno + 1 if own_line else lineno
+        per_line.setdefault(target, set()).update(rules)
+    return ({line: frozenset(rules) for line, rules in per_line.items()},
+            frozenset(file_wide))
+
+
+def _find_repo_root(start: Path) -> Path | None:
+    for candidate in (start, *start.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
+def load_project(root: Path | str, repo_root: Path | str | None = None) -> LintProject:
+    """Parse every ``*.py`` under ``root`` into a :class:`LintProject`.
+
+    Parameters
+    ----------
+    root:
+        Package source directory to scan recursively.
+    repo_root:
+        Repository root; auto-discovered by walking up from ``root``
+        looking for ``pyproject.toml`` when omitted.
+
+    Raises
+    ------
+    LintError
+        If ``root`` does not exist, contains no python modules, or a
+        module fails to parse (the analyzer cannot produce trustworthy
+        findings from a half-parsed tree).
+    """
+    root = Path(root).resolve()
+    if not root.is_dir():
+        raise LintError(f"lint root {root} is not a directory")
+    repo = Path(repo_root).resolve() if repo_root is not None else _find_repo_root(root)
+    modules = []
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        rel = path.relative_to(root).as_posix()
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {rel}: {exc}") from exc
+        per_line, file_wide = _suppressions(source)
+        name = rel[:-3].replace("/", ".")
+        if name.endswith(".__init__"):
+            name = name[: -len(".__init__")]
+        modules.append(LintModule(
+            path=path, rel=rel, name=name, source=source, tree=tree,
+            line_suppressions=per_line, file_suppressions=file_wide,
+        ))
+    if not modules:
+        raise LintError(f"no python modules found under {root}")
+    return LintProject(root=root, repo_root=repo, modules=tuple(modules))

@@ -1,0 +1,59 @@
+"""Reporters — render a lint run as text or JSON.
+
+The text form is the human default (``path:line: severity: RULE
+message``, grouped summary line at the end); the JSON form is the
+machine contract CI consumes (``--format json``), schema-versioned so
+downstream tooling can evolve.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .findings import Finding, Severity
+
+__all__ = ["render_text", "render_json"]
+
+#: JSON report schema version.
+REPORT_VERSION = 1
+
+
+def render_text(findings: list[Finding], *, modules_scanned: int = 0,
+                baselined: int = 0, suppressed: int = 0) -> str:
+    """One line per finding plus a summary tail."""
+    lines = [f.format() for f in sorted(findings, key=Finding.sort_key)]
+    by_severity = Counter(f.severity for f in findings)
+    tail = ", ".join(
+        f"{by_severity[sev]} {sev.label}(s)"
+        for sev in sorted(by_severity, reverse=True)) or "clean"
+    summary = f"repro.lint: {tail} across {modules_scanned} module(s)"
+    extras = []
+    if baselined:
+        extras.append(f"{baselined} baselined")
+    if suppressed:
+        extras.append(f"{suppressed} suppressed")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], *, modules_scanned: int = 0,
+                baselined: int = 0, suppressed: int = 0) -> str:
+    """The machine-readable report CI parses."""
+    document = {
+        "version": REPORT_VERSION,
+        "tool": "repro.lint",
+        "summary": {
+            "modules_scanned": modules_scanned,
+            "findings": len(findings),
+            "errors": sum(1 for f in findings if f.severity >= Severity.ERROR),
+            "warnings": sum(1 for f in findings
+                            if f.severity == Severity.WARNING),
+            "baselined": baselined,
+            "suppressed": suppressed,
+        },
+        "findings": [f.to_dict() for f in sorted(findings, key=Finding.sort_key)],
+    }
+    return json.dumps(document, indent=2, ensure_ascii=False)

@@ -33,6 +33,8 @@ from dataclasses import dataclass, replace
 from ..cost.generalized import GeneralizedCostModel
 from ..errors import DomainError
 from ..interconnect.delay import PredictionErrorModel
+from ..obs.instrument import traced
+from ..robust.policy import DiagnosticLog, ErrorPolicy
 from ..validation import check_positive
 
 __all__ = ["NodeChoice", "evaluate_nodes", "optimal_node", "DEFAULT_NODE_LADDER_UM"]
@@ -87,6 +89,9 @@ def _node_scaled_model(model: GeneralizedCostModel, feature_um: float,
 def _unit_cost(model: GeneralizedCostModel, sd: float, n_transistors: float,
                feature_um: float, n_units: float) -> tuple[float, float, float, float, float]:
     """(total, silicon, development, wafers, yield) per unit at (node, sd)."""
+    # um_to_cm divides by 1e4; rewriting this multiply as a divide is
+    # not bit-identical for ladder nodes (e.g. 0.35, 0.13 µm).
+    # lint: disable=UNITS001
     die_area = n_transistors * sd * (feature_um * 1e-4) ** 2
     # Self-consistent wafer count: yield depends on volume (learning),
     # volume depends on yield. Two fixed-point sweeps converge amply.
@@ -135,6 +140,7 @@ def _optimise_sd(model: GeneralizedCostModel, n_transistors: float,
     return sd_opt, _unit_cost(model, sd_opt, n_transistors, feature_um, n_units)
 
 
+@traced(equation="7")
 def evaluate_nodes(
     model: GeneralizedCostModel,
     n_transistors: float,
@@ -143,6 +149,8 @@ def evaluate_nodes(
     error_model: PredictionErrorModel | None = None,
     reference_um: float = 0.18,
     sd_max: float = 5000.0,
+    policy: ErrorPolicy = ErrorPolicy.RAISE,
+    diagnostics: list | None = None,
 ) -> list[NodeChoice]:
     """Per-unit cost at every candidate node, ``s_d`` co-optimised.
 
@@ -160,18 +168,32 @@ def evaluate_nodes(
     error_model:
         §2.4 prediction-error model driving the design-cost node
         scaling (default :class:`PredictionErrorModel`).
+    policy:
+        Under ``ErrorPolicy.MASK`` a node whose co-optimisation fails
+        is dropped from the returned list (plus a
+        :class:`repro.robust.Diagnostic` in the optional
+        ``diagnostics`` list) instead of aborting the ladder; COLLECT
+        raises the aggregate after every node was tried.
     """
     check_positive(n_units, "n_units")
     nodes_um = tuple(nodes_um)
     if not nodes_um:
         raise DomainError("need at least one candidate node")
+    policy = ErrorPolicy.coerce(policy)
+    log = DiagnosticLog(policy, "optimize.node_choice.evaluate_nodes",
+                        equation="7")
     error_model = error_model if error_model is not None else PredictionErrorModel()
     choices = []
-    for feature in nodes_um:
-        scaled = _node_scaled_model(model, feature, error_model, reference_um)
-        sd_opt, (total, silicon, development, wafers, y) = _optimise_sd(
-            scaled, n_transistors, feature, n_units, sd_max)
-        scale = error_model.sigma(feature) / error_model.sigma(reference_um)
+    for i, feature in enumerate(nodes_um):
+        try:
+            scaled = _node_scaled_model(model, feature, error_model, reference_um)
+            sd_opt, (total, silicon, development, wafers, y) = _optimise_sd(
+                scaled, n_transistors, feature, n_units, sd_max)
+            scale = error_model.sigma(feature) / error_model.sigma(reference_um)
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter="feature_um", value=feature, index=i):
+                raise
+            continue
         choices.append(NodeChoice(
             feature_um=float(feature),
             sd_opt=float(sd_opt),
@@ -182,9 +204,13 @@ def evaluate_nodes(
             yield_at_opt=float(y),
             design_cost_scale=float(scale),
         ))
+    collected = log.finish()
+    if diagnostics is not None:
+        diagnostics.extend(collected)
     return choices
 
 
+@traced(equation="7")
 def optimal_node(
     model: GeneralizedCostModel,
     n_transistors: float,
@@ -193,8 +219,17 @@ def optimal_node(
     error_model: PredictionErrorModel | None = None,
     reference_um: float = 0.18,
     sd_max: float = 5000.0,
+    policy: ErrorPolicy = ErrorPolicy.RAISE,
 ) -> NodeChoice:
-    """The cheapest node per unit for this design at this volume."""
+    """The cheapest node per unit for this design at this volume.
+
+    ``policy`` is threaded to :func:`evaluate_nodes`; under MASK the
+    minimum is taken over the surviving nodes, and
+    :class:`repro.errors.DomainError` is raised if none survive.
+    """
     choices = evaluate_nodes(model, n_transistors, n_units, nodes_um,
-                             error_model, reference_um, sd_max)
+                             error_model, reference_um, sd_max, policy=policy)
+    if not choices:
+        raise DomainError(
+            "no candidate node could be evaluated (all masked as failures)")
     return min(choices, key=lambda c: c.cost_per_unit)

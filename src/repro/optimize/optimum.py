@@ -153,6 +153,7 @@ def optimal_sd_generalized(
                          bracket=(lo, sd_max), attempts=attempts)
 
 
+@traced(equation="4")
 def optimal_sd_condition(
     model: TotalCostModel,
     sd: float,

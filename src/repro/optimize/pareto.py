@@ -19,6 +19,7 @@ import numpy as np
 from ..cost.total import TotalCostModel
 from ..density.metrics import area_from_sd
 from ..errors import DomainError
+from ..obs.instrument import traced
 from ..robust.policy import DiagnosticLog, ErrorPolicy
 from .sweep import sd_grid
 
@@ -39,6 +40,7 @@ class DesignPoint:
         return (self.die_area_cm2, self.transistor_cost_usd, self.design_cost_usd)
 
 
+@traced(equation="4")
 def evaluate_points(
     model: TotalCostModel,
     n_transistors: float,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, replace
 
 from ..cost.total import TotalCostModel
 from ..errors import DomainError
+from ..obs.instrument import traced
 from ..robust.policy import DiagnosticLog, ErrorPolicy
 from .optimum import optimal_sd
 
@@ -87,6 +88,7 @@ def _base_value(model: TotalCostModel, point: dict, parameter: str) -> float:
     )
 
 
+@traced(equation="4")
 def parameter_elasticities(
     model: TotalCostModel,
     point: dict,
@@ -138,6 +140,7 @@ def parameter_elasticities(
     return out
 
 
+@traced(equation="4")
 def tornado(
     model: TotalCostModel,
     point: dict,

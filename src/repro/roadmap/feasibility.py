@@ -17,11 +17,14 @@ observed trends must be changed".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..data.records import RoadmapNode
 from ..data.registry import DesignRegistry
 from ..density.trends import sd_vs_feature_fit
+from ..obs.instrument import traced
+from ..robust.policy import DiagnosticLog, ErrorPolicy
 from .constant_cost import (
     PAPER_FIGURE3_ASSUMPTIONS,
     ConstantCostAssumptions,
@@ -58,25 +61,47 @@ class FeasibilityPoint:
         return self.gap_vs_constant_cost
 
 
+@traced(equation="3")
 def feasibility_report(
     registry: DesignRegistry,
     nodes: list[RoadmapNode],
     assumptions: ConstantCostAssumptions = PAPER_FIGURE3_ASSUMPTIONS,
+    policy: ErrorPolicy = ErrorPolicy.RAISE,
+    diagnostics: list | None = None,
 ) -> list[FeasibilityPoint]:
     """Join Figures 1-3 into a per-node feasibility table.
 
     The industrial trend is the Table A1 power-law fit
     ``s_d = c·λ^p`` (p < 0) evaluated at each node's feature size —
     i.e. "what s_d will industry ship at this node if nothing changes".
+
+    Under ``policy=ErrorPolicy.MASK`` a node whose evaluation fails
+    becomes an all-NaN :class:`FeasibilityPoint` (plus a
+    :class:`repro.robust.Diagnostic` in the optional ``diagnostics``
+    list) instead of killing the report; COLLECT raises the aggregate
+    at the end.
     """
+    policy = ErrorPolicy.coerce(policy)
+    log = DiagnosticLog(policy, "roadmap.feasibility.feasibility_report",
+                        equation="3")
     fit = sd_vs_feature_fit(registry)
     points = []
-    for node in sorted(nodes, key=lambda n: n.year):
-        sd_trend = float(fit.predict(node.feature_um))
-        points.append(FeasibilityPoint(
-            node=node,
-            sd_industrial_trend=sd_trend,
-            sd_roadmap_implied=node.implied_sd(),
-            sd_constant_cost=constant_cost_sd(node, assumptions),
-        ))
+    for i, node in enumerate(sorted(nodes, key=lambda n: n.year)):
+        try:
+            sd_trend = float(fit.predict(node.feature_um))
+            points.append(FeasibilityPoint(
+                node=node,
+                sd_industrial_trend=sd_trend,
+                sd_roadmap_implied=node.implied_sd(),
+                sd_constant_cost=constant_cost_sd(node, assumptions),
+            ))
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter="year", value=node.year, index=i):
+                raise
+            points.append(FeasibilityPoint(
+                node=node, sd_industrial_trend=math.nan,
+                sd_roadmap_implied=math.nan, sd_constant_cost=math.nan))
+    collected = log.finish()
+    if diagnostics is not None:
+        diagnostics.extend(collected)
     return points

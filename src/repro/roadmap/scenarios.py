@@ -27,8 +27,14 @@ from typing import Callable
 
 import math
 
+from ..constants import (
+    ASSUMED_YIELD,
+    MANUFACTURING_COST_PER_CM2_USD,
+    MPU_DIE_COST_1999_USD,
+)
 from ..data.records import RoadmapNode
 from ..errors import DomainError
+from ..obs.instrument import traced
 from ..robust.policy import DiagnosticLog, ErrorPolicy
 from ..wafer.cost import WaferCostModel
 from ..yieldmodels.composite import CompositeYield
@@ -56,7 +62,7 @@ class Scenario:
     name: str
     cost_per_cm2: Callable[[RoadmapNode], float]
     yield_fraction: Callable[[RoadmapNode], float]
-    die_cost_usd: float = 34.0
+    die_cost_usd: float = MPU_DIE_COST_1999_USD
 
     def assumptions_at(self, node: RoadmapNode) -> ConstantCostAssumptions:
         """Materialise the per-node :class:`ConstantCostAssumptions`."""
@@ -70,8 +76,8 @@ class Scenario:
 def _paper_optimistic() -> Scenario:
     return Scenario(
         name="paper-optimistic",
-        cost_per_cm2=lambda node: 8.0,
-        yield_fraction=lambda node: 0.8,
+        cost_per_cm2=lambda node: MANUFACTURING_COST_PER_CM2_USD,
+        yield_fraction=lambda node: ASSUMED_YIELD,
     )
 
 
@@ -128,6 +134,7 @@ def scenario(name: str) -> Scenario:
             f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}") from exc
 
 
+@traced(equation="3")
 def scenario_series(nodes: list[RoadmapNode], scn: Scenario,
                     policy: ErrorPolicy = ErrorPolicy.RAISE,
                     diagnostics: list | None = None) -> list[ConstantCostPoint]:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..constants import MANUFACTURING_COST_PER_CM2_USD
 from ..validation import check_fraction, check_nonnegative, check_positive
 from .specs import WAFER_200MM, WaferSpec
 
@@ -71,7 +72,7 @@ class WaferCostModel:
         Default 0.6.
     """
 
-    base_cost_per_cm2: float = 8.0
+    base_cost_per_cm2: float = MANUFACTURING_COST_PER_CM2_USD
     reference_feature_um: float = 0.18
     feature_exponent: float = 0.9
     reference_wafer: WaferSpec = WAFER_200MM

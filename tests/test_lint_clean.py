@@ -1,0 +1,63 @@
+"""The shipped tree must be finding-free at default severity.
+
+This is the analyzer's standing acceptance test: ``python -m
+repro.lint`` exits 0 on the repository, the committed baseline is
+empty, and the rule catalog in ``docs/static_analysis.md`` covers every
+registered rule id.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import DEFAULT_PASSES, run_lint
+from repro.lint.findings import Severity
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def test_shipped_tree_is_finding_free():
+    result = run_lint()
+    assert result.findings == (), "\n".join(
+        f.format() for f in result.findings)
+    assert result.modules_scanned > 90
+
+
+def test_cli_exits_zero_on_repo():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--format", "json"],
+        capture_output=True, text=True, cwd=REPO,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"})
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    doc = json.loads(proc.stdout)
+    assert doc["summary"]["errors"] == 0
+    assert doc["summary"]["findings"] == 0
+
+
+def test_committed_baseline_is_empty():
+    baseline = json.loads((REPO / "tools" / "lint_baseline.json").read_text())
+    assert baseline["version"] == 1
+    assert baseline["findings"] == []
+
+
+def test_docs_catalog_covers_every_rule():
+    catalog = (REPO / "docs" / "static_analysis.md").read_text()
+    for lint_pass in DEFAULT_PASSES:
+        for spec in lint_pass.rules:
+            assert spec.rule in catalog, f"{spec.rule} missing from docs"
+
+
+def test_every_pass_registers_rules_with_severities():
+    seen = set()
+    for lint_pass in DEFAULT_PASSES:
+        assert lint_pass.name
+        assert lint_pass.rules
+        for spec in lint_pass.rules:
+            assert spec.rule not in seen, f"duplicate rule id {spec.rule}"
+            seen.add(spec.rule)
+            assert isinstance(spec.severity, Severity)
+    assert len(seen) >= 6

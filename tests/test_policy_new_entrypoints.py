@@ -1,0 +1,90 @@
+"""Policy threading added to node-choice and feasibility entry points.
+
+The static-analysis pass POL001 now requires ``evaluate_nodes``,
+``optimal_node`` and ``feasibility_report`` to accept and honour an
+:class:`~repro.robust.policy.ErrorPolicy`; these tests pin the runtime
+semantics the lint rule promises.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cost import DEFAULT_GENERALIZED_MODEL
+from repro.data.itrs1999 import load_itrs_1999
+from repro.data.registry import DesignRegistry
+from repro.errors import CollectedErrors, DomainError, ReproError
+from repro.optimize.node_choice import evaluate_nodes, optimal_node
+from repro.robust.policy import ErrorPolicy
+from repro.roadmap import feasibility as feasibility_mod
+from repro.roadmap.feasibility import feasibility_report
+
+#: 0.18 µm is fine; a non-positive "node" makes the §2.4 sigma scaling
+#: raise DomainError, exercising the per-node failure path.
+MIXED_LADDER = (0.18, -1.0)
+
+
+def test_evaluate_nodes_raise_policy_propagates():
+    with pytest.raises(ReproError):
+        evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6,
+                       nodes_um=MIXED_LADDER)
+
+
+def test_evaluate_nodes_mask_drops_failing_node():
+    diags: list = []
+    choices = evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6,
+                             nodes_um=MIXED_LADDER, policy="mask",
+                             diagnostics=diags)
+    assert [c.feature_um for c in choices] == [0.18]
+    assert len(diags) == 1
+    assert diags[0].parameter == "feature_um"
+    assert diags[0].value == -1.0
+
+
+def test_evaluate_nodes_collect_aggregates():
+    with pytest.raises(CollectedErrors) as err:
+        evaluate_nodes(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6,
+                       nodes_um=MIXED_LADDER, policy="collect")
+    assert len(err.value.diagnostics) == 1
+
+
+def test_optimal_node_threads_policy_and_guards_empty():
+    best = optimal_node(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6,
+                        nodes_um=MIXED_LADDER, policy=ErrorPolicy.MASK)
+    assert best.feature_um == 0.18
+    with pytest.raises(DomainError, match="no candidate node"):
+        optimal_node(DEFAULT_GENERALIZED_MODEL, 1e7, 1e6,
+                     nodes_um=(-1.0,), policy=ErrorPolicy.MASK)
+
+
+def test_feasibility_report_mask_yields_nan_point(monkeypatch):
+    nodes = list(load_itrs_1999())
+    registry = DesignRegistry.table_a1()
+    real = feasibility_mod.constant_cost_sd
+
+    def failing(node, assumptions):
+        if node.year == nodes[-1].year:
+            raise DomainError("injected node failure")
+        return real(node, assumptions)
+
+    monkeypatch.setattr(feasibility_mod, "constant_cost_sd", failing)
+    with pytest.raises(DomainError, match="injected"):
+        feasibility_report(registry, nodes)
+    diags: list = []
+    points = feasibility_report(registry, nodes, policy="mask",
+                                diagnostics=diags)
+    assert len(points) == len(nodes)
+    assert math.isnan(points[-1].sd_constant_cost)
+    assert all(math.isfinite(p.sd_constant_cost) for p in points[:-1])
+    assert len(diags) == 1 and diags[0].parameter == "year"
+
+
+def test_feasibility_report_default_unchanged():
+    nodes = list(load_itrs_1999())
+    registry = DesignRegistry.table_a1()
+    baseline = feasibility_report(registry, nodes)
+    masked = feasibility_report(registry, nodes, policy=ErrorPolicy.MASK)
+    assert [p.sd_constant_cost for p in baseline] == \
+        [p.sd_constant_cost for p in masked]

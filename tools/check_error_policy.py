@@ -1,24 +1,16 @@
 #!/usr/bin/env python3
-"""AST lint enforcing the error-policy contract in ``src/``.
+"""DEPRECATED shim over ``repro.lint``'s error-taxonomy pass.
 
-The robustness layer (``repro.robust``, see docs/robustness.md) only
-works if failures surface as :class:`repro.errors.ReproError`
-subclasses and are never silently swallowed. This lint walks every
-module under ``src/`` and fails on:
+This script used to carry its own AST walker; that logic now lives in
+:class:`repro.lint.passes.error_taxonomy.ErrorTaxonomyPass` (rules
+ERR001/ERR002/ERR003), where it runs as part of the full analyzer
+(``python -m repro.lint``). The shim is kept so existing entry points —
+``python tools/check_error_policy.py`` and
+``tests/test_error_policy_lint.py`` — keep working with the same
+``check_file(path) -> list[str]`` / ``main() -> int`` contract and the
+same message vocabulary. Prefer the framework CLI for new wiring:
 
-* **bare ``except:``** — swallows ``KeyboardInterrupt`` and hides bugs;
-* **``except Exception`` that never re-raises** — a blanket handler is
-  only acceptable in the policy-capture pattern, where non-ReproError
-  exceptions are re-raised via a bare ``raise``;
-* **``raise ValueError`` / ``raise ZeroDivisionError`` /
-  ``raise ArithmeticError``** outside ``errors.py`` and
-  ``validation.py`` — domain failures must be ``DomainError`` (which
-  still subclasses ``ValueError`` for compatibility) so callers can
-  catch ``ReproError`` uniformly.
-
-Usage:  python tools/check_error_policy.py  (exit 0 clean, 1 violations)
-
-Wired into the suite as ``tests/test_error_policy_lint.py``.
+    PYTHONPATH=src python -m repro.lint --select ERR001,ERR002,ERR003
 """
 
 from __future__ import annotations
@@ -30,67 +22,62 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 
-#: Modules allowed to raise the bare builtin types: the exception
-#: definitions themselves and the low-level validators they wrap.
-EXEMPT_FILES = {"errors.py", "validation.py"}
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
 
-#: Builtin exception names that must not be raised directly elsewhere.
-FORBIDDEN_RAISES = {"ValueError", "ZeroDivisionError", "ArithmeticError"}
+from repro.errors import LintError  # noqa: E402
+from repro.lint.config import LintConfig  # noqa: E402
+from repro.lint.passes.error_taxonomy import (  # noqa: E402
+    FORBIDDEN_RAISES as _FRAMEWORK_FORBIDDEN,
+    ErrorTaxonomyPass,
+)
+from repro.lint.project import LintModule, LintProject, _suppressions  # noqa: E402
+
+#: Kept for backward compatibility with older imports of this module.
+EXEMPT_FILES = set(LintConfig().error_exempt_modules)
+FORBIDDEN_RAISES = set(_FRAMEWORK_FORBIDDEN)
 
 
-def _handler_reraises(handler: ast.ExceptHandler) -> bool:
-    """True if the handler body contains a bare ``raise`` (re-raise)."""
-    for node in ast.walk(handler):
-        if isinstance(node, ast.Raise) and node.exc is None:
-            return True
-    return False
-
-
-def _raised_name(node: ast.Raise) -> str | None:
-    """The exception class name of ``raise X(...)`` / ``raise X``, if any."""
-    exc = node.exc
-    if isinstance(exc, ast.Call):
-        exc = exc.func
-    if isinstance(exc, ast.Name):
-        return exc.id
-    if isinstance(exc, ast.Attribute):
-        return exc.attr
-    return None
+def _single_file_project(path: Path) -> LintProject:
+    """Wrap one source file in a minimal single-module project."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {path}: {exc}") from exc
+    per_line, file_wide = _suppressions(source)
+    module = LintModule(
+        path=path.resolve(), rel=path.name, name=path.stem, source=source,
+        tree=tree, line_suppressions=per_line, file_suppressions=file_wide)
+    repo_root = REPO if path.resolve().is_relative_to(REPO) else None
+    return LintProject(root=path.resolve().parent, repo_root=repo_root,
+                       modules=(module,))
 
 
 def check_file(path: Path) -> list[str]:
-    """Return the lint violations for one source file."""
-    rel = path.relative_to(REPO) if path.is_relative_to(REPO) else path
-    tree = ast.parse(path.read_text(), filename=str(path))
-    violations = []
-    exempt = path.name in EXEMPT_FILES
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ExceptHandler):
-            if node.type is None:
-                violations.append(
-                    f"{rel}:{node.lineno}: bare 'except:' swallows everything "
-                    "— catch a ReproError subclass instead")
-            elif (isinstance(node.type, ast.Name)
-                  and node.type.id in ("Exception", "BaseException")
-                  and not _handler_reraises(node)):
-                violations.append(
-                    f"{rel}:{node.lineno}: 'except {node.type.id}:' without a "
-                    "re-raise — use the DiagnosticLog.capture() pattern "
-                    "(re-raise non-ReproError) or catch a specific type")
-        elif isinstance(node, ast.Raise) and not exempt:
-            name = _raised_name(node)
-            if name in FORBIDDEN_RAISES:
-                violations.append(
-                    f"{rel}:{node.lineno}: 'raise {name}' — raise "
-                    "repro.errors.DomainError (or another ReproError) so "
-                    "callers can catch failures uniformly")
-    return violations
+    """Return the error-policy violations for one source file.
+
+    Same output contract as the pre-framework script: one formatted
+    ``path:line: message — suggestion`` string per violation.
+    """
+    path = Path(path)
+    project = _single_file_project(path)
+    module = project.modules[0]
+    lines = []
+    for finding in ErrorTaxonomyPass().run(project, LintConfig()):
+        if module.is_suppressed(finding.rule, finding.line):
+            continue
+        lines.append(f"{finding.path}:{finding.line}: {finding.message} "
+                     f"— {finding.suggestion}")
+    return lines
 
 
 def main() -> int:
     """Lint every python file under ``src/``; print violations."""
     violations = []
     for path in sorted(SRC.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
         violations.extend(check_file(path))
     for line in violations:
         print(line)

@@ -34,6 +34,8 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.obs",
     "repro.robust",
+    "repro.constants",
+    "repro.lint",
     "repro.report",
 ]
 
