@@ -6,9 +6,19 @@ its shape, and writes the regenerated rows/series to
 are inspectable without re-running anything.
 
 The harness also times every bench with the monotonic
-:class:`repro.obs.Stopwatch` and writes the wall-times to
-``benchmarks/output/bench_times.json`` at session end — the source of
-truth for the BENCH_*.json performance trajectories.
+:class:`repro.obs.Stopwatch` and, at session end, writes the wall
+times twice:
+
+* ``benchmarks/output/bench_report.json`` — the schema-versioned
+  ``repro-bench/1`` document (schema id, git SHA, python version,
+  repeat count) that ``python -m repro.bench --compare`` understands;
+* ``benchmarks/output/bench_times.json`` — the legacy
+  ``{"unit", "times"}`` shape, kept as a compat alias for older
+  BENCH_*.json tooling.
+
+The pytest harness measures each bench once (``repeats = 1``, so MAD
+is 0); the statistical trajectory with warmup and repeats comes from
+``python -m repro.bench``.
 """
 
 import json
@@ -23,6 +33,7 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.obs import Stopwatch  # noqa: E402  (needs the sys.path bootstrap)
+from repro.bench import make_report, write_report  # noqa: E402
 
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 
@@ -58,13 +69,19 @@ def pytest_runtest_call(item):
 
 
 def pytest_sessionfinish(session):
-    """Dump the collected wall times to ``output/bench_times.json``."""
+    """Dump the collected wall times (schema report + legacy alias)."""
     if not _BENCH_TIMES:
         return
     OUTPUT_DIR.mkdir(exist_ok=True)
-    payload = {
+    benches = {
+        name: {"min": seconds, "median": seconds, "mad": 0.0, "repeats": 1}
+        for name, seconds in _BENCH_TIMES.items()
+    }
+    write_report(OUTPUT_DIR / "bench_report.json",
+                 make_report(benches, repeats=1, warmup=0))
+    legacy = {
         "unit": "seconds",
         "times": dict(sorted(_BENCH_TIMES.items())),
     }
     (OUTPUT_DIR / "bench_times.json").write_text(
-        json.dumps(payload, indent=2) + "\n")
+        json.dumps(legacy, indent=2) + "\n")

@@ -52,10 +52,14 @@ Subpackages
     Multi-pass static analysis enforcing the library's units, error,
     policy, constants, API, and observability contracts
     (``python -m repro.lint``).
+``repro.bench``
+    Statistical benchmark runner and perf-regression gate over the
+    paper-artifact suite (``python -m repro.bench``).
 """
 
 from . import (  # noqa: F401
     analysis,
+    bench,
     constants,
     cost,
     data,
@@ -107,6 +111,7 @@ __all__ = [
     "robust",
     "constants",
     "lint",
+    "bench",
     "ReproError",
     "DomainError",
     "UnitError",

@@ -1,0 +1,6 @@
+"""Module runner for ``python -m repro.bench``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""Command-line driver: ``python -m repro.bench``.
+
+Runs the ``benchmarks/bench_*.py`` artifact suite with warmup + N
+repeats, prints the min/median/MAD table, and writes a
+schema-versioned ``BENCH_<timestamp>.json`` under
+``benchmarks/output/``. On a first run (or with ``--update-baseline``)
+it also writes ``benchmarks/baseline.json`` — the committed reference
+the regression gate compares against::
+
+    python -m repro.bench                                  # run + record
+    python -m repro.bench --compare benchmarks/baseline.json
+    python -m repro.bench --trace                          # + flamegraph/hot report
+
+Exit-code contract:
+
+* ``0`` — suite ran; no regression detected (or no comparison asked);
+* ``1`` — ``--compare`` found at least one regression;
+* ``2`` — the runner itself failed (bad flag, missing bench dir,
+  unreadable baseline), reported as one ``error:`` line on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .. import obs
+from ..errors import ReproError
+from ..report.tables import format_table
+from .compare import compare_reports
+from .runner import default_bench_dir, discover, run_suite
+from .schema import load_report, make_report, write_report
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for doc generation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Statistical benchmark runner and perf-regression gate "
+                    "for the paper-artifact suite.")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="measured repeats per bench (default: 5)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="unmeasured warmup calls per bench (default: 1)")
+    parser.add_argument("--filter", default=None, metavar="SUBSTR",
+                        help="only run benches whose name contains SUBSTR")
+    parser.add_argument("--bench-dir", type=Path, default=None,
+                        help="bench module directory (default: the repo's "
+                             "benchmarks/)")
+    parser.add_argument("--output-dir", type=Path, default=None,
+                        help="where BENCH_*.json and reports land "
+                             "(default: <bench-dir>/output)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file to write on first run / "
+                             "--update-baseline (default: "
+                             "<bench-dir>/baseline.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run's results")
+    parser.add_argument("--compare", type=Path, default=None, metavar="PATH",
+                        help="compare this run against a baseline report; "
+                             "exit 1 on regression")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="minimum relative slowdown treated as real "
+                             "(default: 0.20)")
+    parser.add_argument("--mad-scale", type=float, default=3.0,
+                        help="noise-band width in MAD-derived sigmas "
+                             "(default: 3.0)")
+    parser.add_argument("--trace", action="store_true",
+                        help="after timing, run each bench once traced and "
+                             "write bench_trace.jsonl, hot_spans.txt and "
+                             "bench_flame.txt to the output dir")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-bench progress lines")
+    return parser
+
+
+def _results_table(results) -> str:
+    """The per-bench min/median/MAD summary table."""
+    return format_table(
+        ["bench", "repeats", "min_ms", "median_ms", "mad_ms"],
+        [(r.name, len(r.times), r.min * 1e3, r.median * 1e3, r.mad * 1e3)
+         for r in results],
+        float_spec=".3f", title="bench suite")
+
+
+def _write_trace_artifacts(cases, output_dir: Path, echo) -> None:
+    """One traced pass per bench; export JSONL, flamegraph, hot report."""
+    with obs.enabled():
+        obs.reset()
+        for case in cases:
+            with obs.span(f"bench.{case.name}"):
+                case.func()
+        trace_path = output_dir / "bench_trace.jsonl"
+        obs.export_jsonl(trace_path)
+        flame = obs.format_collapsed(obs.collapsed_from_spans())
+        hot = obs.format_hot_report(top=25)
+    (output_dir / "bench_flame.txt").write_text(flame + "\n")
+    (output_dir / "hot_spans.txt").write_text(hot + "\n")
+    echo(f"traced pass -> {trace_path}, bench_flame.txt, hot_spans.txt")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on bad flags already
+        return int(exc.code or 0)
+
+    def echo(message: str) -> None:
+        if not args.quiet:
+            print(message)
+
+    try:
+        bench_dir = (args.bench_dir if args.bench_dir is not None
+                     else default_bench_dir())
+        output_dir = (args.output_dir if args.output_dir is not None
+                      else bench_dir / "output")
+        baseline_path = (args.baseline if args.baseline is not None
+                         else bench_dir / "baseline.json")
+        cases = discover(bench_dir, filter_substring=args.filter)
+        echo(f"collected {len(cases)} benches from {bench_dir} "
+             f"(repeats={args.repeats}, warmup={args.warmup})")
+        results = run_suite(
+            cases, repeats=args.repeats, warmup=args.warmup,
+            progress=None if args.quiet else (
+                lambda r: print(f"  {r.name:<28s} median "
+                                f"{r.median * 1e3:9.3f} ms  "
+                                f"(min {r.min * 1e3:.3f}, "
+                                f"mad {r.mad * 1e3:.3f})")))
+        document = make_report(
+            {r.name: r.to_row() for r in results},
+            repeats=args.repeats, warmup=args.warmup)
+
+        output_dir.mkdir(parents=True, exist_ok=True)
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        bench_json = write_report(output_dir / f"BENCH_{stamp}.json", document)
+        echo(f"\n{_results_table(results)}\n\nwrote {bench_json}")
+
+        if args.trace:
+            _write_trace_artifacts(cases, output_dir, echo)
+
+        if args.update_baseline or (args.compare is None
+                                    and not baseline_path.exists()):
+            write_report(baseline_path, document)
+            echo(f"baseline -> {baseline_path}")
+
+        if args.compare is not None:
+            baseline = load_report(args.compare)
+            comparison = compare_reports(
+                baseline, document, min_rel=args.threshold,
+                mad_scale=args.mad_scale)
+            print()
+            print(comparison.format())
+            if not comparison.ok:
+                for verdict in comparison.regressions:
+                    print(f"regression: {verdict.describe()}", file=sys.stderr)
+                return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0

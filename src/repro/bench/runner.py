@@ -1,0 +1,179 @@
+"""Discover and execute the ``benchmarks/bench_*.py`` artifact suite.
+
+Each bench module exposes one or more ``regenerate_*`` functions that
+rebuild a paper artifact (the pytest wrappers around them assert the
+reproduction contract; the runner only cares about the work). The
+runner imports the modules directly — no pytest session — and times
+each regenerate function with a warmup pass plus N measured repeats.
+
+Statistics are chosen for noisy shared machines: **min** (the best
+estimate of the code's true cost — timer noise is strictly additive),
+**median** (robust central tendency) and **MAD** (median absolute
+deviation — a robust noise width the regression gate turns into a
+threshold). Mean/stddev are deliberately absent: one scheduler stall
+would poison them.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import statistics
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..errors import DataError, DomainError, ReproError
+
+__all__ = [
+    "BenchCase",
+    "BenchResult",
+    "default_bench_dir",
+    "discover",
+    "run_case",
+    "run_suite",
+]
+
+#: Prefix a bench module function must carry to be collected.
+_FUNC_PREFIX = "regenerate"
+#: Filename prefix of bench modules, stripped from the bench name.
+_FILE_PREFIX = "bench_"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One discovered benchmark: a name and the callable that runs it."""
+
+    name: str
+    path: Path
+    func: Callable[[], object]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Measured repeats of one bench, with the robust summary statistics."""
+
+    name: str
+    times: tuple[float, ...]
+
+    def __post_init__(self):
+        if not self.times:
+            raise DomainError(f"bench {self.name!r}: no measured repeats")
+
+    @property
+    def min(self) -> float:
+        """Fastest repeat (seconds) — the best true-cost estimate."""
+        return min(self.times)
+
+    @property
+    def median(self) -> float:
+        """Median repeat (seconds) — the robust central tendency."""
+        return statistics.median(self.times)
+
+    @property
+    def mad(self) -> float:
+        """Median absolute deviation of the repeats (seconds, unscaled)."""
+        med = self.median
+        return statistics.median(abs(t - med) for t in self.times)
+
+    def to_row(self) -> dict:
+        """The report row for :func:`repro.bench.schema.make_report`."""
+        return {"min": self.min, "median": self.median, "mad": self.mad,
+                "repeats": len(self.times)}
+
+
+def default_bench_dir() -> Path:
+    """The repo's ``benchmarks/`` directory (fallback: CWD/benchmarks).
+
+    Resolves relative to this source tree first so ``python -m
+    repro.bench`` works from any CWD in a checkout; an installed copy
+    outside a checkout falls back to the working directory.
+    """
+    in_tree = Path(__file__).resolve().parents[3] / "benchmarks"
+    if in_tree.is_dir():
+        return in_tree
+    return Path.cwd() / "benchmarks"
+
+
+def discover(bench_dir: Path | str | None = None,
+             filter_substring: str | None = None) -> list[BenchCase]:
+    """Collect every ``regenerate_*`` function under ``bench_dir``.
+
+    The bench name is the module stem without its ``bench_`` prefix
+    (``bench_figure4.py`` → ``figure4``); a module with several
+    regenerate functions gets ``:funcsuffix``-qualified names. Cases
+    come back name-sorted for stable report ordering.
+
+    Raises
+    ------
+    DataError
+        If the directory does not exist, a bench module fails to
+        import, or no case survives the filter.
+    """
+    bench_dir = Path(bench_dir) if bench_dir is not None else default_bench_dir()
+    if not bench_dir.is_dir():
+        raise DataError(f"bench directory {bench_dir} does not exist")
+    cases: list[BenchCase] = []
+    for path in sorted(bench_dir.glob(f"{_FILE_PREFIX}*.py")):
+        stem = path.stem[len(_FILE_PREFIX):]
+        spec = importlib.util.spec_from_file_location(
+            f"repro_bench_module_{path.stem}", path)
+        module = importlib.util.module_from_spec(spec)
+        try:
+            spec.loader.exec_module(module)
+        except Exception as exc:
+            if isinstance(exc, ReproError):
+                raise
+            raise DataError(f"cannot import bench module {path}: {exc}") from exc
+        funcs = sorted(name for name in vars(module)
+                       if name.startswith(_FUNC_PREFIX)
+                       and callable(getattr(module, name)))
+        for func_name in funcs:
+            name = stem if len(funcs) == 1 else (
+                f"{stem}:{func_name[len(_FUNC_PREFIX):].lstrip('_') or func_name}")
+            cases.append(BenchCase(name=name, path=path,
+                                   func=getattr(module, func_name)))
+    if filter_substring:
+        cases = [c for c in cases if filter_substring in c.name]
+    if not cases:
+        raise DataError(
+            f"no benches found in {bench_dir}"
+            + (f" matching {filter_substring!r}" if filter_substring else ""))
+    cases.sort(key=lambda c: c.name)
+    return cases
+
+
+def run_case(case: BenchCase, *, repeats: int = 5, warmup: int = 1,
+             timer: Callable[[], float] = time.perf_counter) -> BenchResult:
+    """Time one bench: ``warmup`` unmeasured calls, then ``repeats`` timed.
+
+    Each repeat is a single call timed with ``timer`` (injectable for
+    the gate's own fault-injection tests).
+    """
+    if repeats < 1:
+        raise DomainError(f"repeats must be >= 1; got {repeats}")
+    if warmup < 0:
+        raise DomainError(f"warmup must be >= 0; got {warmup}")
+    for _ in range(warmup):
+        case.func()
+    times = []
+    for _ in range(repeats):
+        start = timer()
+        case.func()
+        times.append(timer() - start)
+    return BenchResult(name=case.name, times=tuple(times))
+
+
+def run_suite(cases: Sequence[BenchCase], *, repeats: int = 5,
+              warmup: int = 1,
+              timer: Callable[[], float] = time.perf_counter,
+              progress: Callable[[BenchResult], None] | None = None,
+              ) -> list[BenchResult]:
+    """Run every case; ``progress`` (if given) sees each result as it lands."""
+    results = []
+    for case in cases:
+        result = run_case(case, repeats=repeats, warmup=warmup, timer=timer)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results

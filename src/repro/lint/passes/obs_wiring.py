@@ -9,7 +9,15 @@ policy-threading pass, plus the single-point solvers (``optimal_*``):
 
 * ``OBS001`` — a public entry point in the configured packages is
   neither ``@traced`` nor instrumented via
-  ``record_provenance``/metrics calls.
+  ``record_provenance``/metrics calls;
+* ``OBS002`` — a ``@traced`` function (a hot path by construction)
+  constructs a metric object (``Counter``, ``Gauge``, ``Histogram``,
+  ``DurationSketch``, ``MetricsRegistry``) per call. Metric objects
+  must live in the registry (get-or-create once) or be reached through
+  the gated module-level helpers (``inc`` / ``observe`` /
+  ``set_gauge`` / ``observe_duration``); allocating them inside the
+  traced body defeats the near-zero-cost disabled path the overhead
+  guard enforces.
 """
 
 from __future__ import annotations
@@ -35,33 +43,70 @@ _INSTRUMENTATION_CALLS = frozenset({
     "record_provenance", "observe", "set_gauge", "counter", "span",
 })
 
+#: Metric classes that must never be constructed inside a traced body.
+_METRIC_CLASSES = frozenset({
+    "Counter", "Gauge", "Histogram", "DurationSketch", "MetricsRegistry",
+})
+
+
+def _traced_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Every function (any nesting level) decorated with ``@traced``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and \
+                "traced" in set(decorator_names(node)):
+            yield node
+
 
 class ObsWiringPass(LintPass):
-    """Flag uninstrumented public entry points in optimize/roadmap."""
+    """Flag uninstrumented entry points and per-call metric allocation."""
 
     name = "obs-wiring"
     rules = (
         RuleSpec("OBS001", Severity.ERROR,
                  "public model entry point is neither @traced nor "
                  "metrics-instrumented"),
+        RuleSpec("OBS002", Severity.ERROR,
+                 "@traced hot path allocates a per-call metric object"),
     )
 
     def run(self, project: LintProject, config) -> Iterator[Finding]:
-        """Check entry-point functions in the configured packages."""
+        """Check entry-point wiring, then traced-body allocations."""
         for module in project.modules:
-            if not module.rel.startswith(tuple(config.entry_packages)):
+            if module.rel.startswith(tuple(config.entry_packages)):
+                yield from self._check_entry_points(project, module, config)
+            yield from self._check_traced_allocations(project, module)
+
+    def _check_entry_points(self, project: LintProject, module,
+                            config) -> Iterator[Finding]:
+        for fn in top_level_functions(module.tree):
+            if fn.name.startswith("_"):
                 continue
-            for fn in top_level_functions(module.tree):
-                if fn.name.startswith("_"):
+            if not matches_entry_patterns(fn.name, config.obs_patterns):
+                continue
+            if "traced" in set(decorator_names(fn)):
+                continue
+            if _INSTRUMENTATION_CALLS & set(called_names(fn)):
+                continue
+            yield self.finding(
+                project, module, "OBS001", fn.lineno,
+                f"entry point {fn.name}() is not observability-wired",
+                suggestion="decorate with @traced (repro.obs.instrument) "
+                           "or record provenance/metrics explicitly")
+
+    def _check_traced_allocations(self, project: LintProject,
+                                  module) -> Iterator[Finding]:
+        for fn in _traced_functions(module.tree):
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.Call):
                     continue
-                if not matches_entry_patterns(fn.name, config.obs_patterns):
-                    continue
-                if "traced" in set(decorator_names(fn)):
-                    continue
-                if _INSTRUMENTATION_CALLS & set(called_names(fn)):
-                    continue
-                yield self.finding(
-                    project, module, "OBS001", fn.lineno,
-                    f"entry point {fn.name}() is not observability-wired",
-                    suggestion="decorate with @traced (repro.obs.instrument) "
-                               "or record provenance/metrics explicitly")
+                target = node.func
+                name = (target.id if isinstance(target, ast.Name)
+                        else target.attr if isinstance(target, ast.Attribute)
+                        else None)
+                if name in _METRIC_CLASSES:
+                    yield self.finding(
+                        project, module, "OBS002", node.lineno,
+                        f"@traced {fn.name}() constructs {name}() per call",
+                        suggestion="hoist the metric out of the hot path or "
+                                   "use the gated helpers "
+                                   "(inc/observe/set_gauge/observe_duration)")

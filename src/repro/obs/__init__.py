@@ -41,7 +41,16 @@ from .metrics import (
     get_registry,
     inc,
     observe,
+    observe_duration,
     set_gauge,
+)
+from .perf import (
+    DurationSketch,
+    SpanProfiler,
+    collapsed_from_spans,
+    format_collapsed,
+    format_hot_report,
+    hot_spans,
 )
 from .provenance import (
     Provenance,
@@ -56,11 +65,13 @@ from .trace import (
     Span,
     Stopwatch,
     Tracer,
+    add_span_hook,
     current_span,
     disable,
     enable,
     get_tracer,
     is_enabled,
+    remove_span_hook,
     span,
 )
 
@@ -69,11 +80,13 @@ __all__ = [
     "Span",
     "Stopwatch",
     "Tracer",
+    "add_span_hook",
     "current_span",
     "disable",
     "enable",
     "get_tracer",
     "is_enabled",
+    "remove_span_hook",
     "span",
     # instrument
     "enabled",
@@ -87,7 +100,15 @@ __all__ = [
     "get_registry",
     "inc",
     "observe",
+    "observe_duration",
     "set_gauge",
+    # perf
+    "DurationSketch",
+    "SpanProfiler",
+    "collapsed_from_spans",
+    "format_collapsed",
+    "format_hot_report",
+    "hot_spans",
     # provenance
     "Provenance",
     "ProvenanceLedger",

@@ -70,6 +70,12 @@ def export_jsonl(path, tracer: "_trace.Tracer | None" = None,
         lines.append(json.dumps(
             {"type": "metric", "name": name, "kind": kind,
              "value": safe, "count": count}))
+    for name, count, p50, p90, p99, mx in registry.sketch_rows():
+        lines.append(json.dumps(
+            {"type": "metric", "name": name, "kind": "sketch",
+             "count": count,
+             "p50": _json_safe(p50), "p90": _json_safe(p90),
+             "p99": _json_safe(p99), "max": _json_safe(mx)}))
     for rec in ledger.records:
         lines.append(json.dumps(
             {"type": "provenance", "source": rec.source,
@@ -88,6 +94,11 @@ def read_jsonl(path) -> list[dict]:
         if line:
             records.append(json.loads(line))
     return records
+
+
+def _json_safe(value: float):
+    """NaN → None so the JSONL line stays strict-JSON parseable."""
+    return None if isinstance(value, float) and math.isnan(value) else value
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -189,13 +200,30 @@ def format_summary_table(tracer: "_trace.Tracer | None" = None) -> str:
 
 
 def format_metrics_table(registry: "_metrics.MetricsRegistry | None" = None) -> str:
-    """The metrics registry as an aligned text table."""
+    """The metrics registry as aligned text tables.
+
+    Counters/gauges/histograms render as the classic
+    name/kind/value/count table; duration sketches follow in their own
+    table with p50/p90/p99/max columns (milliseconds).
+    """
     registry = registry if registry is not None else _metrics.get_registry()
     rows = registry.rows()
-    if not rows:
+    sketch_rows = registry.sketch_rows()
+    if not rows and not sketch_rows:
         return "(no metrics recorded)"
-    return format_table(
-        ["metric", "kind", "value", "count"],
-        [(name, kind, value, count) for name, kind, value, count in rows],
-        float_spec=".6g",
-    )
+    sections = []
+    if rows:
+        sections.append(format_table(
+            ["metric", "kind", "value", "count"],
+            [(name, kind, value, count) for name, kind, value, count in rows],
+            float_spec=".6g",
+        ))
+    if sketch_rows:
+        sections.append(format_table(
+            ["span duration sketch", "count", "p50_ms", "p90_ms", "p99_ms",
+             "max_ms"],
+            [(name, count, p50 * 1e3, p90 * 1e3, p99 * 1e3, mx * 1e3)
+             for name, count, p50, p90, p99, mx in sketch_rows],
+            float_spec=".3f",
+        ))
+    return "\n\n".join(sections)

@@ -8,10 +8,18 @@ yields) as count/sum/min/max plus fixed decade statistics — enough for
 a text report without reservoir sampling.
 
 All module-level helpers (:func:`inc`, :func:`set_gauge`,
-:func:`observe`) are gated on the global observability flag from
-:mod:`repro.obs.trace`, so instrumented hot paths cost one branch when
-observability is off. Direct use of :class:`MetricsRegistry` is not
-gated — tests and tools can always build their own.
+:func:`observe`, :func:`observe_duration`) are gated on the global
+observability flag from :mod:`repro.obs.trace`, so instrumented hot
+paths cost one branch when observability is off. Direct use of
+:class:`MetricsRegistry` is not gated — tests and tools can always
+build their own.
+
+Span durations get a fourth metric kind: a
+:class:`~repro.obs.perf.DurationSketch` per span name. Flat
+:class:`Histogram` aggregates cannot answer "what was p99?", so the
+registry keeps a streaming log-bucket percentile sketch instead and
+this module installs a duration sink on the global tracer that feeds
+every completed span into it.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import math
 from dataclasses import dataclass, field
 
 from . import trace as _trace
+from .perf.sketch import DurationSketch
 from ..errors import DomainError
 
 __all__ = [
@@ -30,6 +39,7 @@ __all__ = [
     "get_registry",
     "inc",
     "observe",
+    "observe_duration",
     "set_gauge",
 ]
 
@@ -97,6 +107,7 @@ class MetricsRegistry:
     counters: dict[str, Counter] = field(default_factory=dict)
     gauges: dict[str, Gauge] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
+    sketches: dict[str, DurationSketch] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
@@ -119,15 +130,24 @@ class MetricsRegistry:
             h = self.histograms[name] = Histogram(name)
         return h
 
+    def sketch(self, name: str) -> DurationSketch:
+        """Get or create the duration sketch ``name``."""
+        s = self.sketches.get(name)
+        if s is None:
+            s = self.sketches[name] = DurationSketch(name)
+        return s
+
     def reset(self) -> None:
         """Drop every metric."""
         self.counters.clear()
         self.gauges.clear()
         self.histograms.clear()
+        self.sketches.clear()
 
     def is_empty(self) -> bool:
         """Whether no metric has been registered yet."""
-        return not (self.counters or self.gauges or self.histograms)
+        return not (self.counters or self.gauges or self.histograms
+                    or self.sketches)
 
     def rows(self) -> list[tuple[str, str, float, float]]:
         """Flatten to ``(name, kind, value, count)`` rows, name-sorted.
@@ -144,6 +164,20 @@ class MetricsRegistry:
         for name, h in self.histograms.items():
             out.append((name, "histogram", h.mean, h.count))
         out.sort(key=lambda r: (r[1], r[0]))
+        return out
+
+    def sketch_rows(self) -> list[tuple[str, int, float, float, float, float]]:
+        """Duration sketches as ``(name, count, p50, p90, p99, max)`` rows.
+
+        Times in seconds, name-sorted; empty sketches report NaN
+        percentiles.
+        """
+        out: list[tuple[str, int, float, float, float, float]] = []
+        for name in sorted(self.sketches):
+            s = self.sketches[name]
+            pct = s.percentiles()
+            out.append((name, s.count, pct["p50"], pct["p90"], pct["p99"],
+                        pct["max"]))
         return out
 
 
@@ -174,3 +208,21 @@ def observe(name: str, value: float) -> None:
     if not _trace._ENABLED:
         return
     _REGISTRY.histogram(name).observe(value)
+
+
+def observe_duration(name: str, seconds: float) -> None:
+    """Fold a duration into percentile sketch ``name`` iff observability is on."""
+    if not _trace._ENABLED:
+        return
+    _REGISTRY.sketch(name).observe(seconds)
+
+
+def _span_duration_sink(name: str, seconds: float) -> None:
+    """Tracer duration sink: sketch every completed span's duration."""
+    _REGISTRY.sketch(name).observe(seconds)
+
+
+# Spans only exist while observability is enabled, so the sink needs no
+# flag check of its own; installing it at import keeps trace.py free of
+# any metrics import (the dependency runs strictly metrics -> trace).
+_trace.get_tracer().duration_sink = _span_duration_sink

@@ -1,0 +1,219 @@
+"""Deterministic profiler attributing wall time to the span tree.
+
+Two complementary views of "where did the time go":
+
+* :class:`SpanProfiler` — an event-driven (hence deterministic, not
+  statistical) profiler built on :func:`sys.setprofile` plus the span
+  hooks of :mod:`repro.obs.trace`. Every function call/return and every
+  span enter/exit charges the elapsed wall time to the current stack
+  ``span-path ; function ; function ...``, so the output folds the
+  *semantic* span tree and the *mechanical* call tree into one
+  flamegraph.
+* :func:`collapsed_from_spans` — the zero-overhead fallback: rebuild
+  collapsed stacks purely from a recorded span tree (live tracer or a
+  JSONL export), attributing each span's **self time** to its span
+  path. This is what ``tools/trace_report.py --flame`` uses, since a
+  saved trace has no frames left to profile.
+
+Both emit the *collapsed stack* format (``a;b;c <microseconds>`` per
+line) consumed by every flamegraph renderer (flamegraph.pl, speedscope,
+inferno) — :func:`format_collapsed` renders it.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .. import trace as _trace
+
+__all__ = [
+    "SpanProfiler",
+    "collapsed_from_spans",
+    "format_collapsed",
+]
+
+
+def live_span_dicts() -> list[dict]:
+    """The global tracer's completed spans as plain dicts.
+
+    Same field names as :func:`repro.obs.span_to_dict` (kept local so
+    the perf layer does not import the exporter, which imports the
+    metrics registry, which imports the sketch — a cycle).
+    """
+    return [
+        {"type": "span", "id": sp.span_id, "parent_id": sp.parent_id,
+         "name": sp.name, "depth": sp.depth, "start": sp.start,
+         "duration": sp.duration, "self": sp.self_time, "attrs": sp.attrs}
+        for sp in _trace.get_tracer().spans
+    ]
+
+#: Stack label used for time spent outside any span or profiled frame.
+_TOPLEVEL = "(toplevel)"
+
+
+class SpanProfiler:
+    """Attribute wall time to ``span-path;function-stack`` leaves.
+
+    Use as a context manager (or :meth:`start` / :meth:`stop`); while
+    active it installs a :func:`sys.setprofile` hook and subscribes to
+    span enter/exit events, charging the time between consecutive
+    events to the stack that was executing. Deterministic: the same
+    code path yields the same stack keys every run (only the measured
+    times vary).
+
+    Examples
+    --------
+    ::
+
+        with obs.enabled(), SpanProfiler() as prof:
+            sd_sweep(PAPER_FIGURE4_MODEL, 1e7, 0.18, 5e3, 0.4, 8.0)
+        print(format_collapsed(prof.collapsed()))
+
+    Notes
+    -----
+    ``sys.setprofile`` has real overhead (every call/return traps into
+    the hook), so the profiler is an opt-in diagnosis tool; never leave
+    it installed on a measured hot path. Frames already on the stack
+    when profiling starts are not visible; their time lands on the
+    enclosing span path (or ``(toplevel)``).
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._times: dict[str, float] = {}
+        self._stack: list[str] = []
+        self._span_path: list[str] = []
+        self._last = 0.0
+        self._active = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "SpanProfiler":
+        """Install the profile hook and start charging time; returns self."""
+        if self._active:
+            return self
+        self._active = True
+        self._stack.clear()
+        self._span_path.clear()
+        _trace.add_span_hook(self._on_span)
+        self._last = self._clock()
+        sys.setprofile(self._profile_hook)
+        return self
+
+    def stop(self) -> "SpanProfiler":
+        """Uninstall the hook, charge the tail interval; returns self."""
+        if not self._active:
+            return self
+        sys.setprofile(None)
+        _trace.remove_span_hook(self._on_span)
+        self._charge(self._clock() - self._last)
+        self._active = False
+        return self
+
+    def __enter__(self) -> "SpanProfiler":
+        """Start profiling on context entry."""
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Stop profiling on context exit."""
+        self.stop()
+
+    # -- event plumbing --------------------------------------------------
+
+    def _charge(self, elapsed: float) -> None:
+        if elapsed <= 0.0:
+            return
+        if self._span_path or self._stack:
+            key = ";".join(self._span_path + self._stack)
+        else:
+            key = _TOPLEVEL
+        self._times[key] = self._times.get(key, 0.0) + elapsed
+
+    def _profile_hook(self, frame, event: str, arg) -> None:
+        self._charge(self._clock() - self._last)
+        if event == "call":
+            code = frame.f_code
+            module = frame.f_globals.get("__name__", "?")
+            name = getattr(code, "co_qualname", code.co_name)
+            self._stack.append(f"{module}.{name}")
+        elif event == "return":
+            if self._stack:
+                self._stack.pop()
+        elif event == "c_call":
+            module = getattr(arg, "__module__", None) or "builtins"
+            name = getattr(arg, "__qualname__", repr(arg))
+            self._stack.append(f"{module}.{name}")
+        elif event in ("c_return", "c_exception"):
+            if self._stack:
+                self._stack.pop()
+        self._last = self._clock()
+
+    def _on_span(self, event: str, span) -> None:
+        self._charge(self._clock() - self._last)
+        if event == "enter":
+            self._span_path.append(span.name)
+        elif event == "exit":
+            if self._span_path and self._span_path[-1] == span.name:
+                self._span_path.pop()
+        self._last = self._clock()
+
+    # -- results ---------------------------------------------------------
+
+    def collapsed(self) -> dict[str, int]:
+        """Collapsed stacks: ``"a;b;c" -> microseconds`` (zeros dropped)."""
+        out = {}
+        for key, seconds in self._times.items():
+            micros = int(round(seconds * 1e6))
+            if micros > 0:
+                out[key] = micros
+        return out
+
+    def total_seconds(self) -> float:
+        """Total wall time charged across every stack."""
+        return sum(self._times.values())
+
+
+def collapsed_from_spans(records: "list[dict] | None" = None) -> dict[str, int]:
+    """Collapsed stacks from a recorded span tree (self time per path).
+
+    Accepts span dicts (a :func:`repro.obs.read_jsonl` export; non-span
+    records are ignored) or, by default, the live global tracer. Each
+    span contributes its *self* time in microseconds to the stack key
+    ``root;child;...;span`` — summed over same-keyed spans — so the
+    output renders directly as a flamegraph of the span hierarchy.
+    """
+    if records is None:
+        records = live_span_dicts()
+    spans = [r for r in records if r.get("type", "span") == "span"]
+    by_id = {sp["id"]: sp for sp in spans}
+    paths: dict[int, str] = {}
+
+    def path_of(sp: dict) -> str:
+        cached = paths.get(sp["id"])
+        if cached is not None:
+            return cached
+        parent = by_id.get(sp["parent_id"])
+        path = sp["name"] if parent is None else f"{path_of(parent)};{sp['name']}"
+        paths[sp["id"]] = path
+        return path
+
+    out: dict[str, int] = {}
+    for sp in spans:
+        micros = int(round(sp["self"] * 1e6))
+        if micros <= 0:
+            continue
+        key = path_of(sp)
+        out[key] = out.get(key, 0) + micros
+    return out
+
+
+def format_collapsed(collapsed: dict[str, int]) -> str:
+    """Render collapsed stacks as ``stack count`` lines (flamegraph input).
+
+    Lines are key-sorted so the output is stable across runs and diffs
+    cleanly in CI artifacts.
+    """
+    if not collapsed:
+        return "(no samples)"
+    return "\n".join(f"{key} {count}" for key, count in sorted(collapsed.items()))

@@ -1,0 +1,58 @@
+"""Hot-span analysis: rank recorded spans by where time actually went.
+
+Aggregates a span stream (live tracer or JSONL export) per span name
+and ranks by *self* time — the cost a span incurred itself, excluding
+children — which is the number that tells you what to optimise.
+``tools/trace_report.py --hot`` prints :func:`format_hot_report`; the
+CI ``bench-report`` job uploads it next to the ``BENCH_*.json``
+trajectory so a slow run comes with its own diagnosis.
+"""
+
+from __future__ import annotations
+
+from ...report.tables import format_table
+from .profiler import live_span_dicts
+
+__all__ = ["hot_spans", "format_hot_report"]
+
+
+def hot_spans(records: "list[dict] | None" = None, top: int = 15) -> list[dict]:
+    """The ``top`` span names by self time, with call/total aggregates.
+
+    Accepts span dicts (non-span records ignored) or, by default, the
+    live global tracer. Each row carries ``name``, ``calls``,
+    ``total_s``, ``self_s``, ``mean_s`` (mean total per call) and
+    ``self_pct`` (share of all self time), sorted by ``self_s``
+    descending.
+    """
+    if records is None:
+        records = live_span_dicts()
+    spans = [r for r in records if r.get("type", "span") == "span"]
+    agg: dict[str, dict] = {}
+    for sp in spans:
+        row = agg.get(sp["name"])
+        if row is None:
+            row = agg[sp["name"]] = {"name": sp["name"], "calls": 0,
+                                     "total_s": 0.0, "self_s": 0.0}
+        row["calls"] += 1
+        row["total_s"] += sp["duration"]
+        row["self_s"] += sp["self"]
+    rows = sorted(agg.values(), key=lambda r: r["self_s"], reverse=True)
+    grand_self = sum(r["self_s"] for r in rows)
+    for row in rows:
+        row["mean_s"] = row["total_s"] / row["calls"]
+        row["self_pct"] = 100.0 * row["self_s"] / grand_self if grand_self else 0.0
+    return rows[:top] if top > 0 else rows
+
+
+def format_hot_report(records: "list[dict] | None" = None,
+                      top: int = 15) -> str:
+    """The hot-span ranking as an aligned text table."""
+    rows = hot_spans(records, top=top)
+    if not rows:
+        return "(no spans recorded)"
+    return format_table(
+        ["span", "calls", "self_ms", "self_%", "total_ms", "mean_ms"],
+        [(r["name"], r["calls"], r["self_s"] * 1e3, r["self_pct"],
+          r["total_s"] * 1e3, r["mean_s"] * 1e3) for r in rows],
+        float_spec=".3f", title=f"hot spans (top {len(rows)} by self time)")

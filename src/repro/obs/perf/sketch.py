@@ -1,0 +1,189 @@
+"""Streaming percentile sketches for span durations.
+
+A :class:`DurationSketch` folds an unbounded stream of durations into a
+fixed logarithmic bucket layout and answers quantile queries (p50, p90,
+p99) with a bounded *relative* error — the property that matters for
+timings, where a 1 ms and a 1 s span must both resolve to ~1 %. The
+flat ``Histogram`` in :mod:`repro.obs.metrics` keeps only count / sum /
+min / max; the sketch is what the performance trajectory (``python -m
+repro.bench``) and the span-duration metrics are built on.
+
+Design (the DDSketch/HDR-histogram family, stdlib only):
+
+* bucket ``i`` covers ``[MIN * GAMMA**i, MIN * GAMMA**(i+1))`` with
+  ``GAMMA = 1.02`` and ``MIN = 1 ns``, so every quantile estimate —
+  the geometric midpoint of its bucket — is within ``(GAMMA-1)/2 ≈ 1 %``
+  of the true value;
+* buckets are stored sparsely (index → count), so an idle sketch costs
+  a dict and six scalars, and ``observe`` is one ``math.log`` plus one
+  dict update — cheap enough to run on every recorded span;
+* sketches with identical layout **merge** by adding bucket counts,
+  which is exact: merging per-process sketches loses nothing, the
+  primitive the bench runner uses to combine repeats.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ...errors import DomainError
+
+__all__ = ["DurationSketch"]
+
+#: Per-bucket growth factor; quantile relative error is (GAMMA - 1) / 2.
+_GAMMA = 1.02
+#: Smallest resolvable duration (seconds); everything below lands in bucket 0.
+_MIN_VALUE = 1e-9
+#: Highest bucket index — covers up to ~2.8e3 s, far past any span.
+_MAX_INDEX = 1450
+
+_LOG_GAMMA = math.log(_GAMMA)
+_LOG_MIN = math.log(_MIN_VALUE)
+
+
+class DurationSketch:
+    """Mergeable log-bucket sketch of a duration distribution (seconds).
+
+    Tracks count, sum, min, and max exactly; quantiles are estimated
+    from the bucket layout with ~1 % relative error. Instances with
+    the same class-level layout (always true — the layout is fixed)
+    merge losslessly via :meth:`merge`.
+
+    Examples
+    --------
+    >>> sk = DurationSketch("demo")
+    >>> for ms in (1, 2, 5, 10):
+    ...     sk.observe(ms / 1e3)
+    >>> sk.count
+    4
+    >>> abs(sk.max - 0.010) < 1e-12
+    True
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: Sparse bucket index -> sample count.
+        self.buckets: dict[int, int] = {}
+
+    @staticmethod
+    def bucket_index(seconds: float) -> int:
+        """The bucket index a duration falls into (clamped to the layout)."""
+        if seconds <= _MIN_VALUE:
+            return 0
+        index = int((math.log(seconds) - _LOG_MIN) / _LOG_GAMMA)
+        return index if index < _MAX_INDEX else _MAX_INDEX
+
+    @staticmethod
+    def bucket_value(index: int) -> float:
+        """The representative duration of a bucket (geometric midpoint)."""
+        return math.exp(_LOG_MIN + (index + 0.5) * _LOG_GAMMA)
+
+    def observe(self, seconds: float) -> None:
+        """Fold one duration (seconds) into the sketch.
+
+        Non-finite values are rejected; values at or below the layout
+        minimum (including 0 and negatives from clock quirks) clamp
+        into the lowest bucket but still update min/total exactly.
+        """
+        seconds = float(seconds)
+        if math.isnan(seconds) or math.isinf(seconds):
+            raise DomainError(
+                f"sketch {self.name}: duration must be finite, got {seconds}")
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+        index = self.bucket_index(seconds)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "DurationSketch") -> "DurationSketch":
+        """Fold ``other``'s samples into this sketch (exact); returns self."""
+        if not isinstance(other, DurationSketch):
+            raise DomainError(
+                f"sketch {self.name}: can only merge another DurationSketch, "
+                f"got {type(other).__name__}")
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        return self
+
+    def quantile(self, q: float) -> float:
+        """Estimated duration at quantile ``q`` in [0, 1] (NaN when empty).
+
+        Uses the nearest-rank convention (``ceil(q * count)``); the
+        returned value is the geometric midpoint of the bucket holding
+        that rank, except that the extreme quantiles snap to the exact
+        tracked ``min`` / ``max``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise DomainError(f"quantile must be in [0, 1]; got {q}")
+        if self.count == 0:
+            return math.nan
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                # Keep estimates inside the exactly-known envelope.
+                return min(max(self.bucket_value(index), self.min), self.max)
+        return self.max  # pragma: no cover - rank <= count always hits above
+
+    @property
+    def p50(self) -> float:
+        """Estimated median duration (seconds)."""
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        """Estimated 90th-percentile duration (seconds)."""
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        """Estimated 99th-percentile duration (seconds)."""
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed durations (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard report tuple: p50/p90/p99/max as a dict."""
+        return {"p50": self.p50, "p90": self.p90, "p99": self.p99,
+                "max": self.max if self.count else math.nan}
+
+    @classmethod
+    def from_values(cls, name: str, values: Iterable[float]) -> "DurationSketch":
+        """Build a sketch from an iterable of durations in one call."""
+        sketch = cls(name)
+        for value in values:
+            sketch.observe(value)
+        return sketch
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return f"DurationSketch({self.name!r}, empty)"
+        return (f"DurationSketch({self.name!r}, n={self.count}, "
+                f"p50={self.p50 * 1e3:.3f}ms, p99={self.p99 * 1e3:.3f}ms)")

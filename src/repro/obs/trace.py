@@ -30,11 +30,13 @@ __all__ = [
     "Span",
     "Stopwatch",
     "Tracer",
+    "add_span_hook",
     "current_span",
     "disable",
     "enable",
     "get_tracer",
     "is_enabled",
+    "remove_span_hook",
     "span",
 ]
 
@@ -45,6 +47,28 @@ _ENABLED: bool = False
 _CURRENT: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
 )
+
+#: Live span-event subscribers, called ``hook(event, span)`` with
+#: ``event`` in {"enter", "exit"}. Only the profiler installs one, so
+#: the per-span cost while nobody listens is a truthiness check.
+_SPAN_HOOKS: list = []
+
+
+def add_span_hook(hook) -> None:
+    """Subscribe ``hook(event, span)`` to live span enter/exit events.
+
+    Used by :class:`repro.obs.perf.SpanProfiler` to follow the span
+    path in real time; hooks run synchronously inside ``__enter__`` /
+    ``__exit__``, so keep them fast.
+    """
+    if hook not in _SPAN_HOOKS:
+        _SPAN_HOOKS.append(hook)
+
+
+def remove_span_hook(hook) -> None:
+    """Unsubscribe a hook added via :func:`add_span_hook` (idempotent)."""
+    if hook in _SPAN_HOOKS:
+        _SPAN_HOOKS.remove(hook)
 
 
 def enable() -> None:
@@ -140,6 +164,9 @@ class Span:
     def __enter__(self) -> "Span":
         """Open the span and make it the current context span."""
         self._token = _CURRENT.set(self)
+        if _SPAN_HOOKS:
+            for hook in _SPAN_HOOKS:
+                hook("enter", self)
         self.start = time.perf_counter()
         return self
 
@@ -154,6 +181,9 @@ class Span:
             parent.child_time += self.duration
         if exc_type is not None:
             self.attrs["error"] = exc_type.__name__
+        if _SPAN_HOOKS:
+            for hook in _SPAN_HOOKS:
+                hook("exit", self)
         _TRACER.record(self)
 
     def __repr__(self) -> str:
@@ -194,6 +224,11 @@ class Tracer:
     spans: list[Span] = field(default_factory=list)
     dropped: int = 0
     _next_id: int = 0
+    #: Optional ``sink(name, seconds)`` fed every completed span's
+    #: duration — the metrics registry installs its percentile-sketch
+    #: recorder here (even dropped spans are sketched: the sketch is
+    #: fixed-size, so it can afford what the span list cannot).
+    duration_sink: "object | None" = None
 
     def next_id(self) -> int:
         """Allocate a fresh span id."""
@@ -202,6 +237,8 @@ class Tracer:
 
     def record(self, sp: Span) -> None:
         """Store one completed span (or drop it past the cap)."""
+        if self.duration_sink is not None:
+            self.duration_sink(sp.name, sp.duration)
         if len(self.spans) >= self.max_spans:
             self.dropped += 1
             return

@@ -29,9 +29,11 @@ SUBPACKAGES = [
     "repro.economics",
     "repro.analysis",
     "repro.obs",
+    "repro.obs.perf",
     "repro.robust",
     "repro.constants",
     "repro.lint",
+    "repro.bench",
     "repro.report",
 ]
 

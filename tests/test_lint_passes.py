@@ -249,3 +249,50 @@ def test_obs_accepts_traced_or_explicit_instrumentation(tmp_path):
                 return model
         """})
     assert result.findings == ()
+
+
+def test_obs_flags_per_call_metric_allocation_in_traced_body(tmp_path):
+    result = run_pass(tmp_path, ObsWiringPass(), {
+        "pkg/model.py": """
+            @traced(equation="4")
+            def optimal_thing(model):
+                sketch = DurationSketch("hot")
+                calls = metrics.Counter("calls")
+                return model
+        """})
+    assert rules_of(result) == ["OBS002", "OBS002"]
+    assert "DurationSketch" in result.findings[0].message
+    assert "Counter" in result.findings[1].message
+    assert "optimal_thing" in result.findings[0].message
+
+
+def test_obs002_applies_outside_entry_packages_and_to_nested_defs(tmp_path):
+    # OBS002 audits every @traced body, not just optimize/roadmap entry
+    # points, including nested functions.
+    result = run_pass(tmp_path, ObsWiringPass(), {
+        "pkg/analysis/fits.py": """
+            def outer():
+                @traced()
+                def inner(x):
+                    return Histogram("h").observe(x)
+                return inner
+        """})
+    assert rules_of(result) == ["OBS002"]
+
+
+def test_obs002_quiet_on_gated_helpers_and_hoisted_metrics(tmp_path):
+    result = run_pass(tmp_path, ObsWiringPass(), {
+        "pkg/model.py": """
+            _SKETCH = DurationSketch("hot")
+
+            @traced(equation="4")
+            def optimal_thing(model):
+                observe_duration("hot", 0.1)
+                inc("calls")
+                _SKETCH.observe(0.1)
+                return model
+
+            def untraced_factory():
+                return Counter("fine: not a traced body")
+        """})
+    assert result.findings == ()

@@ -76,6 +76,55 @@ class TestRegistry:
         assert reg.is_empty()
 
 
+class TestSketchRegistry:
+    def test_sketch_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.sketch("s") is reg.sketch("s")
+        assert reg.sketch("s").name == "s"
+
+    def test_reset_and_is_empty_cover_sketches(self):
+        reg = MetricsRegistry()
+        assert reg.is_empty()
+        reg.sketch("s").observe(0.001)
+        assert not reg.is_empty()
+        reg.reset()
+        assert reg.is_empty()
+
+    def test_sketch_rows_sorted_with_percentiles(self):
+        reg = MetricsRegistry()
+        for ms in (1, 2, 3):
+            reg.sketch("b.span").observe(ms / 1e3)
+        reg.sketch("a.span").observe(0.010)
+        rows = reg.sketch_rows()
+        assert [row[0] for row in rows] == ["a.span", "b.span"]
+        name, count, p50, p90, p99, mx = rows[1]
+        assert count == 3
+        assert p50 == pytest.approx(0.002, rel=0.02)
+        assert mx == pytest.approx(0.003)
+
+    def test_observe_duration_gated(self):
+        obs.observe_duration("never", 0.5)
+        assert obs.get_registry().is_empty()
+        with obs.enabled():
+            obs.observe_duration("hot", 0.5)
+        assert obs.get_registry().sketch("hot").count == 1
+
+    def test_spans_feed_duration_sketches(self):
+        with obs.enabled():
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        reg = obs.get_registry()
+        assert reg.sketch("outer").count == 1
+        assert reg.sketch("inner").count == 1
+        assert reg.sketch("inner").max <= reg.sketch("outer").max
+
+    def test_disabled_spans_feed_nothing(self):
+        with obs.span("ghost"):
+            pass
+        assert obs.get_registry().is_empty()
+
+
 class TestGatedHelpers:
     def test_helpers_noop_while_disabled(self):
         obs.inc("never", 3)

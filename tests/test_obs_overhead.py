@@ -66,3 +66,44 @@ def test_disabled_tracing_overhead_under_five_percent():
     assert overhead < MAX_OVERHEAD, (
         f"disabled tracing costs {overhead:.1%} "
         f"(traced {min(traced_times):.4f}s vs bare {min(bare_times):.4f}s)")
+
+
+def test_disabled_observe_duration_is_guard_only():
+    """``observe_duration`` while disabled must be one global check.
+
+    Same interleaved min-of-repeats protocol as above, compared against
+    a same-shape no-op call; the generous 3x bound only trips if the
+    guard pattern breaks (e.g. the sketch is created before the check).
+    """
+
+    def noop(name, seconds):
+        return None
+
+    def run_observed():
+        for _ in range(500):
+            obs.observe_duration("overhead.probe", 1e-3)
+
+    def run_noop():
+        for _ in range(500):
+            noop("overhead.probe", 1e-3)
+
+    run_observed()
+    run_noop()
+
+    noop_times: list[float] = []
+    observed_times: list[float] = []
+    for _ in range(REPEATS):
+        noop_times.append(timeit.timeit(run_noop, number=5))
+        observed_times.append(timeit.timeit(run_observed, number=5))
+
+    half = REPEATS // 2
+    noise = (abs(min(noop_times[:half]) - min(noop_times[half:]))
+             / min(noop_times))
+    if noise > 0.5:
+        pytest.skip(f"timing too noisy to judge overhead ({noise:.1%} jitter)")
+
+    ratio = min(observed_times) / min(noop_times)
+    assert ratio < 3.0, (
+        f"disabled observe_duration costs {ratio:.2f}x a no-op call")
+    # And nothing must have been recorded while disabled.
+    assert obs.get_registry().is_empty()

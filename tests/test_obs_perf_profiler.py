@@ -1,0 +1,189 @@
+"""Profiler, collapsed-stack, and hot-span report behaviour.
+
+The profiler is deterministic in its *keys* (same code → same stacks),
+so tests assert stack structure and conservation properties, never
+exact timings. ``collapsed_from_spans`` / ``hot_spans`` are pure
+functions of span dicts and get synthetic-record golden tests.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    SpanProfiler,
+    collapsed_from_spans,
+    format_collapsed,
+    format_hot_report,
+    hot_spans,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.enable()
+    yield
+    obs.disable()
+
+
+def spin(seconds: float) -> None:
+    """Busy-wait so self time is attributable (sleep hides in C calls)."""
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        pass
+
+
+# -- SpanProfiler ------------------------------------------------------
+
+def test_profiler_attributes_time_under_span_paths():
+    with SpanProfiler() as prof:
+        with obs.span("outer"):
+            with obs.span("inner"):
+                spin(0.01)
+    collapsed = prof.collapsed()
+    assert collapsed, "profiler recorded nothing"
+    inner_keys = [k for k in collapsed if k.startswith("outer;inner")]
+    assert inner_keys, f"no outer;inner stacks in {sorted(collapsed)}"
+    # The busy-wait function itself shows up as a frame on that path.
+    assert any("spin" in k for k in inner_keys)
+
+
+def test_profiler_total_bounded_by_wall_time():
+    # Charged time can undershoot wall time (the hook's own execution
+    # is deliberately excluded) but must never exceed it.
+    t0 = time.perf_counter()
+    with SpanProfiler() as prof:
+        with obs.span("work"):
+            spin(0.01)
+    wall = time.perf_counter() - t0
+    assert 0.0 < prof.total_seconds() <= wall * 1.05
+
+
+def test_profiler_start_stop_idempotent_and_detaches():
+    prof = SpanProfiler().start()
+    prof.start()  # second start is a no-op
+    prof.stop()
+    prof.stop()  # second stop is a no-op
+    assert sys.getprofile() is None
+    # Spans opened after stop() no longer reach the profiler.
+    before = dict(prof._times)
+    with obs.span("late"):
+        spin(0.002)
+    assert prof._times == before
+
+
+# -- collapsed_from_spans ----------------------------------------------
+
+def synthetic_records() -> list[dict]:
+    # root(10ms self) -> child(5ms self) -> leaf(2ms self); sibling
+    # second root occurrence merges into the same path key.
+    return [
+        {"type": "span", "id": 1, "parent_id": None, "name": "root",
+         "depth": 0, "start": 0.0, "duration": 0.017, "self": 0.010},
+        {"type": "span", "id": 2, "parent_id": 1, "name": "child",
+         "depth": 1, "start": 0.001, "duration": 0.007, "self": 0.005},
+        {"type": "span", "id": 3, "parent_id": 2, "name": "leaf",
+         "depth": 2, "start": 0.002, "duration": 0.002, "self": 0.002},
+        {"type": "span", "id": 4, "parent_id": None, "name": "root",
+         "depth": 0, "start": 0.1, "duration": 0.003, "self": 0.003},
+        {"type": "metric", "name": "ignored", "kind": "counter"},
+    ]
+
+
+def test_collapsed_from_spans_builds_paths_and_merges():
+    collapsed = collapsed_from_spans(synthetic_records())
+    assert collapsed == {
+        "root": 13_000,  # 10 ms + the 3 ms second occurrence
+        "root;child": 5_000,
+        "root;child;leaf": 2_000,
+    }
+
+
+def test_collapsed_from_spans_reads_live_tracer():
+    with obs.span("a"):
+        with obs.span("b"):
+            spin(0.005)
+    collapsed = collapsed_from_spans()
+    assert any(k == "a;b" for k in collapsed)
+
+
+def test_format_collapsed_stable_lines():
+    text = format_collapsed({"b;c": 2, "a": 1})
+    assert text.splitlines() == ["a 1", "b;c 2"]
+    assert format_collapsed({}) == "(no samples)"
+
+
+# -- hot_spans ---------------------------------------------------------
+
+def test_hot_spans_ranked_by_self_time():
+    rows = hot_spans(synthetic_records())
+    assert [r["name"] for r in rows] == ["root", "child", "leaf"]
+    root = rows[0]
+    assert root["calls"] == 2
+    assert root["self_s"] == pytest.approx(0.013)
+    assert root["total_s"] == pytest.approx(0.020)
+    assert root["mean_s"] == pytest.approx(0.010)
+    assert root["self_pct"] == pytest.approx(100 * 0.013 / 0.020)
+    assert sum(r["self_pct"] for r in rows) == pytest.approx(100.0)
+
+
+def test_hot_spans_top_truncates():
+    rows = hot_spans(synthetic_records(), top=1)
+    assert len(rows) == 1
+    assert rows[0]["name"] == "root"
+
+
+def test_format_hot_report_renders_table():
+    text = format_hot_report(synthetic_records())
+    assert "hot spans" in text
+    assert "root" in text and "self_ms" in text
+    assert format_hot_report([]) == "(no spans recorded)"
+
+
+# -- tools/trace_report.py modes ---------------------------------------
+
+def write_trace(tmp_path: Path) -> Path:
+    with obs.span("outer"):
+        with obs.span("inner"):
+            spin(0.005)
+    path = tmp_path / "trace.jsonl"
+    obs.export_jsonl(path)
+    return path
+
+
+def run_tool(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(REPO / "tools" / "trace_report.py"), *argv],
+        capture_output=True, text=True)
+
+
+def test_trace_report_flame_mode(tmp_path):
+    path = write_trace(tmp_path)
+    proc = run_tool("--flame", str(path))
+    assert proc.returncode == 0, proc.stderr
+    assert any(line.startswith("outer;inner ")
+               for line in proc.stdout.splitlines())
+
+
+def test_trace_report_hot_mode(tmp_path):
+    path = write_trace(tmp_path)
+    proc = run_tool("--hot", "1", str(path))
+    assert proc.returncode == 0, proc.stderr
+    assert "top 1" in proc.stdout
+    proc_default = run_tool("--hot", str(path))
+    assert proc_default.returncode == 0
+    assert "outer" in proc_default.stdout
+
+
+def test_trace_report_bad_usage_exits_2(tmp_path):
+    assert run_tool().returncode == 2
+    assert run_tool("--hot", "not-a-number",
+                    str(write_trace(tmp_path))).returncode == 2

@@ -8,6 +8,13 @@ with total/self times — same-named siblings collapsed as ``name xN``
 provenance record counts found in the file.
 
 Usage:  python tools/trace_report.py <trace.jsonl>
+        python tools/trace_report.py --flame <trace.jsonl>
+        python tools/trace_report.py --hot [N] <trace.jsonl>
+
+``--flame`` emits the span tree in collapsed-stack format
+(``outer;inner self_microseconds`` lines) ready for any flamegraph
+renderer (e.g. ``flamegraph.pl`` or speedscope). ``--hot`` prints the
+top-N spans ranked by self time (default 15).
 """
 
 from __future__ import annotations
@@ -22,8 +29,17 @@ signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.obs import format_span_tree, read_jsonl  # noqa: E402
+from repro.obs import (  # noqa: E402
+    collapsed_from_spans,
+    format_collapsed,
+    format_hot_report,
+    format_span_tree,
+    read_jsonl,
+)
 from repro.report import format_table  # noqa: E402
+
+USAGE = ("usage: python tools/trace_report.py [--flame | --hot [N]] "
+         "<trace.jsonl>")
 
 
 def render(records: list[dict]) -> str:
@@ -56,8 +72,23 @@ def render(records: list[dict]) -> str:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    mode = "report"
+    top = 15
+    if argv and argv[0] == "--flame":
+        mode = "flame"
+        argv = argv[1:]
+    elif argv and argv[0] == "--hot":
+        mode = "hot"
+        argv = argv[1:]
+        if len(argv) == 2:
+            try:
+                top = int(argv[0])
+            except ValueError:
+                print(USAGE, file=sys.stderr)
+                return 2
+            argv = argv[1:]
     if len(argv) != 1:
-        print("usage: python tools/trace_report.py <trace.jsonl>", file=sys.stderr)
+        print(USAGE, file=sys.stderr)
         return 2
     path = Path(argv[0])
     if not path.exists():
@@ -68,7 +99,12 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:  # json.JSONDecodeError is a ValueError
         print(f"not a JSONL trace export: {path} ({exc})", file=sys.stderr)
         return 2
-    print(render(records))
+    if mode == "flame":
+        print(format_collapsed(collapsed_from_spans(records)))
+    elif mode == "hot":
+        print(format_hot_report(records, top=top))
+    else:
+        print(render(records))
     return 0
 
 
