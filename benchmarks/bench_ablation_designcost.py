@@ -12,7 +12,7 @@ from repro.optimize import optimal_sd, parameter_elasticities, tornado
 from repro.report import format_table
 
 POINT = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5_000,
-             yield_fraction=0.4, cm_sq=8.0)
+             yield_fraction=0.4, cost_per_cm2=8.0)
 
 EXCURSIONS = {
     "a0": (250.0, 4000.0),     # 4x both ways
@@ -21,7 +21,7 @@ EXCURSIONS = {
     "sd0": (50.0, 150.0),
     "n_wafers": (1_000, 25_000),
     "yield_fraction": (0.2, 0.8),
-    "cm_sq": (4.0, 16.0),
+    "cost_per_cm2": (4.0, 16.0),
 }
 
 
@@ -30,7 +30,7 @@ def regenerate_ablation():
     entries = tornado(PAPER_FIGURE4_MODEL, POINT, EXCURSIONS)
     elas = parameter_elasticities(
         PAPER_FIGURE4_MODEL, POINT,
-        parameters=["a0", "p2", "n_wafers", "cm_sq", "n_transistors"])
+        parameters=["a0", "p2", "n_wafers", "cost_per_cm2", "n_transistors"])
     return base, entries, elas
 
 

@@ -16,7 +16,7 @@ from repro.optimize import optimal_sd
 from repro.report import format_table
 
 POINT = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5_000,
-             yield_fraction=0.4, cm_sq=8.0)
+             yield_fraction=0.4, cost_per_cm2=8.0)
 
 CONFIGS = [
     ("eq. (4) bare (paper Fig. 4)", dict(include_masks=False, test_model=None)),

@@ -14,7 +14,7 @@ from repro.economics import MarketWindowModel, profit_optimal_sd
 from repro.optimize import optimal_sd
 from repro.report import format_table
 
-POINT = dict(n_transistors=1e7, feature_um=0.18, yield_fraction=0.8, cm_sq=8.0)
+POINT = dict(n_transistors=1e7, feature_um=0.18, yield_fraction=0.8, cost_per_cm2=8.0)
 N_UNITS = 2e6
 WINDOWS = [20, 40, 60, 120, 300, 1000]  # weeks; hot consumer -> embedded
 

@@ -16,9 +16,9 @@ from repro.optimize import optimal_sd, optimum_vs_volume, sd_grid, sd_sweep
 from repro.report import Series, ascii_plot, format_table
 
 FIG4A = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5_000,
-             yield_fraction=0.4, cm_sq=8.0)
+             yield_fraction=0.4, cost_per_cm2=8.0)
 FIG4B = dict(n_transistors=1e7, feature_um=0.18, n_wafers=50_000,
-             yield_fraction=0.9, cm_sq=8.0)
+             yield_fraction=0.9, cost_per_cm2=8.0)
 GRID = sd_grid(100.0, sd_max=1200.0, n=240)
 
 

@@ -34,7 +34,7 @@ def main() -> None:
 
     n_transistors = 9.5e6
     feature_um = 0.25
-    cm_sq = 8.0
+    cost_per_cm2 = 8.0
     yield_fraction = 0.8
 
     follower_sd = float(k6_2.best_sd_logic())   # dense
@@ -61,16 +61,16 @@ def main() -> None:
     volumes = np.geomspace(200, 2e6, 25)
     for nw in volumes:
         cf = model.transistor_cost(follower_sd, n_transistors, feature_um,
-                                   nw, yield_fraction, cm_sq)
+                                   nw, yield_fraction, cost_per_cm2)
         cl = model.transistor_cost(leader_sd, n_transistors, feature_um,
-                                   nw, yield_fraction, cm_sq)
+                                   nw, yield_fraction, cost_per_cm2)
         if crossover is None and cf < cl:
             crossover = nw
     for nw in (1_000, 10_000, 100_000, 1_000_000):
         cf = model.transistor_cost(follower_sd, n_transistors, feature_um,
-                                   nw, yield_fraction, cm_sq)
+                                   nw, yield_fraction, cost_per_cm2)
         cl = model.transistor_cost(leader_sd, n_transistors, feature_um,
-                                   nw, yield_fraction, cm_sq)
+                                   nw, yield_fraction, cost_per_cm2)
         rows.append((f"{nw:,}", cf * 1e6, cl * 1e6,
                      "follower" if cf < cl else "leader"))
     print(format_table(

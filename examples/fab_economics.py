@@ -42,7 +42,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Part 2: why industry drifted sparse — TTM pressure.
     # ------------------------------------------------------------------
-    point = dict(n_transistors=1e7, feature_um=0.18, yield_fraction=0.8, cm_sq=8.0)
+    point = dict(n_transistors=1e7, feature_um=0.18, yield_fraction=0.8, cost_per_cm2=8.0)
     cost_opt = optimal_sd(PAPER_FIGURE4_MODEL, n_wafers=50_000, **point)
     print(f"Cost-optimal density (eq. 4, 50k wafers): s_d = {cost_opt.sd_opt:.0f}")
 

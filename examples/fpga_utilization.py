@@ -27,7 +27,7 @@ def main() -> None:
     n_transistors = 10e6
     feature_um = 0.18
     yield_fraction = 0.8
-    cm_sq = 8.0
+    cost_per_cm2 = 8.0
     design = DesignCostModel()
     masks = MaskSetCostModel()
 
@@ -47,7 +47,7 @@ def main() -> None:
     rows = []
     for nw in (100, 1_000, 10_000, 100_000, 1_000_000):
         costs = [d.cost_per_used_transistor(n_transistors, feature_um, nw,
-                                            yield_fraction, cm_sq)
+                                            yield_fraction, cost_per_cm2)
                  for d in devices]
         winner = devices[int(np.argmin(costs))].name
         rows.append((f"{nw:,}", *[c * 1e6 for c in costs], winner))
@@ -57,7 +57,7 @@ def main() -> None:
         title="Cost per USED transistor (eq. 4 with Y -> uY)"))
 
     crossover = fpga_vs_asic_crossover(
-        n_transistors, feature_um, yield_fraction, cm_sq,
+        n_transistors, feature_um, yield_fraction, cost_per_cm2,
         fpga=fpga, asic_sd=350.0, design_model=design,
         mask_cost_usd=masks.cost(feature_um))
     if crossover is None:

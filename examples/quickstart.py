@@ -13,6 +13,7 @@ transistor 0.18 µm part, the workload of the paper's Figure 4:
 Run:  python examples/quickstart.py
 """
 
+from repro import Scenario, evaluate_many
 from repro.cost import (
     DEFAULT_GENERALIZED_MODEL,
     PAPER_FIGURE4_MODEL,
@@ -39,21 +40,31 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Eq. (3): manufacturing-only cost per functional transistor.
     # ------------------------------------------------------------------
-    cm_sq = 8.0           # $/cm^2, the paper's 1999 anchor
+    cost_per_cm2 = 8.0           # $/cm^2, the paper's 1999 anchor
     yield_fraction = 0.8
-    c_mfg = transistor_cost(cm_sq, feature_um, sd, yield_fraction)
+    c_mfg = transistor_cost(cost_per_cm2, feature_um, sd, yield_fraction)
     print(f"\nEq. (3) manufacturing cost: {c_mfg:.3e} $/transistor "
           f"({c_mfg * n_transistors:.2f} $/die)")
 
     # ------------------------------------------------------------------
     # Eq. (4): fold in design cost, amortised over the wafer run.
+    # One Scenario per volume; evaluate_many batches them through the
+    # vectorized engine in a single call.
     # ------------------------------------------------------------------
+    scenarios = [
+        Scenario(n_transistors=n_transistors, feature_um=feature_um, sd=sd,
+                 n_wafers=n_wafers, yield_fraction=yield_fraction,
+                 cost_per_cm2=cost_per_cm2, label=f"{n_wafers:,}")
+        for n_wafers in (1_000, 5_000, 50_000, 500_000)
+    ]
     rows = []
-    for n_wafers in (1_000, 5_000, 50_000, 500_000):
+    for res in evaluate_many(scenarios):
         breakdown = PAPER_FIGURE4_MODEL.breakdown(
-            sd, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq)
-        rows.append((f"{n_wafers:,}", breakdown.manufacturing, breakdown.design,
-                     breakdown.total, 100 * breakdown.development_share))
+            sd, n_transistors, feature_um, res.scenario.n_wafers,
+            yield_fraction, cost_per_cm2)
+        rows.append((res.scenario.label, breakdown.manufacturing,
+                     breakdown.design, res.cost_per_transistor_usd,
+                     100 * breakdown.development_share))
     print("\n" + format_table(
         ["wafers", "mfg $/tx", "design $/tx", "total $/tx", "dev share %"],
         rows, float_spec=".3g",
@@ -63,11 +74,11 @@ def main() -> None:
     # §3.1: the cost-optimal density for this product at 5000 wafers.
     # ------------------------------------------------------------------
     opt = optimal_sd(PAPER_FIGURE4_MODEL, n_transistors, feature_um,
-                     5_000, 0.4, cm_sq)
+                     5_000, 0.4, cost_per_cm2)
     print(f"\nOptimal s_d at 5,000 wafers, Y=0.4 (Figure 4a): "
           f"{opt.sd_opt:.0f}  ->  {opt.cost_opt:.3e} $/tx")
     opt_hi = optimal_sd(PAPER_FIGURE4_MODEL, n_transistors, feature_um,
-                        50_000, 0.9, cm_sq)
+                        50_000, 0.9, cost_per_cm2)
     print(f"Optimal s_d at 50,000 wafers, Y=0.9 (Figure 4b): "
           f"{opt_hi.sd_opt:.0f}  ->  {opt_hi.cost_opt:.3e} $/tx")
     print("-> the optimum moves with volume; neither the smallest die nor "

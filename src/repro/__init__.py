@@ -10,12 +10,30 @@ design-iteration simulator, and a layout-regularity analyzer.
 
 Quick start
 -----------
+Describe the product as a :class:`~repro.api.Scenario` and evaluate it:
+
+>>> from repro import Scenario, evaluate
+>>> result = evaluate(Scenario(n_transistors=10e6, feature_um=0.18, sd=300))
+>>> f"{result.cost_per_transistor_usd:.2e} $/tx on {result.area_cm2:.2f} cm^2"
+'2.31e-06 $/tx on 0.97 cm^2'
+
+Batches vectorize through :mod:`repro.engine` (``evaluate_many``); the
+per-equation entry points remain in the subpackages below:
+
 >>> from repro.cost import transistor_cost
 >>> transistor_cost(cost_per_cm2=8.0, feature_um=0.18, sd=300, yield_fraction=0.8)  # doctest: +ELLIPSIS
 9.7...e-07
 
 Subpackages
 -----------
+``repro.api``
+    The facade: ``Scenario`` records in, ``ScenarioResult`` out —
+    the documented entry point for pricing designs.
+``repro.engine``
+    Vectorized batch-evaluation backend (NumPy kernels, memo cache,
+    process-pool chunking) behind the facade and the sweep/roadmap
+    hot loops; ``repro.engine.set_backend`` selects
+    ``auto``/``numpy``/``python``.
 ``repro.data``
     Table A1 (49 industrial designs) and the reconstructed ITRS-1999
     roadmap.
@@ -59,6 +77,7 @@ Subpackages
 
 from . import (  # noqa: F401
     analysis,
+    api,
     bench,
     constants,
     cost,
@@ -66,6 +85,7 @@ from . import (  # noqa: F401
     density,
     designflow,
     economics,
+    engine,
     interconnect,
     layout,
     lint,
@@ -77,6 +97,7 @@ from . import (  # noqa: F401
     wafer,
     yieldmodels,
 )
+from .api import Scenario, ScenarioResult, evaluate, evaluate_many
 from .errors import (
     CalibrationError,
     CollectedErrors,
@@ -94,6 +115,12 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "engine",
+    "Scenario",
+    "ScenarioResult",
+    "evaluate",
+    "evaluate_many",
     "data",
     "density",
     "cost",

@@ -21,17 +21,21 @@ the bare report):
     Evaluate under :attr:`repro.robust.ErrorPolicy.MASK`: infeasible
     points become NaN entries instead of aborting the report, and a
     masked-point summary is appended when anything was masked.
+``--backend {auto,numpy,python}``
+    Select the :mod:`repro.engine` evaluation backend for the run
+    (``auto`` picks NumPy when available).
 """
 
 from __future__ import annotations
 
 import sys
 
-from . import obs
+from . import engine, obs
+from .api import Scenario, evaluate_many
 from .cost import PAPER_FIGURE4_MODEL
 from .data import DesignRegistry, load_itrs_1999
 from .density import sd_vs_feature_fit
-from .errors import ReproError
+from .errors import DomainError, ReproError
 from .obs.instrument import traced
 from .optimize import optimal_sd
 from .report import format_table
@@ -73,6 +77,20 @@ def build_report(policy: ErrorPolicy = ErrorPolicy.RAISE,
         ["year", "nm", "ITRS s_d", "const-cost s_d", "ratio"],
         rows, float_spec=".4g",
         title="Figures 2-3: the cost contradiction ($34 die, 8 $/cm2, Y=0.8)"))
+
+    operating_points = [
+        Scenario(n_transistors=1e7, feature_um=0.18, sd=300.0,
+                 n_wafers=5_000, yield_fraction=0.4, label="5k wafers, Y=0.4"),
+        Scenario(n_transistors=1e7, feature_um=0.18, sd=300.0,
+                 n_wafers=50_000, yield_fraction=0.9, label="50k wafers, Y=0.9"),
+    ]
+    results = evaluate_many(operating_points, policy=policy,
+                            diagnostics=diagnostics)
+    priced = ", ".join(
+        f"{r.scenario.label}: ${r.die_cost_usd:.0f}/die" if r.ok
+        else f"{r.scenario.label}: n/a" for r in results)
+    lines.append(f"\nScenario facade (10M tx, 0.18 um, s_d=300, "
+                 f"{results[0].backend} backend): {priced}")
 
     def fig4_opt(n_wafers: float, yield_fraction: float) -> str:
         try:
@@ -127,16 +145,51 @@ def masked_summary(diagnostics: list) -> str:
     return "\n".join(lines)
 
 
+def _split_backend(argv: list[str]) -> tuple[list[str], str | None]:
+    """Extract ``--backend VALUE`` / ``--backend=VALUE`` from the argv."""
+    rest: list[str] = []
+    backend: str | None = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--backend":
+            if i + 1 >= len(argv):
+                raise DomainError("--backend requires a value")
+            backend = argv[i + 1]
+            i += 2
+            continue
+        if arg.startswith("--backend="):
+            backend = arg.split("=", 1)[1]
+            i += 1
+            continue
+        rest.append(arg)
+        i += 1
+    return rest, backend
+
+
+_USAGE = ("usage: python -m repro [report] [--trace] [--metrics] "
+          "[--profile] [--permissive] [--backend auto|numpy|python]")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        argv, backend = _split_backend(argv)
+    except DomainError as exc:
+        print(f"{exc}; {_USAGE}", file=sys.stderr)
+        return 2
+    if backend is not None:
+        try:
+            engine.set_backend(backend)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     flags = [a for a in argv if a.startswith("--")]
     positional = [a for a in argv if not a.startswith("--")]
     unknown = [f for f in flags if f not in _FLAGS]
     if unknown:
-        print(f"unknown flag {unknown[0]!r}; usage: python -m repro [report] "
-              "[--trace] [--metrics] [--profile] [--permissive]",
-              file=sys.stderr)
+        print(f"unknown flag {unknown[0]!r}; {_USAGE}", file=sys.stderr)
         return 2
     if positional and positional[0] not in ("report",):
         print(f"unknown command {positional[0]!r}; usage: python -m repro [report]",

@@ -1,0 +1,87 @@
+"""Keyword-alias shims for renamed public parameters.
+
+The API normalisation renamed a handful of inconsistently-spelled
+keywords (``cm_sq`` → ``cost_per_cm2``, ``die_area_cm2`` →
+``area_cm2`` on the critical-area methods). The old spellings keep
+working through :func:`renamed_kwargs`, which rewrites them to the
+canonical name and emits a :class:`DeprecationWarning` **once per call
+site** — repeated calls from the same file/line stay silent, while a
+second call site gets its own warning.
+
+:data:`DEPRECATED_KWARG_ALIASES` is the machine-readable alias table;
+the ``API005`` lint rule reads it to flag deprecated spellings inside
+the repository's own source tree.
+"""
+
+from __future__ import annotations
+
+import functools
+import sys
+import warnings
+
+from .errors import DomainError
+
+__all__ = ["DEPRECATED_KWARG_ALIASES", "renamed_kwargs", "reset_warning_registry"]
+
+#: Old keyword spelling → canonical spelling, across the public API.
+DEPRECATED_KWARG_ALIASES = {
+    "cm_sq": "cost_per_cm2",
+    "die_area_cm2": "area_cm2",
+}
+
+#: Call sites (function, alias, filename, lineno) already warned about.
+_WARNED: set[tuple] = set()
+
+
+def reset_warning_registry() -> None:
+    """Forget which call sites were warned (test isolation hook)."""
+    _WARNED.clear()
+
+
+def _call_site() -> tuple:
+    # Frame 0 is this helper, 1 the wrapper, 2 the caller we attribute
+    # the deprecation to. A torn-down frame stack (embedded interpreters)
+    # degrades to a process-wide single warning rather than crashing.
+    try:
+        frame = sys._getframe(2)
+        return (frame.f_code.co_filename, frame.f_lineno)
+    except ValueError:
+        return ("<unknown>", 0)
+
+
+def renamed_kwargs(**aliases: str):
+    """Decorator: accept old keyword spellings for renamed parameters.
+
+    ``renamed_kwargs(cm_sq="cost_per_cm2")`` lets callers keep writing
+    ``fn(cm_sq=8.0)``; the value is forwarded as ``cost_per_cm2`` and a
+    ``DeprecationWarning`` fires once per call site. Passing both
+    spellings is a hard :class:`~repro.errors.DomainError` — silent
+    precedence would hide a real bug.
+    """
+    for old, new in aliases.items():
+        if old == new:
+            raise DomainError(f"alias {old!r} maps to itself")
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            for old, new in aliases.items():
+                if old not in kwargs:
+                    continue
+                if new in kwargs:
+                    raise DomainError(
+                        f"{fn.__name__}() got both {old!r} and its replacement "
+                        f"{new!r}; pass only {new!r}")
+                site = (fn.__qualname__, old) + _call_site()
+                if site not in _WARNED:
+                    _WARNED.add(site)
+                    warnings.warn(
+                        f"{fn.__name__}(): keyword {old!r} is deprecated; "
+                        f"use {new!r}",
+                        DeprecationWarning, stacklevel=2)
+                kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._compat import renamed_kwargs
 from ..obs.instrument import traced
 from ..units import um_to_cm
 from ..validation import check_fraction, check_positive
@@ -105,9 +106,10 @@ class TotalCostModel:
         return result if any(np.ndim(a) for a in args) else float(result)
 
     # -- eq. (4) -----------------------------------------------------------
+    @renamed_kwargs(cm_sq="cost_per_cm2")
     @traced(equation="4")
     def transistor_cost(self, sd, n_transistors, feature_um, n_wafers,
-                        yield_fraction, cm_sq):
+                        yield_fraction, cost_per_cm2):
         """Eq. (4): total cost per functional (and used) transistor ($).
 
         Parameters
@@ -122,13 +124,13 @@ class TotalCostModel:
             Wafer run size ``N_w``.
         yield_fraction:
             Manufacturing yield ``Y``.
-        cm_sq:
+        cost_per_cm2:
             Manufacturing cost per cm² ``Cm_sq`` ($/cm²).
         """
         sd_arr = check_positive(sd, "sd")
         feature_cm = um_to_cm(check_positive(feature_um, "feature_um"))
         yield_fraction = check_fraction(yield_fraction, "yield_fraction")
-        cm_sq = check_positive(cm_sq, "cm_sq")
+        cost_per_cm2 = check_positive(cost_per_cm2, "cost_per_cm2")
         cd_sq = self.design_cost_per_cm2(n_transistors, sd, feature_um, n_wafers)
         ct_sq = 0.0
         if self.test_model is not None:
@@ -138,19 +140,20 @@ class TotalCostModel:
             np.asarray(feature_cm, dtype=float) ** 2
             * np.asarray(sd_arr, dtype=float)
             / effective_yield
-            * (np.asarray(cm_sq, dtype=float) + np.asarray(cd_sq) + np.asarray(ct_sq))
+            * (np.asarray(cost_per_cm2, dtype=float) + np.asarray(cd_sq) + np.asarray(ct_sq))
         )
-        args = (sd, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq)
+        args = (sd, n_transistors, feature_um, n_wafers, yield_fraction, cost_per_cm2)
         return result if any(np.ndim(a) for a in args) else float(result)
 
+    @renamed_kwargs(cm_sq="cost_per_cm2")
     @traced(equation="4", attach_result=True)
     def breakdown(self, sd, n_transistors, feature_um, n_wafers,
-                  yield_fraction, cm_sq) -> CostBreakdown:
+                  yield_fraction, cost_per_cm2) -> CostBreakdown:
         """Component-wise split of eq. (4) at a scalar operating point."""
         sd = check_positive(sd, "sd")
         feature_cm = um_to_cm(check_positive(feature_um, "feature_um"))
         yield_fraction = check_fraction(yield_fraction, "yield_fraction")
-        cm_sq = check_positive(cm_sq, "cm_sq")
+        cost_per_cm2 = check_positive(cost_per_cm2, "cost_per_cm2")
         n_wafers = check_positive(n_wafers, "n_wafers")
         silicon = feature_cm**2 * sd / (yield_fraction * self.utilization)
         wafer_cm2 = n_wafers * self.wafer.area_cm2
@@ -160,17 +163,18 @@ class TotalCostModel:
         if self.test_model is not None:
             test_sq = self.test_model.cost_per_cm2(sd, feature_um, n_transistors)
         return CostBreakdown(
-            manufacturing=float(silicon * cm_sq),
+            manufacturing=float(silicon * cost_per_cm2),
             design=float(silicon * design_sq),
             masks=float(silicon * mask_sq),
             test=float(silicon * test_sq),
         )
 
-    def project_cost(self, sd, n_transistors, feature_um, n_wafers, cm_sq) -> float:
+    @renamed_kwargs(cm_sq="cost_per_cm2")
+    def project_cost(self, sd, n_transistors, feature_um, n_wafers, cost_per_cm2) -> float:
         """Total program spend ($): silicon + design + masks for the run."""
         n_wafers = check_positive(n_wafers, "n_wafers")
-        cm_sq = check_positive(cm_sq, "cm_sq")
-        silicon = cm_sq * self.wafer.area_cm2 * n_wafers
+        cost_per_cm2 = check_positive(cost_per_cm2, "cost_per_cm2")
+        silicon = cost_per_cm2 * self.wafer.area_cm2 * n_wafers
         return float(
             silicon + self.design_model.cost(n_transistors, sd) + self.mask_cost(feature_um)
         )

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import renamed_kwargs
 from ..obs.instrument import traced
 from ..units import um_to_cm
 from ..errors import DomainError
@@ -73,31 +74,34 @@ class UtilizedDevice:
         if self.design_cost_usd < 0 or self.mask_cost_usd < 0:
             raise DomainError("costs must be non-negative")
 
+    @renamed_kwargs(cm_sq="cost_per_cm2")
     @traced(equation="4")
     def cost_per_used_transistor(self, n_transistors, feature_um, n_wafers,
-                                 yield_fraction, cm_sq, wafer: WaferSpec = WAFER_200MM):
+                                 yield_fraction, cost_per_cm2,
+                                 wafer: WaferSpec = WAFER_200MM):
         """Eq. (4) with ``Y → u·Y`` and this device's development costs."""
         n_transistors = check_positive(n_transistors, "n_transistors")
         feature_cm = um_to_cm(check_positive(feature_um, "feature_um"))
         n_wafers = check_positive(n_wafers, "n_wafers")
         yield_fraction = check_fraction(yield_fraction, "yield_fraction")
-        cm_sq = check_positive(cm_sq, "cm_sq")
+        cost_per_cm2 = check_positive(cost_per_cm2, "cost_per_cm2")
         dev_sq = (self.design_cost_usd + self.mask_cost_usd) / (
             np.asarray(n_wafers, dtype=float) * wafer.area_cm2
         )
         y_eff = effective_yield(yield_fraction, self.utilization)
-        result = feature_cm**2 * self.sd / np.asarray(y_eff) * (cm_sq + dev_sq)
+        result = feature_cm**2 * self.sd / np.asarray(y_eff) * (cost_per_cm2 + dev_sq)
         args = (n_transistors, n_wafers, yield_fraction)
         return result if any(np.ndim(a) for a in args) else float(result)
 
 
+@renamed_kwargs(cm_sq="cost_per_cm2")
 @traced(equation="4", capture=("n_transistors", "feature_um", "yield_fraction",
-                               "cm_sq", "asic_sd", "max_wafers"))
+                               "cost_per_cm2", "asic_sd", "max_wafers"))
 def fpga_vs_asic_crossover(
     n_transistors: float,
     feature_um: float,
     yield_fraction: float,
-    cm_sq: float,
+    cost_per_cm2: float,
     fpga: UtilizedDevice,
     asic_sd: float = 300.0,
     design_model: DesignCostModel | None = None,
@@ -124,9 +128,9 @@ def fpga_vs_asic_crossover(
 
     def gap(n_wafers: float) -> float:
         a = asic.cost_per_used_transistor(n_transistors, feature_um, n_wafers,
-                                          yield_fraction, cm_sq, wafer)
+                                          yield_fraction, cost_per_cm2, wafer)
         f = fpga.cost_per_used_transistor(n_transistors, feature_um, n_wafers,
-                                          yield_fraction, cm_sq, wafer)
+                                          yield_fraction, cost_per_cm2, wafer)
         return float(a - f)
 
     lo, hi = 1.0, float(max_wafers)

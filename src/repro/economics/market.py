@@ -30,6 +30,7 @@ from ..cost.manufacturing import die_cost
 from ..cost.total import TotalCostModel
 from ..designflow.iteration import IterationCostModel
 from ..designflow.timing import TimingClosureModel
+from .._compat import renamed_kwargs
 from ..errors import DomainError
 from ..robust.retry import RetryBudget
 from ..robust.solvers import retrying_golden_min
@@ -95,7 +96,7 @@ def _evaluate(
     feature_um: float,
     n_units: float,
     yield_fraction: float,
-    cm_sq: float,
+    cost_per_cm2: float,
     regularity: float,
 ) -> ProfitPoint:
     iterations = closure.expected_iterations(sd, feature_um, regularity)
@@ -104,7 +105,7 @@ def _evaluate(
     # Selling n_units good dice: every unit carries the eq.-(3) die
     # cost, which rises linearly with sd (sparser design = more silicon
     # per sold unit).
-    silicon = n_units * die_cost(cm_sq, feature_um, sd, n_transistors, yield_fraction)
+    silicon = n_units * die_cost(cost_per_cm2, feature_um, sd, n_transistors, yield_fraction)
     return ProfitPoint(
         sd=sd,
         schedule_weeks=float(schedule),
@@ -114,6 +115,7 @@ def _evaluate(
     )
 
 
+@renamed_kwargs(cm_sq="cost_per_cm2")
 def profit_optimal_sd(
     market: MarketWindowModel,
     cost_model: TotalCostModel,
@@ -121,7 +123,7 @@ def profit_optimal_sd(
     feature_um: float,
     n_units: float,
     yield_fraction: float,
-    cm_sq: float,
+    cost_per_cm2: float,
     closure: TimingClosureModel | None = None,
     iteration_cost: IterationCostModel | None = None,
     regularity: float = 0.0,
@@ -159,7 +161,7 @@ def profit_optimal_sd(
     def neg_profit(sd: float) -> float:
         point = _evaluate(sd, market, cost_model, closure, iteration_cost,
                           n_transistors, feature_um, n_units, yield_fraction,
-                          cm_sq, regularity)
+                          cost_per_cm2, regularity)
         return -point.profit_usd
 
     sd_opt, _, _, _ = retrying_golden_min(
@@ -167,4 +169,4 @@ def profit_optimal_sd(
         solver="economics.market.profit_optimal_sd", retry=retry, lo_floor=sd0)
     return _evaluate(sd_opt, market, cost_model, closure, iteration_cost,
                      n_transistors, feature_um, n_units, yield_fraction,
-                     cm_sq, regularity)
+                     cost_per_cm2, regularity)

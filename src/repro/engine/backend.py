@@ -1,0 +1,117 @@
+"""Backend selection for the batch-evaluation engine.
+
+Three modes:
+
+* ``"auto"`` (default) — use the vectorized NumPy backend when NumPy
+  imports, else fall back to the pure-python kernels;
+* ``"numpy"`` — force the vectorized backend (fails loud if NumPy is
+  genuinely absent);
+* ``"python"`` — force the pure-python scalar kernels (useful to
+  cross-check vectorized results, and what :func:`disable` selects).
+
+The mode is process-global; the ``REPRO_ENGINE_BACKEND`` environment
+variable seeds it at import (unknown values are ignored and leave the
+default ``"auto"``), the CLI's ``--backend`` flag and :func:`using`
+change it at runtime.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+import os
+
+from ..errors import DomainError
+
+__all__ = [
+    "BACKENDS",
+    "numpy_available",
+    "current_backend",
+    "resolved_backend",
+    "set_backend",
+    "enable",
+    "disable",
+    "using",
+]
+
+#: The recognised backend mode names.
+BACKENDS = ("auto", "numpy", "python")
+
+#: Environment variable that seeds the mode at import time.
+_ENV_VAR = "REPRO_ENGINE_BACKEND"
+
+_NUMPY_AVAILABLE = importlib.util.find_spec("numpy") is not None
+
+
+def _initial_mode() -> str:
+    value = os.environ.get(_ENV_VAR, "auto").strip().lower()
+    return value if value in BACKENDS else "auto"
+
+
+_MODE = _initial_mode()
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized backend can run in this interpreter."""
+    return _NUMPY_AVAILABLE
+
+
+def current_backend() -> str:
+    """The configured mode: ``"auto"``, ``"numpy"`` or ``"python"``."""
+    return _MODE
+
+
+def resolved_backend() -> str:
+    """The concrete backend a dispatch would use *right now*.
+
+    ``"auto"`` resolves to ``"numpy"`` when NumPy is importable, else
+    ``"python"``; explicit modes pass through.
+    """
+    if _MODE != "auto":
+        return _MODE
+    return "numpy" if _NUMPY_AVAILABLE else "python"
+
+
+def set_backend(mode: str) -> str:
+    """Select the backend mode; returns the previously configured mode.
+
+    Raises
+    ------
+    DomainError
+        For an unknown mode, or ``"numpy"`` when NumPy is absent.
+    """
+    global _MODE
+    normalized = str(mode).strip().lower()
+    if normalized not in BACKENDS:
+        known = ", ".join(BACKENDS)
+        raise DomainError(f"unknown engine backend {mode!r}; known: {known}")
+    if normalized == "numpy" and not _NUMPY_AVAILABLE:
+        raise DomainError("engine backend 'numpy' requested but numpy is not importable")
+    previous = _MODE
+    _MODE = normalized
+    return previous
+
+
+def enable() -> None:
+    """Restore automatic backend selection (the default)."""
+    set_backend("auto")
+
+
+def disable() -> None:
+    """Force the pure-python scalar path (bypasses vectorized dispatch)."""
+    set_backend("python")
+
+
+@contextlib.contextmanager
+def using(mode: str):
+    """Context manager: run a block under a specific backend mode.
+
+    >>> from repro import engine
+    >>> with engine.using("python"):
+    ...     pass  # dispatches run the scalar kernels here
+    """
+    previous = set_backend(mode)
+    try:
+        yield
+    finally:
+        set_backend(previous)

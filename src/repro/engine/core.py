@@ -1,0 +1,207 @@
+"""Engine core: policy-preserving grid dispatch and scalar mapping.
+
+:func:`evaluate_grid` is the single entry the hot loops call. It takes
+a kernel (see :mod:`repro.engine.kernels`), a 1-D grid, and the same
+``ErrorPolicy`` the legacy loops took, and returns a
+:class:`GridEvaluation` whose values and diagnostics are numerically
+and behaviourally identical to the per-point loops it replaces:
+
+* ``RAISE`` — one vectorized batch call, content-addressed memo cache,
+  and the chunked process-pool path for very large grids;
+* ``MASK``/``COLLECT`` — a vectorized feasibility split: the provably
+  safe subset is batched, everything else re-runs through the scalar
+  model call so each failing point produces the exact legacy
+  ``Diagnostic`` (same ``where``/``equation``/``parameter``/``index``,
+  same message, same ``robust.policy.*`` metric side effects).
+
+:func:`map_scalar` is the engine's loop for inherently scalar sweeps
+(optimiser restarts, per-node roadmap scans): it centralises the
+``try/except``-``capture`` pattern but hands the *unfinished*
+``DiagnosticLog`` back so call sites keep their legacy finishing
+semantics (dropping points, NaN placeholders, extending caller-owned
+diagnostic lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
+from ..robust.policy import DiagnosticLog, ErrorPolicy
+from . import backend as _backend
+from . import cache as _cache
+from . import parallel as _parallel
+
+__all__ = ["GridEvaluation", "evaluate_grid", "map_scalar"]
+
+
+@dataclass(frozen=True)
+class GridEvaluation:
+    """One grid evaluation: values plus how they were produced.
+
+    ``values`` has the grid's shape for single-output kernels and
+    ``(n_outputs, n)`` for multi-output ones. ``diagnostics`` is the
+    tuple ``DiagnosticLog.finish`` returned (always empty for RAISE).
+    """
+
+    values: np.ndarray
+    diagnostics: tuple
+    backend: str
+    cache_hit: bool = False
+    chunks: int = 1
+
+
+def _values_buffer(kernel, n: int) -> np.ndarray:
+    outputs = getattr(kernel, "n_outputs", 1)
+    shape = (outputs, n) if outputs > 1 else (n,)
+    return np.full(shape, np.nan, dtype=float)
+
+
+def _store(values: np.ndarray, index: int, result) -> None:
+    if values.ndim > 1:
+        values[:, index] = result
+    else:
+        values[index] = result
+
+
+def _scalar_loop(kernel, xs: np.ndarray, policy: ErrorPolicy, where: str,
+                 equation: str, parameter: str, *, python: bool):
+    """The legacy per-point loop, byte-compatible diagnostics included."""
+    log = DiagnosticLog(policy, where, equation=equation)
+    point = kernel.point_py if python else kernel.point
+    values = _values_buffer(kernel, xs.size)
+    for i, x in enumerate(xs):
+        try:
+            result = point(float(x))
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter=parameter, value=float(x), index=i):
+                raise
+            continue
+        _store(values, i, result)
+    return values, log.finish()
+
+
+def _masked_batch(kernel, xs: np.ndarray, policy: ErrorPolicy, where: str,
+                  equation: str, parameter: str):
+    """Vectorized MASK/COLLECT: batch the safe subset, re-run the rest.
+
+    The feasibility predicate is a speed heuristic, never a correctness
+    gate: points it rejects — and points the batch produced non-finite
+    values for (e.g. overflow that the scalar path reports as a
+    ``DomainError``) — are re-evaluated through the scalar model call in
+    ascending grid order, so the diagnostic stream is identical to the
+    legacy loop's.
+    """
+    log = DiagnosticLog(policy, where, equation=equation)
+    mask = np.asarray(kernel.feasible(xs), dtype=bool)
+    values = _values_buffer(kernel, xs.size)
+    feasible_xs = xs[mask]
+    try:
+        if feasible_xs.size:
+            batch_values = np.asarray(kernel.batch(feasible_xs), dtype=float)
+            if values.ndim > 1:
+                values[:, mask] = batch_values
+            else:
+                values[mask] = batch_values
+    except ReproError:
+        # A fixed parameter (not the swept one) is infeasible, or the
+        # predicate was too optimistic: the whole batch is suspect, so
+        # fall back to the exact legacy loop for full diagnostics parity.
+        return _scalar_loop(kernel, xs, policy, where, equation, parameter,
+                            python=False)
+    finite = np.isfinite(values).all(axis=0) if values.ndim > 1 else np.isfinite(values)
+    suspects = np.flatnonzero(~(mask & finite))
+    for raw_index in suspects:
+        i = int(raw_index)
+        try:
+            result = kernel.point(float(xs[i]))
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            if not log.capture(exc, parameter=parameter, value=float(xs[i]), index=i):
+                raise
+            continue
+        _store(values, i, result)
+    return values, log.finish()
+
+
+def evaluate_grid(kernel, grid, *, policy=ErrorPolicy.RAISE, where: str,
+                  equation: str = "", parameter: str = "x",
+                  cache: bool = True) -> GridEvaluation:
+    """Evaluate ``kernel`` over ``grid`` under the configured backend.
+
+    ``where``/``equation``/``parameter`` feed straight into the
+    ``DiagnosticLog``, so rewired call sites keep their historical
+    diagnostic identities. ``cache=False`` opts a call site out of the
+    memo cache (the cache is also skipped for MASK/COLLECT and while
+    tracing is enabled — see :mod:`repro.engine.cache`).
+    """
+    policy = ErrorPolicy.coerce(policy)
+    xs = np.ascontiguousarray(grid, dtype=float)
+    mode = _backend.resolved_backend()
+    if mode == "python":
+        values, diagnostics = _scalar_loop(kernel, xs, policy, where,
+                                           equation, parameter, python=True)
+        return GridEvaluation(values, diagnostics, "python")
+    if policy is not ErrorPolicy.RAISE:
+        values, diagnostics = _masked_batch(kernel, xs, policy, where,
+                                            equation, parameter)
+        return GridEvaluation(values, diagnostics, "numpy")
+    use_cache = cache and _cache.grid_cache.enabled and not obs_trace.is_enabled()
+    key = b""
+    if use_cache:
+        key = _cache.grid_cache.key(kernel.token(), xs)
+        hit = _cache.grid_cache.get(key)
+        if hit is not None:
+            return GridEvaluation(hit, (), "numpy", cache_hit=True)
+    n_chunks = _parallel.plan_chunks(xs.size)
+    if n_chunks > 1:
+        values = _parallel.batch_in_chunks(kernel, xs, n_chunks)
+    else:
+        values = kernel.batch(xs)
+    values = np.asarray(values, dtype=float)
+    if use_cache:
+        _cache.grid_cache.put(key, values)
+    obs_metrics.observe("engine.grid.points", float(xs.size))
+    return GridEvaluation(values, (), "numpy", chunks=n_chunks)
+
+
+def map_scalar(items, fn, *, policy=ErrorPolicy.RAISE, where: str,
+               equation: str = "", parameter: str = "",
+               parameter_of=None, value_of=None, on_error=None, log=None):
+    """Map ``fn`` over ``items`` under an error policy; return ``(results, log)``.
+
+    The engine's loop for work that cannot be batched (each item runs an
+    optimiser, or items are heterogeneous records). Per item, a failure
+    is routed through ``DiagnosticLog.capture`` with
+    ``parameter=parameter_of(item)`` (or the fixed ``parameter``),
+    ``value=value_of(item)`` (or ``None``) and the item's index; the
+    item then contributes ``on_error(item)`` to the results, or is
+    dropped when ``on_error`` is ``None``.
+
+    The returned log is **not finished**: call sites keep their legacy
+    ``log.finish()`` line (and its COLLECT raise) so downstream
+    behaviour — extended diagnostic lists, NaN placeholders, dropped
+    points — is exactly what the hand-written loops did. An existing
+    ``log`` may be passed in to accumulate across phases.
+    """
+    items = list(items)
+    if log is None:
+        log = DiagnosticLog(ErrorPolicy.coerce(policy), where, equation=equation)
+    results = []
+    for i, item in enumerate(items):
+        try:
+            result = fn(item)
+        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
+            name = parameter_of(item) if parameter_of is not None else parameter
+            value = value_of(item) if value_of is not None else None
+            if not log.capture(exc, parameter=name, value=value, index=i):
+                raise
+            if on_error is not None:
+                results.append(on_error(item))
+            continue
+        results.append(result)
+    obs_metrics.observe("engine.map_scalar.points", float(len(items)))
+    return results, log

@@ -1,0 +1,120 @@
+"""Chunked ``ProcessPoolExecutor`` path for very large grids.
+
+Vectorized NumPy already saturates one core; the pool only pays for
+itself when a grid is large enough that splitting it across processes
+beats the pickling + IPC overhead. The threshold is deliberately high
+(100k points) — every paper-figure grid stays far below it and runs
+single-process — but roadmap-scale parameter studies (and the tests,
+which lower the threshold) exercise the chunked path.
+
+The pool is created lazily on first use, sized ``min(4, cpu)`` by
+default, and shut down at interpreter exit. Kernels are plain frozen
+dataclasses of frozen model dataclasses, so they pickle cheaply.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..errors import DomainError
+
+__all__ = ["configure", "plan_chunks", "batch_in_chunks", "shutdown", "settings"]
+
+#: Grid size at or above which the chunked pool path engages.
+_DEFAULT_THRESHOLD = 100_000
+#: Minimum points per chunk — below this, IPC overhead dominates.
+_MIN_CHUNK = 10_000
+
+_threshold = _DEFAULT_THRESHOLD
+_max_workers: int | None = None
+_enabled = True
+_pool: ProcessPoolExecutor | None = None
+
+
+def configure(*, threshold: int | None = None, max_workers: int | None = None,
+              enabled: bool | None = None) -> None:
+    """Tune the parallel path (test hooks and power users).
+
+    ``threshold`` — grid size that triggers chunking; ``max_workers`` —
+    pool size (None = ``min(4, cpu)``); ``enabled=False`` forces
+    single-process evaluation regardless of size. Changing
+    ``max_workers`` recycles an already-started pool.
+    """
+    global _threshold, _max_workers, _enabled
+    if threshold is not None:
+        if threshold < 2:
+            raise DomainError(f"threshold must be >= 2; got {threshold}")
+        _threshold = threshold
+    if max_workers is not None:
+        if max_workers < 1:
+            raise DomainError(f"max_workers must be >= 1; got {max_workers}")
+        if max_workers != _max_workers:
+            shutdown()
+        _max_workers = max_workers
+    if enabled is not None:
+        _enabled = enabled
+
+
+def settings() -> dict:
+    """The current parallel configuration (for reports and docs)."""
+    return {"threshold": _threshold, "max_workers": _max_workers,
+            "enabled": _enabled, "pool_started": _pool is not None}
+
+
+def plan_chunks(n_points: int) -> int:
+    """How many chunks a grid of ``n_points`` should be split into.
+
+    Returns 1 (no pool) below the threshold or when disabled; otherwise
+    enough chunks to keep every worker busy without dropping below
+    ``_MIN_CHUNK`` points per chunk.
+    """
+    if not _enabled or n_points < _threshold:
+        return 1
+    workers = _max_workers if _max_workers is not None else min(4, os.cpu_count() or 1)
+    by_size = max(1, n_points // _MIN_CHUNK)
+    return max(1, min(workers, by_size))
+
+
+def _get_pool() -> ProcessPoolExecutor:
+    global _pool
+    if _pool is None:
+        workers = _max_workers if _max_workers is not None else min(4, os.cpu_count() or 1)
+        _pool = ProcessPoolExecutor(max_workers=workers)
+    return _pool
+
+
+def _run_chunk(kernel, chunk: np.ndarray) -> np.ndarray:
+    """Worker-side entry: evaluate one grid chunk (module-level → picklable)."""
+    return kernel.batch(chunk)
+
+
+def batch_in_chunks(kernel, grid: np.ndarray, n_chunks: int) -> np.ndarray:
+    """Evaluate ``kernel.batch`` over ``grid`` split into ``n_chunks``.
+
+    Chunks are submitted to the process pool and re-concatenated along
+    the grid axis (the last axis for multi-output kernels). Exceptions
+    from any chunk propagate unchanged — the caller's error policy
+    handles them exactly as it would a single-process failure.
+    """
+    if n_chunks <= 1:
+        return kernel.batch(grid)
+    pool = _get_pool()
+    chunks = np.array_split(grid, n_chunks)
+    futures = [pool.submit(_run_chunk, kernel, chunk) for chunk in chunks]
+    parts = [np.asarray(future.result()) for future in futures]
+    return np.concatenate(parts, axis=-1)
+
+
+def shutdown() -> None:
+    """Stop the worker pool (restarted lazily on next use)."""
+    global _pool
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+
+
+atexit.register(shutdown)

@@ -22,12 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import renamed_kwargs
 from ..cost.generalized import GeneralizedCostModel
 from ..cost.total import TotalCostModel
+from ..engine import map_scalar
 from ..errors import DomainError
 from ..obs import metrics as obs_metrics
 from ..obs.instrument import traced
-from ..robust.policy import DiagnosticLog, ErrorPolicy
+from ..robust.policy import ErrorPolicy
 from ..robust.retry import RetryBudget, note_retry
 from ..robust.solvers import retrying_golden_min
 from ..validation import check_positive
@@ -62,16 +64,17 @@ class OptimumResult:
     attempts: int = 1
 
 
+@renamed_kwargs(cm_sq="cost_per_cm2")
 @traced(equation="4", attach_result=True,
         capture=("n_transistors", "feature_um", "n_wafers", "yield_fraction",
-                 "cm_sq", "sd_max"))
+                 "cost_per_cm2", "sd_max"))
 def optimal_sd(
     model: TotalCostModel,
     n_transistors: float,
     feature_um: float,
     n_wafers: float,
     yield_fraction: float,
-    cm_sq: float,
+    cost_per_cm2: float,
     sd_max: float = 5000.0,
     tol: float = 1e-10,
     max_iter: int = 500,
@@ -99,7 +102,8 @@ def optimal_sd(
 
     def fn(sd: float) -> float:
         return float(model.transistor_cost(sd, n_transistors, feature_um,
-                                           n_wafers, yield_fraction, cm_sq))
+                                           n_wafers, yield_fraction,
+                                           cost_per_cm2))
 
     solver = "optimize.optimum.optimal_sd"
     hi = sd_max
@@ -153,6 +157,7 @@ def optimal_sd_generalized(
                          bracket=(lo, sd_max), attempts=attempts)
 
 
+@renamed_kwargs(cm_sq="cost_per_cm2")
 @traced(equation="4")
 def optimal_sd_condition(
     model: TotalCostModel,
@@ -161,7 +166,7 @@ def optimal_sd_condition(
     feature_um: float,
     n_wafers: float,
     yield_fraction: float,
-    cm_sq: float,
+    cost_per_cm2: float,
 ) -> float:
     """First-order optimality residual of eq. (4) at ``sd``.
 
@@ -180,16 +185,17 @@ def optimal_sd_condition(
     c_de = model.design_model.cost(n_transistors, sd)
     c_ma = model.mask_cost(feature_um)
     dc_de = model.design_model.marginal_cost_wrt_sd(n_transistors, sd)
-    return float(cm_sq + (c_ma + c_de) / wafer_cm2 + sd * dc_de / wafer_cm2)
+    return float(cost_per_cm2 + (c_ma + c_de) / wafer_cm2 + sd * dc_de / wafer_cm2)
 
 
+@renamed_kwargs(cm_sq="cost_per_cm2")
 @traced()
 def optimum_vs_volume(
     model: TotalCostModel,
     n_transistors: float,
     feature_um: float,
     yield_fraction: float,
-    cm_sq: float,
+    cost_per_cm2: float,
     n_wafers_values=None,
     sd_max: float = 5000.0,
     policy: ErrorPolicy = ErrorPolicy.RAISE,
@@ -209,16 +215,17 @@ def optimum_vs_volume(
     policy = ErrorPolicy.coerce(policy)
     if n_wafers_values is None:
         n_wafers_values = np.geomspace(1e3, 1e6, 13)
-    log = DiagnosticLog(policy, "optimize.optimum.optimum_vs_volume", equation="4")
-    out = []
-    for i, nw in enumerate(np.asarray(n_wafers_values, dtype=float)):
-        try:
-            res = optimal_sd(model, n_transistors, feature_um, float(nw),
-                             yield_fraction, cm_sq, sd_max=sd_max, retry=retry)
-        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
-            if not log.capture(exc, parameter="n_wafers", value=float(nw), index=i):
-                raise
-            continue
-        out.append((float(nw), res))
+    volumes = [float(nw) for nw in np.asarray(n_wafers_values, dtype=float)]
+
+    def solve(nw: float) -> tuple[float, OptimumResult]:
+        res = optimal_sd(model, n_transistors, feature_um, nw,
+                         yield_fraction, cost_per_cm2, sd_max=sd_max,
+                         retry=retry)
+        return (nw, res)
+
+    out, log = map_scalar(volumes, solve, policy=policy,
+                          where="optimize.optimum.optimum_vs_volume",
+                          equation="4", parameter="n_wafers",
+                          value_of=float)
     log.finish()
     return out

@@ -16,11 +16,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import renamed_kwargs
 from ..cost.total import TotalCostModel
-from ..density.metrics import area_from_sd
+from ..engine import evaluate_grid
+from ..engine.kernels import DesignObjectivesKernel
 from ..errors import DomainError
 from ..obs.instrument import traced
-from ..robust.policy import DiagnosticLog, ErrorPolicy
+from ..robust.policy import ErrorPolicy
 from .sweep import sd_grid
 
 __all__ = ["DesignPoint", "evaluate_points", "pareto_front", "knee_point"]
@@ -40,6 +42,7 @@ class DesignPoint:
         return (self.die_area_cm2, self.transistor_cost_usd, self.design_cost_usd)
 
 
+@renamed_kwargs(cm_sq="cost_per_cm2")
 @traced(equation="4")
 def evaluate_points(
     model: TotalCostModel,
@@ -47,15 +50,17 @@ def evaluate_points(
     feature_um: float,
     n_wafers: float,
     yield_fraction: float,
-    cm_sq: float,
+    cost_per_cm2: float,
     sd_values=None,
     policy: ErrorPolicy = ErrorPolicy.RAISE,
     diagnostics: list | None = None,
 ) -> list[DesignPoint]:
     """Objective vectors for a grid of candidate ``s_d`` values.
 
-    Under ``policy=ErrorPolicy.MASK`` infeasible candidates are dropped
-    from the returned list (a NaN objective vector would corrupt Pareto
+    The three objective curves are produced by one batched
+    :func:`repro.engine.evaluate_grid` dispatch. Under
+    ``policy=ErrorPolicy.MASK`` infeasible candidates are dropped from
+    the returned list (a NaN objective vector would corrupt Pareto
     domination); pass a list as ``diagnostics`` to receive one
     :class:`repro.robust.Diagnostic` per dropped candidate. COLLECT
     raises :class:`repro.errors.CollectedErrors` after the full grid.
@@ -63,23 +68,22 @@ def evaluate_points(
     policy = ErrorPolicy.coerce(policy)
     if sd_values is None:
         sd_values = sd_grid(model.design_model.sd0, n=200)
-    log = DiagnosticLog(policy, "optimize.pareto.evaluate_points", equation="4")
-    points = []
-    for i, sd in enumerate(np.asarray(sd_values, dtype=float)):
-        try:
-            points.append(DesignPoint(
-                sd=float(sd),
-                die_area_cm2=float(area_from_sd(sd, n_transistors, feature_um)),
-                transistor_cost_usd=float(model.transistor_cost(
-                    sd, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq)),
-                design_cost_usd=float(model.design_model.cost(n_transistors, sd)),
-            ))
-        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
-            if not log.capture(exc, parameter="sd", value=float(sd), index=i):
-                raise
-    collected = log.finish()
+    sd_values = np.asarray(sd_values, dtype=float)
+    kernel = DesignObjectivesKernel(model, n_transistors, feature_um, n_wafers,
+                                    yield_fraction, cost_per_cm2)
+    evaluation = evaluate_grid(kernel, sd_values, policy=policy,
+                               where="optimize.pareto.evaluate_points",
+                               equation="4", parameter="sd")
+    area, cost, design = evaluation.values
+    points = [
+        DesignPoint(sd=float(sd_values[i]), die_area_cm2=float(area[i]),
+                    transistor_cost_usd=float(cost[i]),
+                    design_cost_usd=float(design[i]))
+        for i in range(sd_values.size)
+        if not (np.isnan(area[i]) and np.isnan(cost[i]) and np.isnan(design[i]))
+    ]
     if diagnostics is not None:
-        diagnostics.extend(collected)
+        diagnostics.extend(evaluation.diagnostics)
     return points
 
 

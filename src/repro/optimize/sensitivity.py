@@ -10,25 +10,48 @@ the other operating-point parameters) wiggle. This module provides:
   parameter;
 * :func:`tornado` — one-at-a-time low/high excursions of the optimum
   and its cost (the classic tornado-chart data).
+
+Both scans run through :func:`repro.engine.map_scalar` — each item
+solves an optimisation, so the work is inherently scalar, but the
+policy/diagnostic plumbing is the engine's.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, replace
 
 from ..cost.total import TotalCostModel
+from ..engine import map_scalar
 from ..errors import DomainError
 from ..obs.instrument import traced
-from ..robust.policy import DiagnosticLog, ErrorPolicy
+from ..robust.policy import ErrorPolicy
 from .optimum import optimal_sd
 
 __all__ = ["SensitivityEntry", "parameter_elasticities", "tornado"]
 
 #: Operating-point parameters the sensitivities are taken over.
-_POINT_PARAMS = ("n_transistors", "feature_um", "n_wafers", "yield_fraction", "cm_sq")
+_POINT_PARAMS = ("n_transistors", "feature_um", "n_wafers", "yield_fraction",
+                 "cost_per_cm2")
 #: Eq.-(6) parameters (perturbed through a modified design model).
 _MODEL_PARAMS = ("a0", "p1", "p2", "sd0")
+
+
+def _canonical_names(point: dict, parameters) -> tuple[dict, list | None]:
+    """Translate the deprecated ``cm_sq`` spelling in points/parameter lists."""
+    if "cm_sq" in point:
+        warnings.warn("operating-point key 'cm_sq' is deprecated; "
+                      "use 'cost_per_cm2'", DeprecationWarning, stacklevel=3)
+        point = dict(point)
+        point.setdefault("cost_per_cm2", point.pop("cm_sq"))
+        point.pop("cm_sq", None)
+    if parameters is not None and "cm_sq" in parameters:
+        warnings.warn("parameter name 'cm_sq' is deprecated; "
+                      "use 'cost_per_cm2'", DeprecationWarning, stacklevel=3)
+        parameters = ["cost_per_cm2" if name == "cm_sq" else name
+                      for name in parameters]
+    return point, parameters
 
 
 @dataclass(frozen=True)
@@ -56,8 +79,8 @@ class SensitivityEntry:
 
 def _solve(model: TotalCostModel, point: dict, sd_max: float) -> tuple[float, float]:
     res = optimal_sd(model, point["n_transistors"], point["feature_um"],
-                     point["n_wafers"], point["yield_fraction"], point["cm_sq"],
-                     sd_max=sd_max)
+                     point["n_wafers"], point["yield_fraction"],
+                     point["cost_per_cm2"], sd_max=sd_max)
     return res.sd_opt, res.cost_opt
 
 
@@ -105,7 +128,7 @@ def parameter_elasticities(
         The eq.-(4) model.
     point:
         Operating point dict with keys ``n_transistors``, ``feature_um``,
-        ``n_wafers``, ``yield_fraction``, ``cm_sq``.
+        ``n_wafers``, ``yield_fraction``, ``cost_per_cm2``.
     parameters:
         Names to analyse; defaults to every numeric parameter except
         ``yield_fraction`` when a +5 % step would exceed 1.
@@ -117,27 +140,26 @@ def parameter_elasticities(
         raises the aggregate after every parameter was tried.
     """
     policy = ErrorPolicy.coerce(policy)
+    point, parameters = _canonical_names(point, parameters)
     if parameters is None:
         parameters = list(_POINT_PARAMS) + list(_MODEL_PARAMS)
-    log = DiagnosticLog(policy, "optimize.sensitivity.parameter_elasticities",
-                        equation="4")
-    out: dict[str, float] = {}
-    for i, name in enumerate(parameters):
-        try:
-            base = _base_value(model, point, name)
-            lo_v, hi_v = base * (1 - rel_step), base * (1 + rel_step)
-            if name == "yield_fraction" and hi_v > 1.0:
-                hi_v = 1.0
-                lo_v = base * base / hi_v  # keep geometric symmetry
-            sd_lo, _ = _perturbed(model, point, name, lo_v, sd_max)
-            sd_hi, _ = _perturbed(model, point, name, hi_v, sd_max)
-            out[name] = (math.log(sd_hi) - math.log(sd_lo)) / (math.log(hi_v) - math.log(lo_v))
-        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
-            if not log.capture(exc, parameter=name, index=i):
-                raise
-            out[name] = math.nan
+
+    def elasticity(name: str) -> float:
+        base = _base_value(model, point, name)
+        lo_v, hi_v = base * (1 - rel_step), base * (1 + rel_step)
+        if name == "yield_fraction" and hi_v > 1.0:
+            hi_v = 1.0
+            lo_v = base * base / hi_v  # keep geometric symmetry
+        sd_lo, _ = _perturbed(model, point, name, lo_v, sd_max)
+        sd_hi, _ = _perturbed(model, point, name, hi_v, sd_max)
+        return (math.log(sd_hi) - math.log(sd_lo)) / (math.log(hi_v) - math.log(lo_v))
+
+    results, log = map_scalar(
+        parameters, elasticity, policy=policy,
+        where="optimize.sensitivity.parameter_elasticities", equation="4",
+        parameter_of=lambda name: name, on_error=lambda name: math.nan)
     log.finish()
-    return out
+    return dict(zip(parameters, results))
 
 
 @traced(equation="4")
@@ -156,23 +178,34 @@ def tornado(
     the analysis; COLLECT defers and aggregates the failures.
     """
     policy = ErrorPolicy.coerce(policy)
-    log = DiagnosticLog(policy, "optimize.sensitivity.tornado", equation="4")
-    entries = []
-    for i, (name, (lo_v, hi_v)) in enumerate(excursions.items()):
+    point, excursion_names = _canonical_names(point, list(excursions))
+    excursions = dict(zip(excursion_names, excursions.values()))
+    for name, (lo_v, hi_v) in excursions.items():
         if lo_v >= hi_v:
             raise DomainError(f"excursion for {name!r} must have low < high; got {lo_v}, {hi_v}")
-        try:
-            sd_lo, cost_lo = _perturbed(model, point, name, lo_v, sd_max)
-            sd_hi, cost_hi = _perturbed(model, point, name, hi_v, sd_max)
-        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
-            if not log.capture(exc, parameter=name, index=i):
-                raise
-            sd_lo = sd_hi = cost_lo = cost_hi = math.nan
-        entries.append(SensitivityEntry(
+
+    def entry(item) -> SensitivityEntry:
+        name, (lo_v, hi_v) = item
+        sd_lo, cost_lo = _perturbed(model, point, name, lo_v, sd_max)
+        sd_hi, cost_hi = _perturbed(model, point, name, hi_v, sd_max)
+        return SensitivityEntry(
             parameter=name, low_value=lo_v, high_value=hi_v,
             sd_opt_low=sd_lo, sd_opt_high=sd_hi,
             cost_opt_low=cost_lo, cost_opt_high=cost_hi,
-        ))
+        )
+
+    def masked_entry(item) -> SensitivityEntry:
+        name, (lo_v, hi_v) = item
+        return SensitivityEntry(
+            parameter=name, low_value=lo_v, high_value=hi_v,
+            sd_opt_low=math.nan, sd_opt_high=math.nan,
+            cost_opt_low=math.nan, cost_opt_high=math.nan,
+        )
+
+    entries, log = map_scalar(
+        list(excursions.items()), entry, policy=policy,
+        where="optimize.sensitivity.tornado", equation="4",
+        parameter_of=lambda item: item[0], on_error=masked_entry)
     log.finish()
     entries.sort(key=lambda e: (math.isnan(e.cost_swing), -e.cost_swing
                                 if not math.isnan(e.cost_swing) else 0.0))

@@ -11,12 +11,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._compat import renamed_kwargs
 from ..cost.generalized import GeneralizedCostModel
 from ..cost.total import TotalCostModel
+from ..engine import evaluate_grid
+from ..engine.kernels import Eq4SdKernel, Eq4VolumeKernel, Eq7SdKernel
 from ..errors import DomainError
 from ..obs import metrics as obs_metrics
 from ..obs.instrument import traced
-from ..robust.policy import Diagnostic, DiagnosticLog, ErrorPolicy
+from ..robust.policy import Diagnostic, ErrorPolicy
 from ..validation import check_positive
 
 __all__ = ["SweepResult", "sd_grid", "sd_sweep", "sd_sweep_generalized", "volume_sweep"]
@@ -111,75 +114,51 @@ def sd_grid(sd0: float, sd_max: float = 1000.0, n: int = 400, margin: float = 5.
     return sd0 + np.geomspace(margin, sd_max - sd0, n)
 
 
-def _policy_curve(point_fn, grid: np.ndarray, *, where: str, equation: str,
-                  parameter: str, policy: ErrorPolicy) -> tuple[np.ndarray, tuple]:
-    """Evaluate ``point_fn`` over ``grid`` point-by-point under a policy.
-
-    Infeasible points (any :class:`~repro.errors.ReproError`) become
-    NaN entries with an attached :class:`~repro.robust.Diagnostic`;
-    COLLECT raises the aggregate at the end via
-    :meth:`~repro.robust.DiagnosticLog.finish`.
-    """
-    log = DiagnosticLog(policy, where, equation=equation)
-    cost = np.full(grid.shape, np.nan, dtype=float)
-    for i, x in enumerate(grid):
-        try:
-            cost[i] = point_fn(float(x))
-        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
-            if not log.capture(exc, parameter=parameter, value=float(x), index=i):
-                raise
-    return cost, log.finish()
-
-
+@renamed_kwargs(cm_sq="cost_per_cm2")
 @traced(equation="4", attach_result=True,
         capture=("n_transistors", "feature_um", "n_wafers", "yield_fraction",
-                 "cm_sq", "sd_values"))
+                 "cost_per_cm2", "sd_values"))
 def sd_sweep(
     model: TotalCostModel,
     n_transistors: float,
     feature_um: float,
     n_wafers: float,
     yield_fraction: float,
-    cm_sq: float,
+    cost_per_cm2: float,
     sd_values: np.ndarray | None = None,
     policy: ErrorPolicy = ErrorPolicy.RAISE,
 ) -> SweepResult:
     """Figure 4's sweep: eq. (4) cost versus ``s_d`` at a fixed point.
 
-    Under the default ``policy=ErrorPolicy.RAISE`` the grid is
-    evaluated vectorised and any infeasible point aborts the sweep —
-    the historical behavior. MASK/COLLECT evaluate point-by-point so a
-    grid straddling ``s_d0`` yields NaN-masked entries plus per-point
-    diagnostics (see :mod:`repro.robust`).
+    The grid dispatches through :func:`repro.engine.evaluate_grid`:
+    one vectorized batch (memo-cached) on the NumPy backend, the exact
+    per-point scalar loop on the pure-python fallback. Under the
+    default ``policy=ErrorPolicy.RAISE`` any infeasible point aborts
+    the sweep — the historical behavior. MASK/COLLECT yield NaN-masked
+    entries plus per-point diagnostics (see :mod:`repro.robust`).
     """
     policy = ErrorPolicy.coerce(policy)
     if sd_values is None:
         sd_values = sd_grid(model.design_model.sd0)
     sd_values = np.asarray(sd_values, dtype=float)
     obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
-    diagnostics: tuple = ()
-    if policy is ErrorPolicy.RAISE:
-        cost = model.transistor_cost(
-            sd_values, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq
-        )
-    else:
-        cost, diagnostics = _policy_curve(
-            lambda sd: model.transistor_cost(
-                sd, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq),
-            sd_values, where="optimize.sweep.sd_sweep", equation="4",
-            parameter="sd", policy=policy)
+    kernel = Eq4SdKernel(model, n_transistors, feature_um, n_wafers,
+                         yield_fraction, cost_per_cm2)
+    evaluation = evaluate_grid(kernel, sd_values, policy=policy,
+                               where="optimize.sweep.sd_sweep", equation="4",
+                               parameter="sd")
     return SweepResult(
         parameter="sd",
         x=sd_values,
-        cost=np.asarray(cost, dtype=float),
+        cost=evaluation.values,
         meta={
             "n_transistors": n_transistors,
             "feature_um": feature_um,
             "n_wafers": n_wafers,
             "yield_fraction": yield_fraction,
-            "cm_sq": cm_sq,
+            "cost_per_cm2": cost_per_cm2,
         },
-        diagnostics=diagnostics,
+        diagnostics=evaluation.diagnostics,
     )
 
 
@@ -202,38 +181,35 @@ def sd_sweep_generalized(
         sd_values = sd_grid(model.design_model.sd0)
     sd_values = np.asarray(sd_values, dtype=float)
     obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
-    diagnostics: tuple = ()
-    if policy is ErrorPolicy.RAISE:
-        cost = model.transistor_cost(sd_values, n_transistors, feature_um, n_wafers)
-    else:
-        cost, diagnostics = _policy_curve(
-            lambda sd: model.transistor_cost(sd, n_transistors, feature_um, n_wafers),
-            sd_values, where="optimize.sweep.sd_sweep_generalized", equation="7",
-            parameter="sd", policy=policy)
+    kernel = Eq7SdKernel(model, n_transistors, feature_um, n_wafers)
+    evaluation = evaluate_grid(kernel, sd_values, policy=policy,
+                               where="optimize.sweep.sd_sweep_generalized",
+                               equation="7", parameter="sd")
     return SweepResult(
         parameter="sd",
         x=sd_values,
-        cost=np.asarray(cost, dtype=float),
+        cost=evaluation.values,
         meta={
             "n_transistors": n_transistors,
             "feature_um": feature_um,
             "n_wafers": n_wafers,
             "model": "generalized",
         },
-        diagnostics=diagnostics,
+        diagnostics=evaluation.diagnostics,
     )
 
 
+@renamed_kwargs(cm_sq="cost_per_cm2")
 @traced(equation="4", attach_result=True,
         capture=("sd", "n_transistors", "feature_um", "yield_fraction",
-                 "cm_sq", "n_wafers_values"))
+                 "cost_per_cm2", "n_wafers_values"))
 def volume_sweep(
     model: TotalCostModel,
     sd: float,
     n_transistors: float,
     feature_um: float,
     yield_fraction: float,
-    cm_sq: float,
+    cost_per_cm2: float,
     n_wafers_values: np.ndarray | None = None,
     policy: ErrorPolicy = ErrorPolicy.RAISE,
 ) -> SweepResult:
@@ -248,27 +224,21 @@ def volume_sweep(
         n_wafers_values = np.geomspace(100, 1e6, 200)
     n_wafers_values = np.asarray(n_wafers_values, dtype=float)
     obs_metrics.observe("optimize.sweep.grid_points", n_wafers_values.size)
-    diagnostics: tuple = ()
-    if policy is ErrorPolicy.RAISE:
-        cost = model.transistor_cost(
-            sd, n_transistors, feature_um, n_wafers_values, yield_fraction, cm_sq
-        )
-    else:
-        cost, diagnostics = _policy_curve(
-            lambda nw: model.transistor_cost(
-                sd, n_transistors, feature_um, nw, yield_fraction, cm_sq),
-            n_wafers_values, where="optimize.sweep.volume_sweep", equation="4",
-            parameter="n_wafers", policy=policy)
+    kernel = Eq4VolumeKernel(model, sd, n_transistors, feature_um,
+                             yield_fraction, cost_per_cm2)
+    evaluation = evaluate_grid(kernel, n_wafers_values, policy=policy,
+                               where="optimize.sweep.volume_sweep",
+                               equation="4", parameter="n_wafers")
     return SweepResult(
         parameter="n_wafers",
         x=n_wafers_values,
-        cost=np.asarray(cost, dtype=float),
+        cost=evaluation.values,
         meta={
             "sd": sd,
             "n_transistors": n_transistors,
             "feature_um": feature_um,
             "yield_fraction": yield_fraction,
-            "cm_sq": cm_sq,
+            "cost_per_cm2": cost_per_cm2,
         },
-        diagnostics=diagnostics,
+        diagnostics=evaluation.diagnostics,
     )

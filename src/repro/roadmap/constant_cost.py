@@ -31,9 +31,10 @@ from ..data.itrs1999 import (
     MPU_DIE_COST_1999_USD,
 )
 from ..data.records import RoadmapNode
+from ..engine import map_scalar
 from ..obs.instrument import traced
 from ..obs.provenance import record_provenance
-from ..robust.policy import DiagnosticLog, ErrorPolicy
+from ..robust.policy import ErrorPolicy
 from ..validation import check_fraction, check_positive
 
 __all__ = ["ConstantCostAssumptions", "ConstantCostPoint", "constant_cost_sd",
@@ -114,21 +115,22 @@ def constant_cost_series(nodes: list[RoadmapNode],
          "cost_per_cm2": assumptions.cost_per_cm2,
          "yield_fraction": assumptions.yield_fraction},
         dataset="roadmap_nodes", rows=tuple(n.year for n in nodes))
-    log = DiagnosticLog(policy, "roadmap.constant_cost.constant_cost_series",
-                        equation="3")
-    points = []
-    for i, node in enumerate(sorted(nodes, key=lambda n: n.year)):
-        try:
-            points.append(ConstantCostPoint(
-                node=node,
-                sd_implied=node.implied_sd(),
-                sd_constant_cost=constant_cost_sd(node, assumptions),
-            ))
-        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
-            if not log.capture(exc, parameter="year", value=node.year, index=i):
-                raise
-            points.append(ConstantCostPoint(
-                node=node, sd_implied=math.nan, sd_constant_cost=math.nan))
+    def point(node: RoadmapNode) -> ConstantCostPoint:
+        return ConstantCostPoint(
+            node=node,
+            sd_implied=node.implied_sd(),
+            sd_constant_cost=constant_cost_sd(node, assumptions),
+        )
+
+    def masked_point(node: RoadmapNode) -> ConstantCostPoint:
+        return ConstantCostPoint(
+            node=node, sd_implied=math.nan, sd_constant_cost=math.nan)
+
+    points, log = map_scalar(
+        sorted(nodes, key=lambda n: n.year), point, policy=policy,
+        where="roadmap.constant_cost.constant_cost_series", equation="3",
+        parameter="year", value_of=lambda node: node.year,
+        on_error=masked_point)
     collected = log.finish()
     if diagnostics is not None:
         diagnostics.extend(collected)

@@ -23,8 +23,9 @@ from dataclasses import dataclass
 from ..data.records import RoadmapNode
 from ..data.registry import DesignRegistry
 from ..density.trends import sd_vs_feature_fit
+from ..engine import map_scalar
 from ..obs.instrument import traced
-from ..robust.policy import DiagnosticLog, ErrorPolicy
+from ..robust.policy import ErrorPolicy
 from .constant_cost import (
     PAPER_FIGURE3_ASSUMPTIONS,
     ConstantCostAssumptions,
@@ -82,25 +83,26 @@ def feasibility_report(
     at the end.
     """
     policy = ErrorPolicy.coerce(policy)
-    log = DiagnosticLog(policy, "roadmap.feasibility.feasibility_report",
-                        equation="3")
     fit = sd_vs_feature_fit(registry)
-    points = []
-    for i, node in enumerate(sorted(nodes, key=lambda n: n.year)):
-        try:
-            sd_trend = float(fit.predict(node.feature_um))
-            points.append(FeasibilityPoint(
-                node=node,
-                sd_industrial_trend=sd_trend,
-                sd_roadmap_implied=node.implied_sd(),
-                sd_constant_cost=constant_cost_sd(node, assumptions),
-            ))
-        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
-            if not log.capture(exc, parameter="year", value=node.year, index=i):
-                raise
-            points.append(FeasibilityPoint(
-                node=node, sd_industrial_trend=math.nan,
-                sd_roadmap_implied=math.nan, sd_constant_cost=math.nan))
+
+    def point(node: RoadmapNode) -> FeasibilityPoint:
+        return FeasibilityPoint(
+            node=node,
+            sd_industrial_trend=float(fit.predict(node.feature_um)),
+            sd_roadmap_implied=node.implied_sd(),
+            sd_constant_cost=constant_cost_sd(node, assumptions),
+        )
+
+    def masked_point(node: RoadmapNode) -> FeasibilityPoint:
+        return FeasibilityPoint(
+            node=node, sd_industrial_trend=math.nan,
+            sd_roadmap_implied=math.nan, sd_constant_cost=math.nan)
+
+    points, log = map_scalar(
+        sorted(nodes, key=lambda n: n.year), point, policy=policy,
+        where="roadmap.feasibility.feasibility_report", equation="3",
+        parameter="year", value_of=lambda node: node.year,
+        on_error=masked_point)
     collected = log.finish()
     if diagnostics is not None:
         diagnostics.extend(collected)

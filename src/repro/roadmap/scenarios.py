@@ -33,9 +33,10 @@ from ..constants import (
     MPU_DIE_COST_1999_USD,
 )
 from ..data.records import RoadmapNode
+from ..engine import map_scalar
 from ..errors import DomainError
 from ..obs.instrument import traced
-from ..robust.policy import DiagnosticLog, ErrorPolicy
+from ..robust.policy import ErrorPolicy
 from ..wafer.cost import WaferCostModel
 from ..yieldmodels.composite import CompositeYield
 from .constant_cost import ConstantCostAssumptions, ConstantCostPoint, constant_cost_sd
@@ -148,21 +149,23 @@ def scenario_series(nodes: list[RoadmapNode], scn: Scenario,
     COLLECT raises the aggregate at the end.
     """
     policy = ErrorPolicy.coerce(policy)
-    log = DiagnosticLog(policy, "roadmap.scenarios.scenario_series", equation="3")
-    points = []
-    for i, node in enumerate(sorted(nodes, key=lambda n: n.year)):
-        try:
-            assumptions = scn.assumptions_at(node)
-            points.append(ConstantCostPoint(
-                node=node,
-                sd_implied=node.implied_sd(),
-                sd_constant_cost=constant_cost_sd(node, assumptions),
-            ))
-        except Exception as exc:  # noqa: BLE001 — capture() re-raises non-ReproError
-            if not log.capture(exc, parameter="year", value=node.year, index=i):
-                raise
-            points.append(ConstantCostPoint(
-                node=node, sd_implied=math.nan, sd_constant_cost=math.nan))
+    def point(node: RoadmapNode) -> ConstantCostPoint:
+        assumptions = scn.assumptions_at(node)
+        return ConstantCostPoint(
+            node=node,
+            sd_implied=node.implied_sd(),
+            sd_constant_cost=constant_cost_sd(node, assumptions),
+        )
+
+    def masked_point(node: RoadmapNode) -> ConstantCostPoint:
+        return ConstantCostPoint(
+            node=node, sd_implied=math.nan, sd_constant_cost=math.nan)
+
+    points, log = map_scalar(
+        sorted(nodes, key=lambda n: n.year), point, policy=policy,
+        where="roadmap.scenarios.scenario_series", equation="3",
+        parameter="year", value_of=lambda node: node.year,
+        on_error=masked_point)
     collected = log.finish()
     if diagnostics is not None:
         diagnostics.extend(collected)

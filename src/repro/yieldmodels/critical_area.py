@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import renamed_kwargs
 from ..validation import check_fraction, check_positive
 
 __all__ = ["CriticalAreaModel", "DEFAULT_CRITICAL_AREA_MODEL"]
@@ -86,17 +87,19 @@ class CriticalAreaModel:
         result = self.saturation * self.occupancy(sd)
         return result if np.ndim(sd) else float(result)
 
-    def critical_area_cm2(self, die_area_cm2, sd):
+    @renamed_kwargs(die_area_cm2="area_cm2")
+    def critical_area_cm2(self, area_cm2, sd):
         """Critical area of a die: ``A_die · critical_fraction(s_d)``."""
-        die_area_cm2 = check_positive(die_area_cm2, "die_area_cm2")
-        result = np.asarray(die_area_cm2, dtype=float) * self.critical_fraction(sd)
-        return result if (np.ndim(die_area_cm2) or np.ndim(sd)) else float(result)
+        area_cm2 = check_positive(area_cm2, "area_cm2")
+        result = np.asarray(area_cm2, dtype=float) * self.critical_fraction(sd)
+        return result if (np.ndim(area_cm2) or np.ndim(sd)) else float(result)
 
-    def faults_per_die(self, die_area_cm2, sd, defect_density_per_cm2):
+    @renamed_kwargs(die_area_cm2="area_cm2")
+    def faults_per_die(self, area_cm2, sd, defect_density_per_cm2):
         """Expected kill-fault count ``A_crit · D`` for a die."""
         d = check_positive(defect_density_per_cm2, "defect_density_per_cm2")
-        result = np.asarray(self.critical_area_cm2(die_area_cm2, sd)) * d
-        return result if (np.ndim(die_area_cm2) or np.ndim(sd) or np.ndim(d)) else float(result)
+        result = np.asarray(self.critical_area_cm2(area_cm2, sd)) * d
+        return result if (np.ndim(area_cm2) or np.ndim(sd) or np.ndim(d)) else float(result)
 
 
 DEFAULT_CRITICAL_AREA_MODEL = CriticalAreaModel()

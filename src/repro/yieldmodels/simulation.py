@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .._compat import renamed_kwargs
 from ..errors import DomainError
 from ..obs import metrics as obs_metrics
 from ..obs.instrument import traced
@@ -147,7 +148,8 @@ class WaferYieldExperiment:
         return good / total
 
 
-def simulated_yield(wafer: WaferSpec, die_area_cm2: float,
+@renamed_kwargs(die_area_cm2="area_cm2")
+def simulated_yield(wafer: WaferSpec, area_cm2: float,
                     density_per_cm2: float, cluster_size: float = 1.0,
                     cluster_radius_cm: float = 0.5,
                     n_wafers: int = 20, seed: int = 0) -> float:
@@ -155,6 +157,6 @@ def simulated_yield(wafer: WaferSpec, die_area_cm2: float,
     field = DefectField(density_per_cm2=density_per_cm2,
                         cluster_size=cluster_size,
                         cluster_radius_cm=cluster_radius_cm)
-    experiment = WaferYieldExperiment(wafer=wafer, die_area_cm2=die_area_cm2,
+    experiment = WaferYieldExperiment(wafer=wafer, die_area_cm2=area_cm2,
                                       field=field)
     return experiment.run(n_wafers=n_wafers, seed=seed)

@@ -1,0 +1,174 @@
+"""Deprecated-keyword shims: old spellings work, warn once, and lint.
+
+The API normalisation renamed ``cm_sq`` → ``cost_per_cm2`` and
+``die_area_cm2`` → ``area_cm2``. :func:`repro._compat.renamed_kwargs`
+must keep the old spellings working with a ``DeprecationWarning`` fired
+exactly once per call site, reject ambiguous calls, and the ``API005``
+lint rule must flag any in-tree use of the old names.
+"""
+
+import textwrap
+import warnings
+
+import pytest
+
+from repro._compat import (
+    DEPRECATED_KWARG_ALIASES,
+    renamed_kwargs,
+    reset_warning_registry,
+)
+from repro.cost import PAPER_FIGURE4_MODEL
+from repro.errors import DomainError
+from repro.lint.config import LintConfig
+from repro.lint.passes.api_parity import ApiParityPass
+from repro.lint.project import load_project
+from repro.yieldmodels import CriticalAreaModel
+
+FIG4_ARGS = dict(sd=300.0, n_transistors=1e7, feature_um=0.18,
+                 n_wafers=5_000, yield_fraction=0.4)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    reset_warning_registry()
+    yield
+    reset_warning_registry()
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestRenamedKwargs:
+    def test_alias_forwards_the_value(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = PAPER_FIGURE4_MODEL.transistor_cost(cm_sq=8.0, **FIG4_ARGS)
+        new = PAPER_FIGURE4_MODEL.transistor_cost(cost_per_cm2=8.0,
+                                                  **FIG4_ARGS)
+        assert old == new
+
+    def test_warns_once_per_call_site(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):  # same file/line: one warning total
+                PAPER_FIGURE4_MODEL.transistor_cost(cm_sq=8.0, **FIG4_ARGS)
+        assert len(_deprecations(caught)) == 1
+        message = str(_deprecations(caught)[0].message)
+        assert "'cm_sq' is deprecated" in message
+        assert "'cost_per_cm2'" in message
+
+    def test_second_call_site_warns_again(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            PAPER_FIGURE4_MODEL.transistor_cost(cm_sq=8.0, **FIG4_ARGS)
+            PAPER_FIGURE4_MODEL.transistor_cost(cm_sq=8.0, **FIG4_ARGS)
+        assert len(_deprecations(caught)) == 2
+
+    def test_reset_rearms_the_warning(self):
+        def call():
+            PAPER_FIGURE4_MODEL.transistor_cost(cm_sq=8.0, **FIG4_ARGS)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            call()
+            call()
+            reset_warning_registry()
+            call()
+        assert len(_deprecations(caught)) == 2
+
+    def test_both_spellings_is_a_hard_error(self):
+        with pytest.raises(DomainError, match="both 'cm_sq'"):
+            PAPER_FIGURE4_MODEL.transistor_cost(cm_sq=8.0, cost_per_cm2=8.0,
+                                                **FIG4_ARGS)
+
+    def test_canonical_spelling_never_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            PAPER_FIGURE4_MODEL.transistor_cost(cost_per_cm2=8.0, **FIG4_ARGS)
+        assert not _deprecations(caught)
+
+    def test_die_area_alias_on_critical_area(self):
+        model = CriticalAreaModel()
+        with pytest.warns(DeprecationWarning, match="die_area_cm2"):
+            old = model.critical_area_cm2(die_area_cm2=1.0, sd=300.0)
+        assert old == model.critical_area_cm2(area_cm2=1.0, sd=300.0)
+
+    def test_self_alias_rejected_at_decoration_time(self):
+        with pytest.raises(DomainError, match="maps to itself"):
+            renamed_kwargs(x="x")
+
+    def test_alias_table_covers_the_shipped_renames(self):
+        assert DEPRECATED_KWARG_ALIASES == {"cm_sq": "cost_per_cm2",
+                                            "die_area_cm2": "area_cm2"}
+
+
+_SHIMMED_SOURCE = textwrap.dedent('''\
+    """Synthetic module for the API005 rule."""
+
+    from repro._compat import renamed_kwargs
+
+    __all__ = ["price", "caller"]
+
+
+    @renamed_kwargs(cm_sq="cost_per_cm2")
+    def price(cost_per_cm2):
+        """Pass-through."""
+        return cost_per_cm2
+
+
+    def caller():
+        """Uses the {keyword} spelling."""
+        return price({keyword}=8.0)
+''')
+
+
+def _api005_findings(tree_root):
+    project = load_project(tree_root, repo_root=tree_root)
+    findings = ApiParityPass().run(project, LintConfig())
+    return [f for f in findings if f.rule == "API005"]
+
+
+class TestApi005:
+    def test_flags_deprecated_spelling(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            _SHIMMED_SOURCE.format(keyword="cm_sq"))
+        findings = _api005_findings(tmp_path)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert "deprecated keyword 'cm_sq'" in finding.message
+        assert finding.suggestion == "use 'cost_per_cm2'"
+        assert finding.path == "mod.py"
+
+    def test_canonical_spelling_is_clean(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            _SHIMMED_SOURCE.format(keyword="cost_per_cm2"))
+        assert _api005_findings(tmp_path) == []
+
+    def test_alias_keyword_to_unshimmed_function_is_clean(self, tmp_path):
+        # ``die_area_cm2`` as a record-constructor field must not fire:
+        # only calls to functions actually wearing the shim are flagged.
+        (tmp_path / "mod.py").write_text(textwrap.dedent('''\
+            """Synthetic module: alias-looking field on a plain record."""
+
+            __all__ = ["Record", "build"]
+
+
+            class Record:
+                """Record whose field happens to share the old spelling."""
+
+                def __init__(self, die_area_cm2):
+                    self.die_area_cm2 = die_area_cm2
+
+
+            def build():
+                """Constructs the record."""
+                return Record(die_area_cm2=1.0)
+        '''))
+        assert _api005_findings(tmp_path) == []
+
+    def test_real_tree_is_clean(self):
+        from pathlib import Path
+
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        assert _api005_findings(src) == []

@@ -14,7 +14,7 @@ from repro.errors import DomainError
 from repro.wafer import WAFER_200MM, WAFER_300MM
 
 POINT = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5000,
-             yield_fraction=0.4, cm_sq=8.0)
+             yield_fraction=0.4, cost_per_cm2=8.0)
 
 
 class TestEquation5:

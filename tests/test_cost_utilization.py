@@ -57,7 +57,7 @@ class TestUtilizedDevice:
 
 
 class TestCrossover:
-    FPGA = dict(n_transistors=1e7, feature_um=0.18, yield_fraction=0.8, cm_sq=8.0)
+    FPGA = dict(n_transistors=1e7, feature_um=0.18, yield_fraction=0.8, cost_per_cm2=8.0)
 
     def test_crossover_exists_for_typical_fpga(self):
         nw = fpga_vs_asic_crossover(fpga=make_fpga(), asic_sd=300.0, **self.FPGA)

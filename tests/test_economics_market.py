@@ -7,7 +7,7 @@ from repro.economics import MarketWindowModel, profit_optimal_sd
 from repro.errors import DomainError
 from repro.optimize import optimal_sd
 
-POINT = dict(n_transistors=1e7, feature_um=0.18, yield_fraction=0.8, cm_sq=8.0)
+POINT = dict(n_transistors=1e7, feature_um=0.18, yield_fraction=0.8, cost_per_cm2=8.0)
 
 
 class TestMarketWindowModel:

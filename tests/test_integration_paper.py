@@ -95,9 +95,9 @@ class TestFigure4:
     """U-curves and the volume-dependent optimum."""
 
     FIG4A = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5000,
-                 yield_fraction=0.4, cm_sq=8.0)
+                 yield_fraction=0.4, cost_per_cm2=8.0)
     FIG4B = dict(n_transistors=1e7, feature_um=0.18, n_wafers=50_000,
-                 yield_fraction=0.9, cm_sq=8.0)
+                 yield_fraction=0.9, cost_per_cm2=8.0)
 
     def test_both_scenarios_u_shaped(self):
         for point in (self.FIG4A, self.FIG4B):

@@ -15,9 +15,9 @@ from repro.optimize import (
 )
 
 FIG4A = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5000,
-             yield_fraction=0.4, cm_sq=8.0)
+             yield_fraction=0.4, cost_per_cm2=8.0)
 FIG4B = dict(n_transistors=1e7, feature_um=0.18, n_wafers=50_000,
-             yield_fraction=0.9, cm_sq=8.0)
+             yield_fraction=0.9, cost_per_cm2=8.0)
 
 
 class TestOptimalSd:

@@ -13,7 +13,7 @@ from repro.optimize import (
 )
 
 POINT = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5000,
-             yield_fraction=0.4, cm_sq=8.0)
+             yield_fraction=0.4, cost_per_cm2=8.0)
 
 
 class TestElasticities:
@@ -21,7 +21,7 @@ class TestElasticities:
     def elas(self):
         return parameter_elasticities(
             PAPER_FIGURE4_MODEL, POINT,
-            parameters=["n_wafers", "cm_sq", "a0", "n_transistors"])
+            parameters=["n_wafers", "cost_per_cm2", "a0", "n_transistors"])
 
     def test_volume_elasticity_negative(self, elas):
         # More volume -> denser optimum.
@@ -31,9 +31,9 @@ class TestElasticities:
         # Costlier design -> sparser optimum.
         assert elas["a0"] > 0
 
-    def test_cm_sq_elasticity_negative(self, elas):
+    def test_cost_per_cm2_elasticity_negative(self, elas):
         # Costlier silicon -> denser optimum.
-        assert elas["cm_sq"] < 0
+        assert elas["cost_per_cm2"] < 0
 
     def test_a0_and_volume_mirror(self, elas):
         # a0 and 1/N_w enter eq.(5) identically -> equal-magnitude,

@@ -8,9 +8,9 @@ from repro.errors import DomainError
 from repro.optimize import SweepResult, sd_grid, sd_sweep, sd_sweep_generalized, volume_sweep
 
 FIG4A = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5000,
-             yield_fraction=0.4, cm_sq=8.0)
+             yield_fraction=0.4, cost_per_cm2=8.0)
 FIG4B = dict(n_transistors=1e7, feature_um=0.18, n_wafers=50_000,
-             yield_fraction=0.9, cm_sq=8.0)
+             yield_fraction=0.9, cost_per_cm2=8.0)
 
 
 class TestSdGrid:

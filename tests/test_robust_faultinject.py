@@ -131,7 +131,7 @@ def _assert_robust(fn, call, fixed=None):
 
 
 VALID_FIG4 = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5_000.0,
-                  yield_fraction=0.4, cm_sq=8.0)
+                  yield_fraction=0.4, cost_per_cm2=8.0)
 
 
 @pytest.mark.parametrize("call", corrupted_calls(VALID_FIG4, seed=SEED),
@@ -147,7 +147,7 @@ def test_chaos_optimal_sd(call):
 
 
 VALID_VOLUME = dict(sd=300.0, n_transistors=1e7, feature_um=0.18,
-                    yield_fraction=0.4, cm_sq=8.0)
+                    yield_fraction=0.4, cost_per_cm2=8.0)
 
 
 @pytest.mark.parametrize("call", corrupted_calls(VALID_VOLUME, seed=SEED),

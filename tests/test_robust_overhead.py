@@ -31,7 +31,7 @@ ARGS = (1e7, 0.18, 5000.0, 0.4, 8.0)
 
 
 def seed_equivalent_sweep(model, n_transistors, feature_um, n_wafers,
-                          yield_fraction, cm_sq, sd_values=None):
+                          yield_fraction, cost_per_cm2, sd_values=None):
     """The pre-robustness ``sd_sweep`` body, line for line, minus policy.
 
     The seed already carried the ``obs_metrics.observe`` call and the
@@ -43,7 +43,7 @@ def seed_equivalent_sweep(model, n_transistors, feature_um, n_wafers,
     sd_values = np.asarray(sd_values, dtype=float)
     obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
     cost = model.transistor_cost(
-        sd_values, n_transistors, feature_um, n_wafers, yield_fraction, cm_sq)
+        sd_values, n_transistors, feature_um, n_wafers, yield_fraction, cost_per_cm2)
     return SweepResult(
         parameter="sd", x=sd_values, cost=np.asarray(cost, dtype=float),
         meta={
@@ -51,7 +51,7 @@ def seed_equivalent_sweep(model, n_transistors, feature_um, n_wafers,
             "feature_um": feature_um,
             "n_wafers": n_wafers,
             "yield_fraction": yield_fraction,
-            "cm_sq": cm_sq,
+            "cost_per_cm2": cost_per_cm2,
         })
 
 

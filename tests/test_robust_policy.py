@@ -31,7 +31,7 @@ from repro.robust import Diagnostic, DiagnosticLog, ErrorPolicy
 SD0 = PAPER_FIGURE4_MODEL.design_model.sd0  # 100.0
 FIG4_ARGS = (1e7, 0.18, 5_000, 0.4, 8.0)
 POINT = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5_000,
-             yield_fraction=0.4, cm_sq=8.0)
+             yield_fraction=0.4, cost_per_cm2=8.0)
 
 #: 6 points at/below sd0 (infeasible: eq. (6) diverges) + 30 above.
 STRADDLING_GRID = np.concatenate([
@@ -187,12 +187,12 @@ def test_optimum_vs_volume_accepts_policy():
 
 def test_elasticities_mask_policy_all_finite_on_feasible_point():
     out = parameter_elasticities(PAPER_FIGURE4_MODEL, POINT,
-                                 parameters=["n_wafers", "cm_sq"],
+                                 parameters=["n_wafers", "cost_per_cm2"],
                                  policy=ErrorPolicy.MASK)
     assert all(math.isfinite(v) for v in out.values())
 
 
-EXCURSIONS = {"n_wafers": (2_000, 20_000), "cm_sq": (4.0, 16.0)}
+EXCURSIONS = {"n_wafers": (2_000, 20_000), "cost_per_cm2": (4.0, 16.0)}
 
 
 def test_tornado_order_stable_under_mask():

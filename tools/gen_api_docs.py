@@ -20,6 +20,8 @@ sys.path.insert(0, str(REPO / "src"))
 
 SUBPACKAGES = [
     "repro",
+    "repro.api",
+    "repro.engine",
     "repro.data",
     "repro.density",
     "repro.cost",
