@@ -59,6 +59,23 @@ def _loop_sketch_observe() -> None:
         sketch.observe(1e-6 + i * 1e-9)
 
 
+def _loop_disabled_labeled_inc() -> None:
+    labels = {"backend": "numpy", "policy": "raise"}
+    for _ in range(CALLS):
+        obs.inc("bench_noop_total", labels=labels)
+
+
+def _loop_disabled_capture_context() -> None:
+    for _ in range(CALLS):
+        obs.capture_context()
+
+
+def _loop_enabled_labeled_inc() -> None:
+    labels = {"backend": "numpy", "policy": "raise"}
+    for _ in range(CALLS):
+        obs.inc("bench_hot_total", labels=labels)
+
+
 def regenerate_overhead():
     obs.disable()
     rows = [
@@ -66,9 +83,20 @@ def regenerate_overhead():
         ("obs.span() [disabled]", _ns_per_call(_loop_disabled_span)),
         ("obs.observe_duration() [disabled]",
          _ns_per_call(_loop_disabled_observe_duration)),
+        ("obs.inc() labeled [disabled]",
+         _ns_per_call(_loop_disabled_labeled_inc)),
+        ("obs.capture_context() [disabled]",
+         _ns_per_call(_loop_disabled_capture_context)),
         ("DurationSketch.observe() [enabled]",
          _ns_per_call(_loop_sketch_observe)),
     ]
+    obs.enable()
+    try:
+        rows.append(("obs.inc() labeled [enabled]",
+                     _ns_per_call(_loop_enabled_labeled_inc)))
+    finally:
+        obs.disable()
+        obs.reset()
     return rows
 
 
@@ -87,5 +115,13 @@ def test_obs_overhead(benchmark, save_artifact):
     assert costs["obs.enabled() [disabled]"] < 2_000
     assert costs["obs.observe_duration() [disabled]"] < 2_000
     assert costs["obs.span() [disabled]"] < 10_000
+    # Labeled metrics and trace propagation keep the same disabled
+    # contract: one global read, no label freezing, no context capture.
+    assert costs["obs.inc() labeled [disabled]"] < 2_000
+    assert costs["obs.capture_context() [disabled]"] < 2_000
     # The enabled sketch path is a log + dict update — well under 50µs.
     assert costs["DurationSketch.observe() [enabled]"] < 50_000
+    # Enabled labeled inc: freeze + registry lookup + locked add. Loose
+    # ceiling — this guards against pathological lock contention or
+    # per-call metric allocation, not nanosecond drift.
+    assert costs["obs.inc() labeled [enabled]"] < 50_000

@@ -24,6 +24,11 @@ the bare report):
 ``--backend {auto,numpy,python}``
     Select the :mod:`repro.engine` evaluation backend for the run
     (``auto`` picks NumPy when available).
+``--telemetry DIR``
+    Run the report with observability enabled and dump the full
+    telemetry snapshot bundle (``metrics.prom`` in Prometheus text
+    format, ``spans.otlp.json``, ``provenance.json``) into ``DIR``
+    — see :func:`repro.obs.write_snapshot`.
 """
 
 from __future__ import annotations
@@ -145,37 +150,39 @@ def masked_summary(diagnostics: list) -> str:
     return "\n".join(lines)
 
 
-def _split_backend(argv: list[str]) -> tuple[list[str], str | None]:
-    """Extract ``--backend VALUE`` / ``--backend=VALUE`` from the argv."""
+def _split_value_flag(argv: list[str], flag: str) -> tuple[list[str], str | None]:
+    """Extract ``FLAG VALUE`` / ``FLAG=VALUE`` from the argv."""
     rest: list[str] = []
-    backend: str | None = None
+    value: str | None = None
     i = 0
     while i < len(argv):
         arg = argv[i]
-        if arg == "--backend":
+        if arg == flag:
             if i + 1 >= len(argv):
-                raise DomainError("--backend requires a value")
-            backend = argv[i + 1]
+                raise DomainError(f"{flag} requires a value")
+            value = argv[i + 1]
             i += 2
             continue
-        if arg.startswith("--backend="):
-            backend = arg.split("=", 1)[1]
+        if arg.startswith(flag + "="):
+            value = arg.split("=", 1)[1]
             i += 1
             continue
         rest.append(arg)
         i += 1
-    return rest, backend
+    return rest, value
 
 
 _USAGE = ("usage: python -m repro [report] [--trace] [--metrics] "
-          "[--profile] [--permissive] [--backend auto|numpy|python]")
+          "[--profile] [--permissive] [--backend auto|numpy|python] "
+          "[--telemetry DIR]")
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     argv = list(sys.argv[1:] if argv is None else argv)
     try:
-        argv, backend = _split_backend(argv)
+        argv, backend = _split_value_flag(argv, "--backend")
+        argv, telemetry_dir = _split_value_flag(argv, "--telemetry")
     except DomainError as exc:
         print(f"{exc}; {_USAGE}", file=sys.stderr)
         return 2
@@ -200,7 +207,7 @@ def main(argv: list[str] | None = None) -> int:
     diagnostics: list = []
     obs_flags = [f for f in flags if f != "--permissive"]
     try:
-        if not obs_flags:
+        if not obs_flags and telemetry_dir is None:
             text = build_report(policy=policy, diagnostics=diagnostics)
             extra = ""
         else:
@@ -209,6 +216,11 @@ def main(argv: list[str] | None = None) -> int:
                 text = build_report(policy=policy, diagnostics=diagnostics)
             extra = observability_sections(
                 "--trace" in flags, "--metrics" in flags, "--profile" in flags)
+            if telemetry_dir is not None:
+                paths = obs.write_snapshot(telemetry_dir)
+                note = "telemetry snapshot: " + ", ".join(
+                    str(paths[key]) for key in sorted(paths))
+                extra = (extra + "\n\n" + note) if extra else note
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import DomainError
+from ..obs import metrics as _obs_metrics
 
 __all__ = ["CacheStats", "GridCache", "grid_cache", "configure", "clear", "stats"]
 
@@ -110,9 +111,12 @@ class GridCache:
         values = self._entries.get(key)
         if values is None:
             self._misses += 1
+            _obs_metrics.inc("engine_cache_events_total",
+                             labels={"event": "miss"})
             return None
         self._entries.move_to_end(key)
         self._hits += 1
+        _obs_metrics.inc("engine_cache_events_total", labels={"event": "hit"})
         return values.copy()
 
     def put(self, key: bytes, values: np.ndarray) -> None:
@@ -121,9 +125,32 @@ class GridCache:
             return
         self._entries[key] = np.array(values, copy=True)
         self._entries.move_to_end(key)
+        self._evict_over_capacity()
+
+    def _evict_over_capacity(self) -> int:
+        """Drop LRU entries beyond capacity; returns how many were evicted."""
+        evicted = 0
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self._evictions += 1
+            evicted += 1
+        if evicted:
+            _obs_metrics.inc("engine_cache_events_total", evicted,
+                             labels={"event": "eviction"})
+        return evicted
+
+    def resize(self, max_entries: int) -> int:
+        """Change capacity (0 disables); evict LRU entries beyond it.
+
+        The eviction count flows through the cache's own counters (and
+        the gated ``engine_cache_events_total`` metric), so stats stay
+        consistent however the resize happens. Returns the number of
+        entries evicted.
+        """
+        if max_entries < 0:
+            raise DomainError(f"max_entries must be >= 0; got {max_entries}")
+        self.max_entries = max_entries
+        return self._evict_over_capacity()
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
@@ -147,12 +174,7 @@ grid_cache = GridCache()
 def configure(max_entries: int) -> None:
     """Resize the global cache (0 disables it); existing entries are kept
     up to the new capacity, evicting least-recently-used beyond it."""
-    if max_entries < 0:
-        raise DomainError(f"max_entries must be >= 0; got {max_entries}")
-    grid_cache.max_entries = max_entries
-    while len(grid_cache._entries) > max_entries:
-        grid_cache._entries.popitem(last=False)
-        grid_cache._evictions += 1
+    grid_cache.resize(max_entries)
 
 
 def clear() -> None:

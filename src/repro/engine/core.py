@@ -127,20 +127,10 @@ def _masked_batch(kernel, xs: np.ndarray, policy: ErrorPolicy, where: str,
     return values, log.finish()
 
 
-def evaluate_grid(kernel, grid, *, policy=ErrorPolicy.RAISE, where: str,
-                  equation: str = "", parameter: str = "x",
-                  cache: bool = True) -> GridEvaluation:
-    """Evaluate ``kernel`` over ``grid`` under the configured backend.
-
-    ``where``/``equation``/``parameter`` feed straight into the
-    ``DiagnosticLog``, so rewired call sites keep their historical
-    diagnostic identities. ``cache=False`` opts a call site out of the
-    memo cache (the cache is also skipped for MASK/COLLECT and while
-    tracing is enabled — see :mod:`repro.engine.cache`).
-    """
-    policy = ErrorPolicy.coerce(policy)
-    xs = np.ascontiguousarray(grid, dtype=float)
-    mode = _backend.resolved_backend()
+def _dispatch(kernel, xs: np.ndarray, policy: ErrorPolicy, mode: str,
+              where: str, equation: str, parameter: str,
+              cache: bool) -> GridEvaluation:
+    """The policy/backend dispatch body of :func:`evaluate_grid`."""
     if mode == "python":
         values, diagnostics = _scalar_loop(kernel, xs, policy, where,
                                            equation, parameter, python=True)
@@ -166,6 +156,52 @@ def evaluate_grid(kernel, grid, *, policy=ErrorPolicy.RAISE, where: str,
         _cache.grid_cache.put(key, values)
     obs_metrics.observe("engine.grid.points", float(xs.size))
     return GridEvaluation(values, (), "numpy", chunks=n_chunks)
+
+
+def evaluate_grid(kernel, grid, *, policy=ErrorPolicy.RAISE, where: str,
+                  equation: str = "", parameter: str = "x",
+                  cache: bool = True) -> GridEvaluation:
+    """Evaluate ``kernel`` over ``grid`` under the configured backend.
+
+    ``where``/``equation``/``parameter`` feed straight into the
+    ``DiagnosticLog``, so rewired call sites keep their historical
+    diagnostic identities. ``cache=False`` opts a call site out of the
+    memo cache (the cache is also skipped for MASK/COLLECT and while
+    tracing is enabled — see :mod:`repro.engine.cache`).
+
+    While observability is enabled the whole dispatch runs inside an
+    ``engine.evaluate_grid`` span (the span pooled worker telemetry is
+    parented under) and labeled dispatch counters
+    (``engine_dispatch_total{backend=,policy=}``,
+    ``engine_points_total{backend=}``, ``engine_chunks_total{backend=}``)
+    record where the points went.
+    """
+    policy = ErrorPolicy.coerce(policy)
+    xs = np.ascontiguousarray(grid, dtype=float)
+    mode = _backend.resolved_backend()
+    enclosing = obs_trace.current_span()
+    with obs_trace.span("engine.evaluate_grid", where=where, backend=mode,
+                        policy=policy.name.lower(),
+                        points=int(xs.size)) as sp:
+        result = _dispatch(kernel, xs, policy, mode, where, equation,
+                           parameter, cache)
+        sp.set_attr("chunks", result.chunks)
+        sp.set_attr("cache_hit", result.cache_hit)
+        if enclosing is not None:
+            # DiagnosticLog annotates the *current* span at capture time,
+            # which is now this engine span; mirror the robust.* attrs onto
+            # the enclosing span so the legacy sweep-span contract holds.
+            for attr, value in sp.attrs.items():
+                if attr.startswith("robust."):
+                    enclosing.set_attr(attr, value)
+        obs_metrics.inc(
+            "engine_dispatch_total",
+            labels={"backend": result.backend, "policy": policy.name.lower()})
+        obs_metrics.inc("engine_points_total", float(xs.size),
+                        labels={"backend": result.backend})
+        obs_metrics.inc("engine_chunks_total", float(result.chunks),
+                        labels={"backend": result.backend})
+        return result
 
 
 def map_scalar(items, fn, *, policy=ErrorPolicy.RAISE, where: str,

@@ -21,6 +21,9 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from ..errors import DomainError
+from ..obs import metrics as _obs_metrics
+from ..obs import telemetry as _obs_telemetry
+from ..obs import trace as _obs_trace
 
 __all__ = ["configure", "plan_chunks", "batch_in_chunks", "shutdown", "settings"]
 
@@ -92,6 +95,23 @@ def _run_chunk(kernel, chunk: np.ndarray) -> np.ndarray:
     return kernel.batch(chunk)
 
 
+def _run_chunk_traced(kernel, chunk: np.ndarray, ctx, index: int):
+    """Worker-side entry for traced runs: evaluate under local telemetry.
+
+    Runs the chunk inside a :class:`~repro.obs.telemetry.WorkerTelemetry`
+    scope — a worker-local tracer/registry enabled just for this task —
+    and returns ``(values, payload)`` so the parent can merge the worker
+    spans and metric deltas into its own trace tree and registry.
+    """
+    with _obs_telemetry.WorkerTelemetry(ctx) as wt:
+        with _obs_trace.span("engine.parallel.chunk", pid=os.getpid(),
+                             chunk=index, points=int(chunk.size)):
+            values = kernel.batch(chunk)
+            _obs_metrics.inc("engine_worker_points_total", float(chunk.size),
+                             labels={"backend": "numpy"})
+    return values, wt.payload
+
+
 def batch_in_chunks(kernel, grid: np.ndarray, n_chunks: int) -> np.ndarray:
     """Evaluate ``kernel.batch`` over ``grid`` split into ``n_chunks``.
 
@@ -99,13 +119,31 @@ def batch_in_chunks(kernel, grid: np.ndarray, n_chunks: int) -> np.ndarray:
     the grid axis (the last axis for multi-output kernels). Exceptions
     from any chunk propagate unchanged — the caller's error policy
     handles them exactly as it would a single-process failure.
+
+    While observability is enabled, a :class:`~repro.obs.telemetry.
+    TraceContext` is injected into every task and each chunk returns a
+    telemetry payload alongside its values; the worker spans (tagged
+    with pid, chunk index, and point count) and metric deltas merge
+    into the parent trace and registry, so pooled runs are no longer a
+    telemetry blind spot.
     """
     if n_chunks <= 1:
         return kernel.batch(grid)
     pool = _get_pool()
     chunks = np.array_split(grid, n_chunks)
-    futures = [pool.submit(_run_chunk, kernel, chunk) for chunk in chunks]
-    parts = [np.asarray(future.result()) for future in futures]
+    ctx = _obs_telemetry.capture_context()
+    if ctx is None:
+        futures = [pool.submit(_run_chunk, kernel, chunk) for chunk in chunks]
+        parts = [np.asarray(future.result()) for future in futures]
+    else:
+        futures = [pool.submit(_run_chunk_traced, kernel, chunk, ctx, index)
+                   for index, chunk in enumerate(chunks)]
+        parts = []
+        for future in futures:
+            values, payload = future.result()
+            if payload is not None:
+                _obs_telemetry.merge_payload(payload)
+            parts.append(np.asarray(values))
     return np.concatenate(parts, axis=-1)
 
 

@@ -32,17 +32,36 @@ from .export import (
     span_to_dict,
     summary,
 )
+from .exposition import (
+    MetricsEndpoint,
+    parse_prometheus,
+    registry_from_records,
+    render_prometheus,
+    spans_to_otlp,
+    start_metrics_endpoint,
+    write_snapshot,
+)
 from .instrument import enabled, span_name_for, traced
 from .metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    freeze_labels,
     get_registry,
     inc,
+    metric_key,
     observe,
     observe_duration,
     set_gauge,
+)
+from .telemetry import (
+    TelemetryPayload,
+    TraceContext,
+    WorkerTelemetry,
+    bridge_engine_metrics,
+    capture_context,
+    merge_payload,
 )
 from .perf import (
     DurationSketch,
@@ -97,11 +116,28 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "freeze_labels",
     "get_registry",
     "inc",
+    "metric_key",
     "observe",
     "observe_duration",
     "set_gauge",
+    # telemetry
+    "TelemetryPayload",
+    "TraceContext",
+    "WorkerTelemetry",
+    "bridge_engine_metrics",
+    "capture_context",
+    "merge_payload",
+    # exposition
+    "MetricsEndpoint",
+    "parse_prometheus",
+    "registry_from_records",
+    "render_prometheus",
+    "spans_to_otlp",
+    "start_metrics_endpoint",
+    "write_snapshot",
     # perf
     "DurationSketch",
     "SpanProfiler",

@@ -65,17 +65,34 @@ def export_jsonl(path, tracer: "_trace.Tracer | None" = None,
     lines: list[str] = []
     for sp in tracer.spans:
         lines.append(json.dumps(span_to_dict(sp)))
-    for name, kind, value, count in registry.rows():
-        safe = None if isinstance(value, float) and math.isnan(value) else value
+    for c in registry.counters.values():
         lines.append(json.dumps(
-            {"type": "metric", "name": name, "kind": kind,
-             "value": safe, "count": count}))
+            {"type": "metric", "name": c.name,
+             "labels": [list(kv) for kv in c.labels],
+             "kind": "counter", "value": c.value, "count": c.value}))
+    for g in registry.gauges.values():
+        lines.append(json.dumps(
+            {"type": "metric", "name": g.name,
+             "labels": [list(kv) for kv in g.labels],
+             "kind": "gauge", "value": _json_safe(g.value), "count": 1}))
+    for h in registry.histograms.values():
+        lines.append(json.dumps(
+            {"type": "metric", "name": h.name,
+             "labels": [list(kv) for kv in h.labels],
+             "kind": "histogram", "value": _json_safe(h.mean),
+             "count": h.count, "sum": h.total,
+             "min": _json_safe(h.min) if math.isfinite(h.min) else None,
+             "max": _json_safe(h.max) if math.isfinite(h.max) else None,
+             "buckets": {str(i): n for i, n in sorted(h.buckets.items())}}))
     for name, count, p50, p90, p99, mx in registry.sketch_rows():
+        s = registry.sketches[name]
         lines.append(json.dumps(
             {"type": "metric", "name": name, "kind": "sketch",
-             "count": count,
+             "count": count, "total": s.total,
+             "min": _json_safe(s.min) if math.isfinite(s.min) else None,
              "p50": _json_safe(p50), "p90": _json_safe(p90),
-             "p99": _json_safe(p99), "max": _json_safe(mx)}))
+             "p99": _json_safe(p99), "max": _json_safe(mx),
+             "buckets": {str(i): n for i, n in sorted(s.buckets.items())}}))
     for rec in ledger.records:
         lines.append(json.dumps(
             {"type": "provenance", "source": rec.source,

@@ -25,6 +25,7 @@ Design (the DDSketch/HDR-histogram family, stdlib only):
 from __future__ import annotations
 
 import math
+import threading
 from typing import Iterable
 
 from ...errors import DomainError
@@ -61,7 +62,7 @@ class DurationSketch:
     True
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -71,6 +72,9 @@ class DurationSketch:
         self.max = -math.inf
         #: Sparse bucket index -> sample count.
         self.buckets: dict[int, int] = {}
+        #: Serialises ingestion/merge so concurrent observers never lose
+        #: samples (the serve layer shares one registry across threads).
+        self._lock = threading.Lock()
 
     @staticmethod
     def bucket_index(seconds: float) -> int:
@@ -96,14 +100,15 @@ class DurationSketch:
         if math.isnan(seconds) or math.isinf(seconds):
             raise DomainError(
                 f"sketch {self.name}: duration must be finite, got {seconds}")
-        self.count += 1
-        self.total += seconds
-        if seconds < self.min:
-            self.min = seconds
-        if seconds > self.max:
-            self.max = seconds
         index = self.bucket_index(seconds)
-        self.buckets[index] = self.buckets.get(index, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.total += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
+            self.buckets[index] = self.buckets.get(index, 0) + 1
 
     def merge(self, other: "DurationSketch") -> "DurationSketch":
         """Fold ``other``'s samples into this sketch (exact); returns self."""
@@ -111,14 +116,15 @@ class DurationSketch:
             raise DomainError(
                 f"sketch {self.name}: can only merge another DurationSketch, "
                 f"got {type(other).__name__}")
-        self.count += other.count
-        self.total += other.total
-        if other.min < self.min:
-            self.min = other.min
-        if other.max > self.max:
-            self.max = other.max
-        for index, count in other.buckets.items():
-            self.buckets[index] = self.buckets.get(index, 0) + count
+        with self._lock:
+            self.count += other.count
+            self.total += other.total
+            if other.min < self.min:
+                self.min = other.min
+            if other.max > self.max:
+                self.max = other.max
+            for index, count in other.buckets.items():
+                self.buckets[index] = self.buckets.get(index, 0) + count
         return self
 
     def quantile(self, q: float) -> float:
@@ -131,20 +137,25 @@ class DurationSketch:
         """
         if not 0.0 <= q <= 1.0:
             raise DomainError(f"quantile must be in [0, 1]; got {q}")
-        if self.count == 0:
+        # Snapshot under the lock so a concurrent observe() can't mutate
+        # the bucket dict mid-iteration.
+        with self._lock:
+            count, lo, hi = self.count, self.min, self.max
+            items = sorted(self.buckets.items())
+        if count == 0:
             return math.nan
         if q == 0.0:
-            return self.min
+            return lo
         if q == 1.0:
-            return self.max
-        rank = max(1, math.ceil(q * self.count))
+            return hi
+        rank = max(1, math.ceil(q * count))
         seen = 0
-        for index in sorted(self.buckets):
-            seen += self.buckets[index]
+        for index, n in items:
+            seen += n
             if seen >= rank:
                 # Keep estimates inside the exactly-known envelope.
-                return min(max(self.bucket_value(index), self.min), self.max)
-        return self.max  # pragma: no cover - rank <= count always hits above
+                return min(max(self.bucket_value(index), lo), hi)
+        return hi  # pragma: no cover - rank <= count always hits above
 
     @property
     def p50(self) -> float:
@@ -178,6 +189,22 @@ class DurationSketch:
         for value in values:
             sketch.observe(value)
         return sketch
+
+    def __getstate__(self) -> dict:
+        """Pickle support: state without the (unpicklable) lock."""
+        return {"name": self.name, "count": self.count, "total": self.total,
+                "min": self.min, "max": self.max,
+                "buckets": dict(self.buckets)}
+
+    def __setstate__(self, state: dict) -> None:
+        """Restore pickled state and recreate a fresh lock."""
+        self.name = state["name"]
+        self.count = state["count"]
+        self.total = state["total"]
+        self.min = state["min"]
+        self.max = state["max"]
+        self.buckets = dict(state["buckets"])
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return self.count

@@ -1,9 +1,10 @@
 """The shipped tree must be finding-free at default severity.
 
 This is the analyzer's standing acceptance test: ``python -m
-repro.lint`` exits 0 on the repository, the committed baseline is
-empty, and the rule catalog in ``docs/static_analysis.md`` covers every
-registered rule id.
+repro.lint`` exits 0 on the repository, the committed baseline
+grandfathers only the legacy dotted metric names (``OBS003``), and the
+rule catalog in ``docs/static_analysis.md`` covers every registered
+rule id.
 """
 
 from __future__ import annotations
@@ -13,17 +14,19 @@ import subprocess
 import sys
 from pathlib import Path
 
-from repro.lint import DEFAULT_PASSES, run_lint
+from repro.lint import DEFAULT_PASSES, apply_baseline, load_baseline, run_lint
 from repro.lint.findings import Severity
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
+BASELINE = REPO / "tools" / "lint_baseline.json"
 
 
-def test_shipped_tree_is_finding_free():
+def test_shipped_tree_is_finding_free_beyond_baseline():
     result = run_lint()
-    assert result.findings == (), "\n".join(
-        f.format() for f in result.findings)
+    fresh, accepted = apply_baseline(list(result.findings),
+                                     load_baseline(BASELINE))
+    assert fresh == [], "\n".join(f.format() for f in fresh)
     assert result.modules_scanned > 90
 
 
@@ -38,10 +41,14 @@ def test_cli_exits_zero_on_repo():
     assert doc["summary"]["findings"] == 0
 
 
-def test_committed_baseline_is_empty():
-    baseline = json.loads((REPO / "tools" / "lint_baseline.json").read_text())
+def test_committed_baseline_grandfathers_only_legacy_metric_names():
+    baseline = json.loads(BASELINE.read_text())
     assert baseline["version"] == 1
-    assert baseline["findings"] == []
+    # The baseline exists solely to grandfather pre-convention dotted
+    # metric names; any other rule id in it means real debt slipped in.
+    assert {f["rule"] for f in baseline["findings"]} <= {"OBS003"}
+    for record in baseline["findings"]:
+        assert "snake_case" in record["message"]
 
 
 def test_docs_catalog_covers_every_rule():

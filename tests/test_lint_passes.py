@@ -288,11 +288,54 @@ def test_obs002_quiet_on_gated_helpers_and_hoisted_metrics(tmp_path):
             @traced(equation="4")
             def optimal_thing(model):
                 observe_duration("hot", 0.1)
-                inc("calls")
+                inc("calls_total")
                 _SKETCH.observe(0.1)
                 return model
 
             def untraced_factory():
                 return Counter("fine: not a traced body")
+        """})
+    assert result.findings == ()
+
+
+def test_obs003_flags_dotted_and_suffixless_metric_names(tmp_path):
+    result = run_pass(tmp_path, ObsWiringPass(), {
+        "pkg/model.py": """
+            def f():
+                inc("engine.cache.hits")
+                observe("grid.points", 3.0)
+                inc("engine_cache_hits")
+        """})
+    assert rules_of(result) == ["OBS003", "OBS003", "OBS003"]
+    assert "not snake_case" in result.findings[0].message
+    assert "not snake_case" in result.findings[1].message
+    assert "_total" in result.findings[2].message
+
+
+def test_obs003_flags_bad_label_keys_and_registry_methods(tmp_path):
+    result = run_pass(tmp_path, ObsWiringPass(), {
+        "pkg/model.py": """
+            def f(reg):
+                inc("events_total", labels={"Event-Kind": "hit"})
+                reg.counter("Lookups", {"event": "miss"})
+                reg.gauge("cache_entries", {"CamelKey": "x"})
+        """})
+    assert rules_of(result) == ["OBS003", "OBS003", "OBS003"]
+    assert "label key" in result.findings[0].message
+    assert "Lookups" in result.findings[1].message
+    assert "CamelKey" in result.findings[2].message
+
+
+def test_obs003_quiet_on_conforming_and_dynamic_names(tmp_path):
+    result = run_pass(tmp_path, ObsWiringPass(), {
+        "pkg/model.py": """
+            def f(reg, name):
+                inc("engine_cache_events_total", labels={"event": "hit"})
+                observe("engine_grid_points", 3.0)
+                set_gauge("cache_hit_rate", 0.5)
+                reg.sketch("engine_evaluate_grid").observe(0.1)
+                inc(name)
+                inc(f"{name}_total")
+                sketch.observe(0.25)
         """})
     assert result.findings == ()

@@ -10,11 +10,14 @@ provenance record counts found in the file.
 Usage:  python tools/trace_report.py <trace.jsonl>
         python tools/trace_report.py --flame <trace.jsonl>
         python tools/trace_report.py --hot [N] <trace.jsonl>
+        python tools/trace_report.py --prom <trace.jsonl>
 
 ``--flame`` emits the span tree in collapsed-stack format
 (``outer;inner self_microseconds`` lines) ready for any flamegraph
 renderer (e.g. ``flamegraph.pl`` or speedscope). ``--hot`` prints the
-top-N spans ranked by self time (default 15).
+top-N spans ranked by self time (default 15). ``--prom`` renders the
+export's metric records in Prometheus text exposition format (the
+same output a live ``/metrics`` scrape of that run would have given).
 """
 
 from __future__ import annotations
@@ -35,10 +38,12 @@ from repro.obs import (  # noqa: E402
     format_hot_report,
     format_span_tree,
     read_jsonl,
+    registry_from_records,
+    render_prometheus,
 )
 from repro.report import format_table  # noqa: E402
 
-USAGE = ("usage: python tools/trace_report.py [--flame | --hot [N]] "
+USAGE = ("usage: python tools/trace_report.py [--flame | --hot [N] | --prom] "
          "<trace.jsonl>")
 
 
@@ -77,6 +82,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "--flame":
         mode = "flame"
         argv = argv[1:]
+    elif argv and argv[0] == "--prom":
+        mode = "prom"
+        argv = argv[1:]
     elif argv and argv[0] == "--hot":
         mode = "hot"
         argv = argv[1:]
@@ -103,6 +111,8 @@ def main(argv: list[str] | None = None) -> int:
         print(format_collapsed(collapsed_from_spans(records)))
     elif mode == "hot":
         print(format_hot_report(records, top=top))
+    elif mode == "prom":
+        print(render_prometheus(registry_from_records(records)), end="")
     else:
         print(render(records))
     return 0
