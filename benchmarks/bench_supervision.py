@@ -1,0 +1,100 @@
+"""Experiment ``supervision`` — overhead of the supervised pool path.
+
+Times the same large eq.-(4) grid through the chunked process pool two
+ways:
+
+* **raw**: chunk futures submitted directly to the executor and
+  collected with no supervision (the pre-supervision fast path);
+* **supervised**: :func:`repro.engine.parallel.batch_in_chunks`, i.e.
+  the deadline/retry/breaker/checkpoint machinery on a run where
+  nothing faults.
+
+The robustness layer's bargain: fault recovery must be effectively
+free when nothing fails. The guard asserts the supervised clean path
+costs at most 5% over raw submission, and that both produce identical
+values.
+"""
+
+import time
+
+import numpy as np
+
+from repro.cost import PAPER_FIGURE4_MODEL
+from repro.engine import parallel
+from repro.engine.kernels import Eq4SdKernel
+from repro.engine.parallel import _run_chunk
+
+FIG4A = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5_000,
+             yield_fraction=0.4, cost_per_cm2=8.0)
+#: Large enough that per-chunk compute dwarfs pool wake-up jitter
+#: (the supervision cost being measured is a per-cycle constant),
+#: small enough for CI.
+N_POINTS = 4_000_000
+N_CHUNKS = 4
+_REPEATS = 6
+
+
+def _kernel() -> Eq4SdKernel:
+    return Eq4SdKernel(PAPER_FIGURE4_MODEL, **FIG4A)
+
+
+def _best_of_interleaved(fn_a, fn_b) -> tuple[float, float]:
+    """Minimum wall times of two functions, timed in alternation.
+
+    Pool timings are noisy (worker scheduling, page cache); alternating
+    the two candidates inside one loop exposes both to the same system
+    conditions, so the *ratio* — which is what the gate asserts — is
+    far more stable than two back-to-back ``best_of`` blocks.
+    """
+    best_a = best_b = float("inf")
+    for _ in range(_REPEATS + 1):
+        start = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def _raw_pool(kernel, chunks) -> np.ndarray:
+    pool = parallel._get_pool()
+    futures = [pool.submit(_run_chunk, kernel, chunk) for chunk in chunks]
+    return np.concatenate([np.asarray(f.result(), dtype=float)
+                           for f in futures], axis=-1)
+
+
+def regenerate_supervision():
+    """Raw vs supervised pooled wall times + values on a 2M-point grid."""
+    kernel = _kernel()
+    grid = np.linspace(150.0, 1200.0, N_POINTS)
+    chunks = np.array_split(grid, N_CHUNKS)
+    parallel._get_pool()  # warm the workers outside the timed region
+    raw_values = _raw_pool(kernel, chunks)
+    supervised_values, report = parallel.batch_in_chunks(
+        kernel, grid, N_CHUNKS)
+    t_raw, t_supervised = _best_of_interleaved(
+        lambda: _raw_pool(kernel, chunks),
+        lambda: parallel.batch_in_chunks(kernel, grid, N_CHUNKS))
+    return t_raw, t_supervised, raw_values, supervised_values, report
+
+
+def test_supervision(benchmark, save_artifact):
+    t_raw, t_supervised, raw_values, supervised_values, report = benchmark(
+        regenerate_supervision)
+    overhead = t_supervised / t_raw - 1.0
+
+    lines = [
+        "supervision: supervised vs raw pooled eq.-(4) sweep "
+        f"({N_POINTS} points, {N_CHUNKS} chunks, best of {_REPEATS})",
+        f"  raw        {t_raw * 1e3:8.3f} ms",
+        f"  supervised {t_supervised * 1e3:8.3f} ms",
+        f"  overhead   {overhead * 100:+8.2f} %",
+        f"  faults during clean run: {report.n_retries}",
+    ]
+    save_artifact("supervision", "\n".join(lines))
+
+    # Robustness contract: supervision is free on the clean path.
+    assert np.array_equal(supervised_values, raw_values)
+    assert not report.faulted
+    assert overhead <= 0.05

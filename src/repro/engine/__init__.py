@@ -14,7 +14,9 @@ python-level per-point loops. It is the dispatch layer behind
 * :mod:`repro.engine.cache` — content-addressed memo cache for
   repeated grid evaluations;
 * :mod:`repro.engine.parallel` — chunked ``ProcessPoolExecutor`` path
-  for grids above a size threshold;
+  for grids above a size threshold, supervised by
+  :mod:`repro.robust.supervision` (chunk deadlines, crash-recovery
+  retries, circuit-breaker degradation, checkpointed resume);
 * :mod:`repro.engine.backend` — ``auto``/``numpy``/``python`` mode
   selection (:func:`disable` forces the pure-python fallback);
 * :mod:`repro.engine.pykernels` — stdlib-only scalar kernels used when
@@ -41,13 +43,15 @@ from .backend import (
     set_backend,
     using,
 )
-from .cache import CacheStats, GridCache
+from .cache import CacheStats, GridCache, grid_fingerprint
 from .cache import clear as clear_cache
 from .cache import configure as configure_cache
 from .cache import stats as cache_stats
 from .core import GridEvaluation, evaluate_grid, map_scalar
 from .parallel import configure as configure_parallel
+from .parallel import reset_supervision
 from .parallel import settings as parallel_settings
+from .parallel import supervision_stats
 
 __all__ = [
     "BACKENDS",
@@ -65,13 +69,16 @@ __all__ = [
     "disable",
     "enable",
     "evaluate_grid",
+    "grid_fingerprint",
     "kernels",
     "map_scalar",
     "numpy_available",
     "parallel",
     "parallel_settings",
     "pykernels",
+    "reset_supervision",
     "resolved_backend",
     "set_backend",
+    "supervision_stats",
     "using",
 ]

@@ -45,7 +45,11 @@ class GridEvaluation:
 
     ``values`` has the grid's shape for single-output kernels and
     ``(n_outputs, n)`` for multi-output ones. ``diagnostics`` is the
-    tuple ``DiagnosticLog.finish`` returned (always empty for RAISE).
+    tuple ``DiagnosticLog.finish`` returned (for RAISE it is empty).
+    ``supervision`` is the :class:`repro.robust.supervision.
+    SupervisionReport` of the pooled run (``None`` when the run stayed
+    single-process) — retries, pool restarts, degraded chunks,
+    checkpoint preloads, breaker state.
     """
 
     values: np.ndarray
@@ -53,6 +57,7 @@ class GridEvaluation:
     backend: str
     cache_hit: bool = False
     chunks: int = 1
+    supervision: object | None = None
 
 
 def _values_buffer(kernel, n: int) -> np.ndarray:
@@ -95,14 +100,31 @@ def _masked_batch(kernel, xs: np.ndarray, policy: ErrorPolicy, where: str,
     ``DomainError``) — are re-evaluated through the scalar model call in
     ascending grid order, so the diagnostic stream is identical to the
     legacy loop's.
+
+    Large feasible subsets go through the supervised pool with
+    ``allow_degraded=True``: a run that trips the circuit breaker
+    still completes in-process, and its degradation diagnostics are
+    appended *after* the log's own — never fed through ``capture`` —
+    so a COLLECT run degrades instead of raising ``CollectedErrors``
+    for an execution-substrate fault. Returns ``(values, diagnostics,
+    supervision, chunks)``.
     """
     log = DiagnosticLog(policy, where, equation=equation)
     mask = np.asarray(kernel.feasible(xs), dtype=bool)
     values = _values_buffer(kernel, xs.size)
     feasible_xs = xs[mask]
+    supervision = None
+    n_chunks = 1
     try:
         if feasible_xs.size:
-            batch_values = np.asarray(kernel.batch(feasible_xs), dtype=float)
+            n_chunks = _parallel.plan_chunks(feasible_xs.size)
+            if n_chunks > 1:
+                batch_values, supervision = _parallel.batch_in_chunks(
+                    kernel, feasible_xs, n_chunks, where=where,
+                    allow_degraded=True)
+            else:
+                batch_values = kernel.batch(feasible_xs)
+            batch_values = np.asarray(batch_values, dtype=float)
             if values.ndim > 1:
                 values[:, mask] = batch_values
             else:
@@ -111,8 +133,9 @@ def _masked_batch(kernel, xs: np.ndarray, policy: ErrorPolicy, where: str,
         # A fixed parameter (not the swept one) is infeasible, or the
         # predicate was too optimistic: the whole batch is suspect, so
         # fall back to the exact legacy loop for full diagnostics parity.
-        return _scalar_loop(kernel, xs, policy, where, equation, parameter,
-                            python=False)
+        scalar_values, scalar_diags = _scalar_loop(
+            kernel, xs, policy, where, equation, parameter, python=False)
+        return scalar_values, scalar_diags, None, 1
     finite = np.isfinite(values).all(axis=0) if values.ndim > 1 else np.isfinite(values)
     suspects = np.flatnonzero(~(mask & finite))
     for raw_index in suspects:
@@ -124,7 +147,10 @@ def _masked_batch(kernel, xs: np.ndarray, policy: ErrorPolicy, where: str,
                 raise
             continue
         _store(values, i, result)
-    return values, log.finish()
+    diagnostics = log.finish()
+    if supervision is not None and supervision.diagnostics:
+        diagnostics = diagnostics + supervision.diagnostics
+    return values, diagnostics, supervision, n_chunks
 
 
 def _dispatch(kernel, xs: np.ndarray, policy: ErrorPolicy, mode: str,
@@ -136,9 +162,10 @@ def _dispatch(kernel, xs: np.ndarray, policy: ErrorPolicy, mode: str,
                                            equation, parameter, python=True)
         return GridEvaluation(values, diagnostics, "python")
     if policy is not ErrorPolicy.RAISE:
-        values, diagnostics = _masked_batch(kernel, xs, policy, where,
-                                            equation, parameter)
-        return GridEvaluation(values, diagnostics, "numpy")
+        values, diagnostics, supervision, n_chunks = _masked_batch(
+            kernel, xs, policy, where, equation, parameter)
+        return GridEvaluation(values, diagnostics, "numpy",
+                              chunks=n_chunks, supervision=supervision)
     use_cache = cache and _cache.grid_cache.enabled and not obs_trace.is_enabled()
     key = b""
     if use_cache:
@@ -147,15 +174,18 @@ def _dispatch(kernel, xs: np.ndarray, policy: ErrorPolicy, mode: str,
         if hit is not None:
             return GridEvaluation(hit, (), "numpy", cache_hit=True)
     n_chunks = _parallel.plan_chunks(xs.size)
+    supervision = None
     if n_chunks > 1:
-        values = _parallel.batch_in_chunks(kernel, xs, n_chunks)
+        values, supervision = _parallel.batch_in_chunks(kernel, xs, n_chunks,
+                                                        where=where)
     else:
         values = kernel.batch(xs)
     values = np.asarray(values, dtype=float)
     if use_cache:
         _cache.grid_cache.put(key, values)
     obs_metrics.observe("engine.grid.points", float(xs.size))
-    return GridEvaluation(values, (), "numpy", chunks=n_chunks)
+    return GridEvaluation(values, (), "numpy", chunks=n_chunks,
+                          supervision=supervision)
 
 
 def evaluate_grid(kernel, grid, *, policy=ErrorPolicy.RAISE, where: str,
@@ -187,6 +217,15 @@ def evaluate_grid(kernel, grid, *, policy=ErrorPolicy.RAISE, where: str,
                            parameter, cache)
         sp.set_attr("chunks", result.chunks)
         sp.set_attr("cache_hit", result.cache_hit)
+        report = result.supervision
+        if report is not None and report.faulted:
+            sp.set_attr("supervision.retries", report.n_retries)
+            sp.set_attr("supervision.restarts", report.restarts)
+            sp.set_attr("supervision.degraded_chunks", len(report.degraded))
+            sp.set_attr("supervision.breaker",
+                        "open" if report.breaker_open else "closed")
+        if report is not None and report.preloaded:
+            sp.set_attr("supervision.checkpoint_chunks", len(report.preloaded))
         if enclosing is not None:
             # DiagnosticLog annotates the *current* span at capture time,
             # which is now this engine span; mirror the robust.* attrs onto

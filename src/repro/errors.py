@@ -27,6 +27,7 @@ __all__ = [
     "InconsistentRecordError",
     "CalibrationError",
     "ConvergenceError",
+    "ExecutionError",
     "CollectedErrors",
     "LayoutError",
     "LintError",
@@ -82,6 +83,28 @@ class ConvergenceError(ReproError, RuntimeError):
     def __init__(self, *args, report=None):
         super().__init__(*args)
         self.report = report
+
+
+class ExecutionError(ReproError, RuntimeError):
+    """Supervised parallel execution failed beyond its fault budget.
+
+    Raised by :mod:`repro.robust.supervision` when a chunked evaluation
+    cannot be completed through the worker pool — a chunk exhausted its
+    retry budget, or the circuit breaker opened after consecutive pool
+    failures — and the caller's error policy forbids degrading to
+    in-process evaluation. Distinct from :class:`DomainError`: the
+    *model* inputs were fine; the *execution substrate* failed.
+
+    Attributes
+    ----------
+    failures:
+        Tuple of :class:`repro.robust.supervision.ChunkFailure` records
+        describing every fault observed during the run, in order.
+    """
+
+    def __init__(self, *args, failures=()):
+        super().__init__(*args)
+        self.failures = tuple(failures)
 
 
 class CollectedErrors(ReproError):

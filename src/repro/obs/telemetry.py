@@ -212,9 +212,14 @@ def bridge_engine_metrics(
     ``engine_cache_lifetime_total{event=...}`` — set by delta, so
     repeated bridging never double-counts — plus current-state gauges
     (``engine_cache_entries``, ``engine_cache_hit_rate``,
-    ``engine_parallel_threshold``). A no-op when the engine (and hence
-    NumPy) is unavailable, so exposition works in stdlib-only deploys.
-    Returns the registry.
+    ``engine_parallel_threshold``). Supervision lifetime counters
+    bridge the same way (``engine_supervision_lifetime_total{event=
+    retry_crash|retry_timeout|retry_corrupt|restart|degraded_chunk|
+    breaker_opening|checkpoint_saved|checkpoint_loaded}``) together
+    with the ``engine_breaker_state`` gauge (1 = open), so snapshots
+    taken with live metrics off still carry the fault history. A no-op
+    when the engine (and hence NumPy) is unavailable, so exposition
+    works in stdlib-only deploys. Returns the registry.
     """
     registry = registry if registry is not None else _metrics.get_registry()
     try:
@@ -236,4 +241,20 @@ def bridge_engine_metrics(
     registry.gauge("engine_parallel_threshold").set(parallel["threshold"])
     registry.gauge(
         "engine_parallel_enabled").set(1.0 if parallel["enabled"] else 0.0)
+    supervision = engine.supervision_stats()
+    for event, key in (("retry_crash", "retry_crash"),
+                       ("retry_timeout", "retry_timeout"),
+                       ("retry_corrupt", "retry_corrupt"),
+                       ("restart", "restarts"),
+                       ("degraded_chunk", "degraded_chunks"),
+                       ("breaker_opening", "breaker_openings"),
+                       ("checkpoint_saved", "checkpoint_saved"),
+                       ("checkpoint_loaded", "checkpoint_loaded")):
+        counter = registry.counter("engine_supervision_lifetime_total",
+                                   {"event": event})
+        delta = supervision[key] - counter.value
+        if delta > 0:
+            counter.inc(delta)
+    registry.gauge("engine_breaker_state").set(
+        1.0 if supervision["breaker_state"] == "open" else 0.0)
     return registry

@@ -108,8 +108,7 @@ class ConvergenceReport:
 
 def note_retry(solver: str, attempt: int, reason: str) -> None:
     """Record one retry on the obs grid (counter + span annotation)."""
-    obs_metrics.inc("robust.retry.attempts")
-    obs_metrics.inc(f"robust.retry.attempts.{solver}")
+    obs_metrics.inc("robust_retry_attempts_total", labels={"solver": solver})
     span = obs_trace.current_span()
     if span is not None:
         span.set_attr("robust.retry.attempt", attempt)

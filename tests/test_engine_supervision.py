@@ -1,0 +1,319 @@
+"""Integration chaos suite: real pools, real faults, identical values.
+
+The contract under test is the acceptance criterion of the supervised
+execution layer: a pooled grid evaluation with deterministically
+injected worker kills, hangs, and corrupted results completes with
+values **bit-identical** to the unfaulted single-process run — under
+every error policy — and a breaker-open run degrades to in-process
+evaluation instead of raising (MASK/COLLECT) or raises a taxonomized
+:class:`~repro.errors.ExecutionError` (RAISE). Checkpointed sweeps
+resume evaluating only the chunks missing on disk.
+
+Faults are injected by chunk index via
+:class:`~repro.robust.ChaosPlan` (``os._exit`` kills, long sleeps
+against short deadlines, truncated results), so every test is
+deterministic; the ``chaos`` marker lets CI run these under a
+dedicated Linux job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cost import PAPER_FIGURE4_MODEL
+from repro.engine import (
+    clear_cache,
+    evaluate_grid,
+    grid_fingerprint,
+    reset_supervision,
+    supervision_stats,
+)
+from repro.engine import parallel as engine_parallel
+from repro.engine.kernels import Eq4SdKernel
+from repro.errors import ExecutionError
+from repro.robust import ChaosPlan, CheckpointSink, ChunkRetryPolicy, ErrorPolicy
+
+FIG4A = dict(n_transistors=1e7, feature_um=0.18, n_wafers=5_000,
+             yield_fraction=0.4, cost_per_cm2=8.0)
+
+#: No backoff, generous per-chunk budget, breaker far away: chaos tests
+#: should recover through retries, not trip the breaker by accident
+#: (a pool break also charges innocent in-flight chunks a retry).
+RECOVERY = ChunkRetryPolicy(max_retries_per_chunk=3, max_total_retries=20,
+                            backoff_s=0.0, breaker_threshold=10)
+
+
+def kernel():
+    return Eq4SdKernel(PAPER_FIGURE4_MODEL, **FIG4A)
+
+
+@pytest.fixture()
+def supervised_pool():
+    """Low threshold, 2 workers, clean supervision state; full restore."""
+    saved = engine_parallel.settings()
+    reset_supervision()
+    engine_parallel.configure(threshold=1_000, max_workers=2, retry=RECOVERY)
+    clear_cache()
+    yield
+    engine_parallel.configure(threshold=saved["threshold"],
+                              enabled=saved["enabled"],
+                              retry=saved["retry"], chaos=None,
+                              checkpoint=None)
+    engine_parallel._max_workers = saved["max_workers"]
+    engine_parallel.shutdown()
+    reset_supervision()
+    clear_cache()
+
+
+def unfaulted(grid):
+    """Single-process reference values for ``grid``."""
+    return np.asarray(kernel().batch(grid), dtype=float)
+
+
+GRID = np.linspace(150.0, 1200.0, 40_000)
+
+
+@pytest.mark.chaos
+class TestChaosRecovery:
+    def test_worker_kill_recovers_bit_identical(self, supervised_pool):
+        engine_parallel.configure(chaos=ChaosPlan(kill_chunks=(0,)))
+        evaluation = evaluate_grid(kernel(), GRID, where="test.chaos",
+                                   cache=False)
+        assert evaluation.chunks > 1
+        np.testing.assert_array_equal(evaluation.values, unfaulted(GRID))
+        report = evaluation.supervision
+        assert report.restarts >= 1
+        assert any(f.reason == "crash" for f in report.retries)
+        assert report.degraded == ()
+
+    def test_hung_chunk_times_out_and_redispatches(self, supervised_pool):
+        engine_parallel.configure(
+            chaos=ChaosPlan(hang_chunks=(1,), hang_s=60.0),
+            retry=ChunkRetryPolicy(max_retries_per_chunk=3,
+                                   max_total_retries=20, backoff_s=0.0,
+                                   deadline_s=1.0, breaker_threshold=10))
+        evaluation = evaluate_grid(kernel(), GRID, where="test.chaos",
+                                   cache=False)
+        np.testing.assert_array_equal(evaluation.values, unfaulted(GRID))
+        report = evaluation.supervision
+        assert any(f.reason == "timeout" for f in report.retries)
+        assert report.restarts >= 1
+
+    def test_corrupt_result_detected_and_retried(self, supervised_pool):
+        engine_parallel.configure(chaos=ChaosPlan(corrupt_chunks=(1,)))
+        evaluation = evaluate_grid(kernel(), GRID, where="test.chaos",
+                                   cache=False)
+        np.testing.assert_array_equal(evaluation.values, unfaulted(GRID))
+        report = evaluation.supervision
+        assert [f.reason for f in report.retries] == ["corrupt"]
+        assert report.restarts == 0  # corruption never recycles the pool
+
+    @pytest.mark.parametrize("policy", [ErrorPolicy.RAISE, ErrorPolicy.MASK,
+                                        ErrorPolicy.COLLECT])
+    def test_kill_recovery_under_every_policy(self, supervised_pool, policy):
+        engine_parallel.configure(chaos=ChaosPlan(kill_chunks=(1,)))
+        evaluation = evaluate_grid(kernel(), GRID, where="test.chaos",
+                                   policy=policy, cache=False)
+        np.testing.assert_array_equal(evaluation.values, unfaulted(GRID))
+        assert evaluation.supervision.restarts >= 1
+
+    def test_million_point_grid_with_kills_and_timeouts(self, supervised_pool):
+        grid = np.linspace(150.0, 1200.0, 1_000_000)
+        engine_parallel.configure(
+            chaos=ChaosPlan(kill_chunks=(0,), hang_chunks=(2,), hang_s=60.0),
+            retry=ChunkRetryPolicy(max_retries_per_chunk=3,
+                                   max_total_retries=20, backoff_s=0.0,
+                                   deadline_s=2.0, breaker_threshold=10))
+        evaluation = evaluate_grid(kernel(), grid, where="test.chaos",
+                                   cache=False)
+        assert evaluation.chunks >= 2
+        reference = unfaulted(grid)
+        np.testing.assert_array_equal(evaluation.values, reference)
+        assert np.max(np.abs(evaluation.values - reference)) <= 1e-12
+        report = evaluation.supervision
+        assert report.faulted and report.degraded == ()
+
+
+@pytest.mark.chaos
+class TestBreakerDegradation:
+    ALWAYS_BROKEN = ChaosPlan(kill_chunks=(0, 1, 2, 3), fail_attempts=99)
+    TRIPPY = ChunkRetryPolicy(max_retries_per_chunk=10, max_total_retries=50,
+                              backoff_s=0.0, breaker_threshold=2)
+
+    def test_collect_degrades_with_diagnostic_instead_of_raising(
+            self, supervised_pool):
+        engine_parallel.configure(chaos=self.ALWAYS_BROKEN, retry=self.TRIPPY)
+        evaluation = evaluate_grid(kernel(), GRID, where="test.breaker",
+                                   policy=ErrorPolicy.COLLECT, cache=False)
+        np.testing.assert_array_equal(evaluation.values, unfaulted(GRID))
+        report = evaluation.supervision
+        assert report.breaker_open
+        assert len(report.degraded) == report.n_chunks
+        assert evaluation.diagnostics  # the degradation Diagnostic
+        assert any("ExecutionError" in str(d) for d in evaluation.diagnostics)
+
+    def test_mask_degrades_too(self, supervised_pool):
+        engine_parallel.configure(chaos=self.ALWAYS_BROKEN, retry=self.TRIPPY)
+        evaluation = evaluate_grid(kernel(), GRID, where="test.breaker",
+                                   policy=ErrorPolicy.MASK, cache=False)
+        np.testing.assert_array_equal(evaluation.values, unfaulted(GRID))
+        assert evaluation.supervision.breaker_open
+
+    def test_raise_policy_raises_execution_error(self, supervised_pool):
+        engine_parallel.configure(chaos=self.ALWAYS_BROKEN, retry=self.TRIPPY)
+        with pytest.raises(ExecutionError) as err:
+            evaluate_grid(kernel(), GRID, where="test.breaker", cache=False)
+        assert err.value.failures
+        assert all(f.reason == "crash" for f in err.value.failures)
+        assert supervision_stats()["breaker_state"] == "open"
+
+    def test_open_breaker_short_circuits_next_raise_run(self, supervised_pool):
+        engine_parallel.configure(chaos=self.ALWAYS_BROKEN, retry=self.TRIPPY)
+        with pytest.raises(ExecutionError):
+            evaluate_grid(kernel(), GRID, where="test.breaker", cache=False)
+        # Chaos off, but the breaker is sticky: RAISE still refuses the
+        # pool until reset_supervision()/configure(retry=...) re-arms it.
+        engine_parallel.configure(chaos=None)
+        with pytest.raises(ExecutionError):
+            evaluate_grid(kernel(), GRID, where="test.breaker", cache=False)
+        reset_supervision()
+        evaluation = evaluate_grid(kernel(), GRID, where="test.breaker",
+                                   cache=False)
+        np.testing.assert_array_equal(evaluation.values, unfaulted(GRID))
+
+
+class TestCheckpointedSweeps:
+    def test_completed_run_preloads_without_touching_pool(
+            self, supervised_pool, tmp_path):
+        sink = CheckpointSink(tmp_path)
+        engine_parallel.configure(checkpoint=sink)
+        first = evaluate_grid(kernel(), GRID, where="test.ckpt", cache=False)
+        assert first.chunks > 1
+        assert sink.saved == first.chunks
+        # Rerun with every chunk guaranteed to kill its worker: only a
+        # run that never dispatches to the pool can succeed.
+        engine_parallel.configure(
+            chaos=ChaosPlan(kill_chunks=tuple(range(first.chunks)),
+                            fail_attempts=99))
+        second = evaluate_grid(kernel(), GRID, where="test.ckpt", cache=False)
+        np.testing.assert_array_equal(second.values, first.values)
+        assert second.supervision.preloaded == tuple(range(first.chunks))
+        assert second.supervision.retries == ()
+
+    def test_interrupted_sweep_resumes_only_missing_chunks(
+            self, supervised_pool, tmp_path):
+        sink = CheckpointSink(tmp_path)
+        # One worker → chunks run sequentially → chunks 0-2 complete and
+        # checkpoint before the kill on chunk 3 aborts the run.
+        engine_parallel.configure(
+            max_workers=1, checkpoint=sink,
+            retry=ChunkRetryPolicy(max_retries_per_chunk=0,
+                                   max_total_retries=0, backoff_s=0.0,
+                                   breaker_threshold=10),
+            chaos=ChaosPlan(kill_chunks=(3,), fail_attempts=99))
+        k = kernel()
+        with pytest.raises(ExecutionError):
+            engine_parallel.batch_in_chunks(k, GRID, 4)
+        fingerprint = grid_fingerprint(k.token(), GRID, 4)
+        assert sink.chunks_on_disk(fingerprint) == (0, 1, 2)
+        saved_before = sink.saved
+        # Resume without chaos: only the missing chunk re-evaluates.
+        reset_supervision()
+        engine_parallel.configure(chaos=None)
+        values, report = engine_parallel.batch_in_chunks(k, GRID, 4)
+        np.testing.assert_array_equal(values, unfaulted(GRID))
+        assert report.preloaded == (0, 1, 2)
+        assert sink.saved == saved_before + 1
+
+    def test_rechunked_rerun_ignores_stale_checkpoints(
+            self, supervised_pool, tmp_path):
+        sink = CheckpointSink(tmp_path)
+        engine_parallel.configure(checkpoint=sink)
+        k = kernel()
+        engine_parallel.batch_in_chunks(k, GRID, 2)
+        # A different chunking is a different fingerprint: nothing preloads.
+        values, report = engine_parallel.batch_in_chunks(k, GRID, 4)
+        np.testing.assert_array_equal(values, unfaulted(GRID))
+        assert report.preloaded == ()
+
+
+class TestSupervisionTelemetry:
+    @pytest.mark.chaos
+    def test_metrics_and_span_attrs_record_the_faults(self, supervised_pool):
+        from repro import obs
+        obs.reset()
+        obs.enable()
+        try:
+            engine_parallel.configure(chaos=ChaosPlan(kill_chunks=(0,)))
+            evaluate_grid(kernel(), GRID, where="test.telemetry", cache=False)
+        finally:
+            obs.disable()
+        registry = obs.get_registry()
+        assert registry.counters['engine_chunk_retries_total{reason="crash"}'
+                                 ].value >= 1.0
+        assert registry.counters["engine_pool_restarts_total"].value >= 1.0
+        assert registry.gauges["engine_breaker_state"].value == 0.0
+        engine_span = next(s for s in obs.get_tracer().spans
+                           if s.name == "engine.evaluate_grid")
+        assert engine_span.attrs["supervision.retries"] >= 1
+        assert engine_span.attrs["supervision.restarts"] >= 1
+        assert engine_span.attrs["supervision.breaker"] == "closed"
+        obs.reset()
+
+    @pytest.mark.chaos
+    def test_exposition_carries_supervision_counters(self, supervised_pool):
+        from repro.obs.exposition import render_prometheus
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.telemetry import bridge_engine_metrics
+        engine_parallel.configure(chaos=ChaosPlan(kill_chunks=(0,)))
+        evaluate_grid(kernel(), GRID, where="test.exposition", cache=False)
+        registry = bridge_engine_metrics(MetricsRegistry())
+        text = render_prometheus(registry)
+        assert 'engine_supervision_lifetime_total{event="retry_crash"}' in text
+        assert 'engine_supervision_lifetime_total{event="restart"}' in text
+        assert "engine_breaker_state 0" in text
+
+    def test_stats_shape(self):
+        stats = supervision_stats()
+        for key in ("retry_crash", "retry_timeout", "retry_corrupt",
+                    "restarts", "degraded_chunks", "breaker_openings",
+                    "checkpoint_saved", "checkpoint_loaded", "retries",
+                    "breaker_state"):
+            assert key in stats
+
+    @pytest.mark.chaos
+    def test_cli_report_line_appears_after_faults(self, supervised_pool):
+        from repro.__main__ import build_report
+        engine_parallel.configure(chaos=ChaosPlan(kill_chunks=(0,)))
+        evaluate_grid(kernel(), GRID, where="test.cli", cache=False)
+        report = build_report()
+        assert "Engine resilience:" in report
+        assert "pool restart" in report
+
+
+class TestConfigureLifecycle:
+    def test_disable_shuts_down_running_pool(self, supervised_pool):
+        evaluate_grid(kernel(), GRID, where="test.lifecycle", cache=False)
+        assert engine_parallel.settings()["pool_started"]
+        engine_parallel.configure(enabled=False)
+        assert not engine_parallel.settings()["pool_started"]
+        engine_parallel.configure(enabled=True)
+
+    @pytest.mark.chaos
+    def test_shutdown_bounds_its_wait_on_a_wedged_worker(
+            self, supervised_pool):
+        import time
+        # Park a hung chunk in the pool (no deadline: the supervisor is
+        # not involved — this tests shutdown() itself), then require the
+        # teardown to finish long before the 60 s sleep would.
+        pool = engine_parallel._get_pool()
+        pool.submit(time.sleep, 60.0)
+        time.sleep(0.2)  # let a worker pick the task up
+        start = time.monotonic()
+        engine_parallel.shutdown(grace_s=1.0)
+        assert time.monotonic() - start < 10.0
+        assert not engine_parallel.settings()["pool_started"]
+
+    def test_configure_rejects_bad_retry(self):
+        from repro.errors import DomainError
+        with pytest.raises(DomainError):
+            engine_parallel.configure(retry="not-a-policy")

@@ -1,0 +1,447 @@
+"""Unit coverage for :mod:`repro.robust.supervision`.
+
+The supervisor is pool-agnostic by design, so everything here runs on
+plain in-process :class:`concurrent.futures.Future` objects resolved
+at submit time, an artificial clock, and a recorded no-op sleep — no
+worker processes, no wall-clock waits, no flakiness. The real-pool
+integration paths live in ``test_engine_supervision.py``.
+"""
+
+import json
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.errors import DomainError, ExecutionError
+from repro.robust import (
+    DEFAULT_CHUNK_RETRY_POLICY,
+    ChaosPlan,
+    CheckpointSink,
+    ChunkFailure,
+    ChunkRetryPolicy,
+    ChunkSupervisor,
+    CircuitBreaker,
+    SupervisionReport,
+)
+
+np = pytest.importorskip("numpy")
+
+
+def done_future(value):
+    fut = Future()
+    fut.set_result(value)
+    return fut
+
+
+def failed_future(exc):
+    fut = Future()
+    fut.set_exception(exc)
+    return fut
+
+
+class FakeClock:
+    """Monotonic stub advancing a fixed step per call."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class Harness:
+    """A scripted substrate: per-(chunk, attempt) future factories."""
+
+    def __init__(self, script, policy, *, breaker=None, step=1.0):
+        self.script = script
+        self.submits = []
+        self.restarts = 0
+        self.locals = []
+        self.events = []
+        self.sleeps = []
+        self.clock = FakeClock(step)
+        self.supervisor = ChunkSupervisor(
+            policy=policy, breaker=breaker,
+            submit=self._submit, restart=self._restart,
+            local_eval=self._local_eval, observer=self._observe,
+            clock=self.clock, sleep=self.sleeps.append, where="test.harness")
+
+    def _submit(self, index, attempt):
+        self.submits.append((index, attempt))
+        factory = self.script.get((index, attempt))
+        if factory is None:
+            return done_future(f"ok-{index}")
+        return factory()
+
+    def _restart(self):
+        self.restarts += 1
+
+    def _local_eval(self, index):
+        self.locals.append(index)
+        return f"local-{index}"
+
+    def _observe(self, event, **info):
+        self.events.append((event, info))
+
+
+FAST = ChunkRetryPolicy(backoff_s=0.0, breaker_threshold=100)
+
+
+class TestChunkRetryPolicy:
+    def test_defaults_are_sane(self):
+        policy = DEFAULT_CHUNK_RETRY_POLICY
+        assert policy.max_retries_per_chunk >= 1
+        assert policy.deadline_s is None
+        assert policy.breaker_threshold >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries_per_chunk": -1},
+        {"max_total_retries": -1},
+        {"deadline_s": 0.0},
+        {"deadline_s": -1.0},
+        {"backoff_s": -0.1},
+        {"backoff_growth": 0.5},
+        {"max_backoff_s": -1.0},
+        {"breaker_threshold": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(DomainError):
+            ChunkRetryPolicy(**kwargs)
+
+    def test_backoff_schedule_grows_and_caps(self):
+        policy = ChunkRetryPolicy(backoff_s=0.1, backoff_growth=2.0,
+                                  max_backoff_s=0.35)
+        assert policy.backoff_for(0) == pytest.approx(0.1)
+        assert policy.backoff_for(1) == pytest.approx(0.2)
+        assert policy.backoff_for(2) == pytest.approx(0.35)
+        assert policy.backoff_for(10) == pytest.approx(0.35)
+
+    def test_zero_backoff_stays_zero(self):
+        policy = ChunkRetryPolicy(backoff_s=0.0)
+        assert policy.backoff_for(5) == 0.0
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        breaker = CircuitBreaker(3)
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()
+        assert breaker.open and breaker.state == "open"
+        assert breaker.openings == 1
+        # Further failures do not re-open.
+        assert not breaker.record_failure()
+        assert breaker.openings == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure()
+        assert not breaker.open
+
+    def test_open_is_sticky_until_reset(self):
+        breaker = CircuitBreaker(1)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.open
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+
+    def test_threshold_validated(self):
+        with pytest.raises(DomainError):
+            CircuitBreaker(0)
+
+
+class TestChaosPlan:
+    def test_mode_by_index_and_attempt(self):
+        plan = ChaosPlan(kill_chunks=(0,), hang_chunks=(1,),
+                         corrupt_chunks=(2,), fail_attempts=2)
+        assert plan.mode_for(0, 0) == "kill"
+        assert plan.mode_for(1, 1) == "hang"
+        assert plan.mode_for(2, 0) == "corrupt"
+        assert plan.mode_for(0, 2) is None   # attempts exhausted
+        assert plan.mode_for(3, 0) is None   # unlisted chunk
+
+    def test_overlapping_modes_rejected(self):
+        with pytest.raises(DomainError):
+            ChaosPlan(kill_chunks=(1,), hang_chunks=(1,))
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            ChaosPlan(fail_attempts=-1)
+        with pytest.raises(DomainError):
+            ChaosPlan(hang_s=-1.0)
+
+    def test_corrupt_values_drops_a_point(self):
+        values = np.arange(6.0)
+        assert ChaosPlan.corrupt_values(values).shape == (5,)
+        multi = np.arange(12.0).reshape(2, 6)
+        assert ChaosPlan.corrupt_values(multi).shape == (2, 5)
+
+    def test_inject_clean_attempt_is_noop(self):
+        plan = ChaosPlan(corrupt_chunks=(1,))
+        assert plan.inject(0, 0) is None
+        assert plan.inject(1, 1) is None
+        assert plan.inject(1, 0) == "corrupt"
+
+    def test_plan_pickles(self):
+        import pickle
+        plan = ChaosPlan(kill_chunks=(0, 2), fail_attempts=3)
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestSupervisorCleanPath:
+    def test_all_clean_one_cycle_each(self):
+        h = Harness({}, FAST)
+        results, report = h.supervisor.run(range(4))
+        assert results == {i: f"ok-{i}" for i in range(4)}
+        assert report == SupervisionReport(n_chunks=4)
+        assert not report.faulted
+        assert h.restarts == 0 and h.locals == []
+        assert sorted(h.submits) == [(i, 0) for i in range(4)]
+
+    def test_on_result_fires_per_completed_chunk(self):
+        h = Harness({}, FAST)
+        seen = []
+        h.supervisor.run(range(3), on_result=lambda i, v: seen.append(i))
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_preloaded_chunks_never_submitted(self):
+        h = Harness({}, FAST)
+        seen = []
+        results, report = h.supervisor.run(
+            range(3), preloaded={1: "from-disk"},
+            on_result=lambda i, v: seen.append(i))
+        assert results[1] == "from-disk"
+        assert report.preloaded == (1,)
+        assert all(index != 1 for index, _ in h.submits)
+        assert 1 not in seen  # preloaded chunks are not re-persisted
+
+
+class TestSupervisorCrashRecovery:
+    def test_crash_restarts_pool_and_retries(self):
+        script = {(1, 0): lambda: failed_future(BrokenProcessPool("boom"))}
+        h = Harness(script, FAST)
+        results, report = h.supervisor.run(range(3))
+        assert results[1] == "ok-1"
+        assert report.restarts == 1
+        assert [f.reason for f in report.retries] == ["crash"]
+        assert report.retries[0] == ChunkFailure(
+            chunk=1, attempt=1, reason="crash", message="boom")
+        assert (1, 1) in h.submits
+        assert ("restart", {}) in h.events
+
+    def test_retry_budget_exhaustion_raises_execution_error(self):
+        script = {(0, a): lambda: failed_future(BrokenProcessPool("boom"))
+                  for a in range(5)}
+        policy = ChunkRetryPolicy(max_retries_per_chunk=1, backoff_s=0.0,
+                                  breaker_threshold=100)
+        h = Harness(script, policy)
+        with pytest.raises(ExecutionError) as err:
+            h.supervisor.run(range(2))
+        assert len(err.value.failures) == 2
+        assert all(f.chunk == 0 for f in err.value.failures)
+
+    def test_exhaustion_degrades_when_allowed(self):
+        script = {(0, a): lambda: failed_future(BrokenProcessPool("boom"))
+                  for a in range(5)}
+        policy = ChunkRetryPolicy(max_retries_per_chunk=1, backoff_s=0.0,
+                                  breaker_threshold=100)
+        h = Harness(script, policy)
+        results, report = h.supervisor.run(range(2), allow_degraded=True)
+        assert results[0] == "local-0"
+        assert results[1] == "ok-1"
+        assert report.degraded == (0,)
+        assert len(report.diagnostics) == 1
+        assert "ExecutionError" in str(report.diagnostics[0])
+
+    def test_total_retry_budget_spans_chunks(self):
+        script = {(i, 0): lambda: failed_future(BrokenProcessPool("x"))
+                  for i in range(4)}
+        policy = ChunkRetryPolicy(max_retries_per_chunk=10,
+                                  max_total_retries=2, backoff_s=0.0,
+                                  breaker_threshold=100)
+        h = Harness(script, policy)
+        with pytest.raises(ExecutionError):
+            h.supervisor.run(range(4))
+
+    def test_backoff_sleeps_follow_schedule(self):
+        script = {(0, 0): lambda: failed_future(BrokenProcessPool("x")),
+                  (0, 1): lambda: failed_future(BrokenProcessPool("x"))}
+        policy = ChunkRetryPolicy(backoff_s=0.1, backoff_growth=2.0,
+                                  max_backoff_s=10.0, max_retries_per_chunk=5,
+                                  breaker_threshold=100)
+        h = Harness(script, policy)
+        h.supervisor.run(range(1))
+        assert h.sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+
+class TestSupervisorCorruptResults:
+    def _validating_supervisor(self, script, policy=FAST):
+        h = Harness(script, policy)
+        h.supervisor._validate = (
+            lambda index, values: "bad shape" if values == "corrupt" else None)
+        return h
+
+    def test_corrupt_result_retried_without_restart(self):
+        script = {(2, 0): lambda: done_future("corrupt")}
+        h = self._validating_supervisor(script)
+        results, report = h.supervisor.run(range(3))
+        assert results[2] == "ok-2"
+        assert [f.reason for f in report.retries] == ["corrupt"]
+        assert report.restarts == 0
+
+    def test_extract_exception_is_corruption(self):
+        h = Harness({}, FAST)
+        calls = {"n": 0}
+
+        def extract(index, raw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("undecodable")
+            return raw
+        h.supervisor._extract = extract
+        results, report = h.supervisor.run(range(1))
+        assert results[0] == "ok-0"
+        assert [f.reason for f in report.retries] == ["corrupt"]
+
+
+class TestSupervisorDeadlines:
+    def test_expired_deadline_is_timeout_fault(self):
+        # The scripted future for (0, 0) never resolves; the fake clock
+        # advances one second per call, so the 0.5 s deadline has expired
+        # by the first post-wait check and the chunk re-dispatches.
+        script = {(0, 0): Future}
+        policy = ChunkRetryPolicy(deadline_s=0.5, backoff_s=0.0,
+                                  breaker_threshold=100)
+        h = Harness(script, policy)
+        results, report = h.supervisor.run(range(2))
+        assert results[0] == "ok-0"
+        assert "timeout" in [f.reason for f in report.retries]
+        assert report.restarts >= 1
+
+    def test_collateral_chunks_keep_their_attempt_count(self):
+        # Chunk 0 times out; chunk 1 is still pending (unresolved) and is
+        # re-dispatched as collateral at attempt 0, not attempt 1.
+        script = {(0, 0): Future, (1, 0): Future}
+        policy = ChunkRetryPolicy(deadline_s=0.5, backoff_s=0.0,
+                                  breaker_threshold=100)
+        h = Harness(script, policy)
+        results, report = h.supervisor.run(range(2))
+        assert results == {0: "ok-0", 1: "ok-1"}
+        retried = {f.chunk for f in report.retries}
+        # Both timed out in the same cycle on the fake clock, or 1 rode
+        # along as collateral: either way no chunk exceeded attempt 1.
+        assert retried <= {0, 1}
+        assert max(f.attempt for f in report.retries) == 1
+
+
+class TestSupervisorBreaker:
+    def test_breaker_opens_and_degrades_everything(self):
+        script = {(i, a): lambda: failed_future(BrokenProcessPool("x"))
+                  for i in range(3) for a in range(5)}
+        policy = ChunkRetryPolicy(max_retries_per_chunk=10, backoff_s=0.0,
+                                  breaker_threshold=2)
+        h = Harness(script, policy)
+        results, report = h.supervisor.run(range(3), allow_degraded=True)
+        assert results == {i: f"local-{i}" for i in range(3)}
+        assert report.breaker_open
+        assert sorted(report.degraded) == [0, 1, 2]
+        assert ("breaker_open", {}) in h.events
+
+    def test_breaker_open_raise_policy(self):
+        script = {(i, a): lambda: failed_future(BrokenProcessPool("x"))
+                  for i in range(2) for a in range(5)}
+        policy = ChunkRetryPolicy(max_retries_per_chunk=10, backoff_s=0.0,
+                                  breaker_threshold=1)
+        h = Harness(script, policy)
+        with pytest.raises(ExecutionError) as err:
+            h.supervisor.run(range(2))
+        assert err.value.failures  # the fault history rides on the error
+
+    def test_already_open_breaker_skips_pool_entirely(self):
+        breaker = CircuitBreaker(1)
+        breaker.record_failure()
+        h = Harness({}, FAST, breaker=breaker)
+        results, report = h.supervisor.run(range(2), allow_degraded=True)
+        assert h.submits == []
+        assert results == {0: "local-0", 1: "local-1"}
+        assert report.breaker_open and report.degraded == (0, 1)
+
+    def test_clean_cycles_heal_consecutive_count(self):
+        breaker = CircuitBreaker(2)
+        script = {(0, 0): lambda: failed_future(BrokenProcessPool("x"))}
+        h = Harness(script, FAST, breaker=breaker)
+        h.supervisor.run(range(1))
+        # One fault then a clean retry: the success closed the window.
+        assert breaker.consecutive_failures == 0
+        assert not breaker.open
+
+
+class TestCheckpointSink:
+    def test_save_load_round_trip(self, tmp_path):
+        sink = CheckpointSink(tmp_path)
+        values = np.linspace(0, 1, 7)
+        sink.begin("fp1", n_chunks=3, points=21)
+        sink.save("fp1", 0, values)
+        sink.save("fp1", 2, values * 2)
+        loaded = sink.load("fp1", 3)
+        assert sorted(loaded) == [0, 2]
+        np.testing.assert_array_equal(loaded[0], values)
+        np.testing.assert_array_equal(loaded[2], values * 2)
+        assert sink.saved == 2 and sink.loaded == 2
+
+    def test_fingerprints_are_isolated(self, tmp_path):
+        sink = CheckpointSink(tmp_path)
+        sink.save("fp-a", 0, np.zeros(3))
+        assert sink.load("fp-b", 1) == {}
+        assert sink.chunks_on_disk("fp-a") == (0,)
+        assert sink.chunks_on_disk("fp-b") == ()
+
+    def test_meta_written_once(self, tmp_path):
+        sink = CheckpointSink(tmp_path)
+        sink.begin("fp1", n_chunks=4, points=100)
+        meta_path = tmp_path / "fp1" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        assert meta["n_chunks"] == 4 and meta["points"] == 100
+        assert meta["format"].startswith("repro-checkpoint/")
+        sink.begin("fp1", n_chunks=4, points=100)  # idempotent
+        assert json.loads(meta_path.read_text()) == meta
+
+    def test_torn_chunk_file_is_dropped(self, tmp_path):
+        sink = CheckpointSink(tmp_path)
+        sink.save("fp1", 0, np.ones(4))
+        bad = tmp_path / "fp1" / "chunk_00001.npy"
+        bad.write_bytes(b"this is not an npy file")
+        loaded = sink.load("fp1", 2)
+        assert sorted(loaded) == [0]
+        assert not bad.exists()  # deleted so the chunk re-evaluates
+
+    def test_drop_and_clear(self, tmp_path):
+        sink = CheckpointSink(tmp_path)
+        sink.save("fp1", 0, np.ones(2))
+        sink.save("fp1", 1, np.ones(2))
+        assert sink.drop("fp1", 0)
+        assert not sink.drop("fp1", 0)
+        assert sink.chunks_on_disk("fp1") == (1,)
+        sink.clear("fp1")
+        assert sink.chunks_on_disk("fp1") == ()
+        assert not (tmp_path / "fp1").exists()
+
+
+class TestGridFingerprint:
+    def test_fingerprint_depends_on_all_inputs(self):
+        from repro.engine import grid_fingerprint
+        grid = np.linspace(0, 1, 10)
+        base = grid_fingerprint(("tok",), grid, 4)
+        assert base == grid_fingerprint(("tok",), grid.copy(), 4)
+        assert base != grid_fingerprint(("tok2",), grid, 4)
+        assert base != grid_fingerprint(("tok",), grid * 2, 4)
+        assert base != grid_fingerprint(("tok",), grid, 5)
+        assert isinstance(base, str) and len(base) == 64
