@@ -54,12 +54,27 @@ __all__ = [
 ]
 
 #: Stock yield statistics the pure-python backend can replicate.
-_PY_STATISTICS = {
-    PoissonYield: "poisson",
-    MurphyYield: "murphy",
-    SeedsYield: "seeds",
-    NegativeBinomialYield: "negbinomial",
-}
+#: A tuple of pairs (not a dict): kernels read this binding, and an
+#: immutable binding is part of the code version, so it needs no
+#: token() coverage (lint rule PURE002).
+_PY_STATISTICS = (
+    (PoissonYield, "poisson"),
+    (MurphyYield, "murphy"),
+    (SeedsYield, "seeds"),
+    (NegativeBinomialYield, "negbinomial"),
+)
+
+
+def _py_statistic(statistic) -> str | None:
+    """The pure-python backend's name for a stock yield statistic.
+
+    ``None`` for subclasses and custom statistics: a subclass may
+    override behaviour, so only exact stock types are replicated.
+    """
+    for stock, name in _PY_STATISTICS:
+        if type(statistic) is stock:
+            return name
+    return None
 
 
 def _translated(fn, *args, **kwargs):
@@ -177,7 +192,7 @@ class Eq7SdKernel:
     def _py_params(self) -> dict | None:
         model = self.model
         yield_model = model.yield_model
-        statistic = _PY_STATISTICS.get(type(yield_model.statistic))
+        statistic = _py_statistic(yield_model.statistic)
         stock = (statistic is not None
                  and type(yield_model) is CompositeYield
                  and type(yield_model.defects) is DefectDensityModel

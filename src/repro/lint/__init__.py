@@ -38,10 +38,11 @@ from .baseline import apply_baseline, load_baseline, write_baseline
 from .cli import main
 from .config import LintConfig, load_config
 from .findings import Finding, Severity
+from .graph import CallGraph, build_call_graph
 from .manager import LintResult, PassManager, run_lint
 from .passes import DEFAULT_PASSES, LintPass, RuleSpec
 from .project import LintModule, LintProject, load_project
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = [
     "Finding",
@@ -60,7 +61,10 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "apply_baseline",
+    "CallGraph",
+    "build_call_graph",
     "render_text",
     "render_json",
+    "render_sarif",
     "main",
 ]

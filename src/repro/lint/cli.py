@@ -12,16 +12,18 @@ Exit-code contract:
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+from fnmatch import fnmatch
 from pathlib import Path
 
-from ..errors import ReproError
+from ..errors import LintError, ReproError
 from . import baseline as baseline_mod
 from .findings import Severity
 from .manager import default_root, run_lint
 from .passes import DEFAULT_PASSES
 from .project import load_project
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = ["main", "build_parser"]
 
@@ -36,8 +38,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--root", type=Path, default=None,
                         help="package directory to scan (default: the "
                              "installed repro package)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="report format (default: text)")
+    parser.add_argument("--paths", default="",
+                        help="comma-separated repo-relative paths, directory "
+                             "prefixes, or globs; only findings in matching "
+                             "files are reported")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="only report findings in files changed vs HEAD "
+                             "(tracked modifications plus untracked files)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-pass timing to stderr after the run")
     parser.add_argument("--select", default="",
                         help="comma-separated rule ids to run exclusively")
     parser.add_argument("--baseline", type=Path, default=None,
@@ -67,6 +79,43 @@ def _baseline_path(args, repo_root: Path | None) -> Path | None:
     return None
 
 
+def _matches_path(path: str, pattern: str) -> bool:
+    if fnmatch(path, pattern):
+        return True
+    prefix = pattern.rstrip("/")
+    return path == prefix or path.startswith(prefix + "/")
+
+
+def _changed_paths(repo_root: Path | None) -> tuple[str, ...]:
+    """Repo-relative files changed vs HEAD (tracked diffs + untracked)."""
+    if repo_root is None:
+        raise LintError("--changed-only needs a discoverable repo root "
+                        "(no pyproject.toml found above the scan root)")
+    changed: set[str] = set()
+    for cmd in (("git", "diff", "--name-only", "HEAD"),
+                ("git", "ls-files", "--others", "--exclude-standard")):
+        try:
+            proc = subprocess.run(cmd, cwd=repo_root, capture_output=True,
+                                  text=True, check=True, timeout=30)
+        except (OSError, subprocess.SubprocessError) as exc:
+            raise LintError(
+                f"--changed-only could not run {' '.join(cmd)}: {exc}"
+            ) from exc
+        changed.update(line.strip() for line in proc.stdout.splitlines()
+                       if line.strip())
+    return tuple(sorted(changed))
+
+
+def _pass_stats(timings: tuple[tuple[str, float], ...]) -> str:
+    width = max((len(name) for name, _ in timings), default=4)
+    lines = [f"{'pass':<{width}}  seconds"]
+    for name, seconds in timings:
+        lines.append(f"{name:<{width}}  {seconds:8.4f}")
+    lines.append(f"{'total':<{width}}  "
+                 f"{sum(s for _, s in timings):8.4f}")
+    return "\n".join(lines)
+
+
 def _list_rules() -> str:
     lines = ["rule      severity  pass              summary"]
     for pss in DEFAULT_PASSES:
@@ -90,8 +139,14 @@ def main(argv: list[str] | None = None) -> int:
         root = args.root if args.root is not None else default_root()
         project = load_project(root)
         select = tuple(r.strip() for r in args.select.split(",") if r.strip())
-        result = run_lint(root, select=select)
+        result = run_lint(select=select, project=project)
         findings = list(result.findings)
+        patterns = [p.strip() for p in args.paths.split(",") if p.strip()]
+        if args.changed_only:
+            patterns.extend(_changed_paths(project.repo_root))
+        if patterns or args.changed_only:
+            findings = [f for f in findings
+                        if any(_matches_path(f.path, p) for p in patterns)]
         base_path = _baseline_path(args, project.repo_root)
         if args.write_baseline:
             if base_path is None:
@@ -107,9 +162,18 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.format == "json" else render_text
-    print(render(findings, modules_scanned=result.modules_scanned,
-                 baselined=len(baselined), suppressed=result.suppressed))
+    if args.format == "sarif":
+        rules = {spec.rule: spec.summary
+                 for pss in DEFAULT_PASSES for spec in pss.rules}
+        print(render_sarif(findings, modules_scanned=result.modules_scanned,
+                           baselined=len(baselined),
+                           suppressed=result.suppressed, rules=rules))
+    else:
+        render = render_json if args.format == "json" else render_text
+        print(render(findings, modules_scanned=result.modules_scanned,
+                     baselined=len(baselined), suppressed=result.suppressed))
+    if args.stats:
+        print(_pass_stats(result.timings), file=sys.stderr)
     threshold = Severity.WARNING if args.strict else Severity.ERROR
     failing = [f for f in findings if f.severity >= threshold]
     return 1 if failing else 0

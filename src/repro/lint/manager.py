@@ -9,6 +9,7 @@ the test suite share.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
 from pathlib import Path
@@ -37,12 +38,16 @@ class LintResult:
         Count removed by config path excludes.
     modules_scanned:
         Modules parsed in the project.
+    timings:
+        Per-pass wall-clock durations ``(pass name, seconds)`` in run
+        order (``--stats`` renders these).
     """
 
     findings: tuple[Finding, ...]
     suppressed: int = 0
     excluded: int = 0
     modules_scanned: int = 0
+    timings: tuple[tuple[str, float], ...] = ()
 
     def at_least(self, severity: Severity) -> tuple[Finding, ...]:
         """Findings at or above ``severity``."""
@@ -75,8 +80,11 @@ class PassManager:
     def run(self, project: LintProject) -> LintResult:
         """Execute every pass; apply suppressions, excludes, overrides."""
         raw: list[Finding] = []
+        timings: list[tuple[str, float]] = []
         for pss in self.passes:
+            started = time.perf_counter()
             raw.extend(pss.run(project, self.config))
+            timings.append((pss.name, time.perf_counter() - started))
         by_display = {project.display_path(m): m for m in project.modules}
         kept: list[Finding] = []
         suppressed = excluded = 0
@@ -101,7 +109,8 @@ class PassManager:
         kept.sort(key=Finding.sort_key)
         return LintResult(findings=tuple(kept), suppressed=suppressed,
                           excluded=excluded,
-                          modules_scanned=len(project.modules))
+                          modules_scanned=len(project.modules),
+                          timings=tuple(timings))
 
     def _excluded(self, finding: Finding, module) -> bool:
         patterns = self.config.excludes.get(finding.rule, ())
@@ -121,7 +130,8 @@ def default_root() -> Path:
 def run_lint(root: Path | str | None = None, *,
              config: LintConfig | None = None,
              passes: tuple[LintPass, ...] | None = None,
-             select: tuple[str, ...] = ()) -> LintResult:
+             select: tuple[str, ...] = (),
+             project: LintProject | None = None) -> LintResult:
     """Analyze ``root`` (default: the ``repro`` package) in one call.
 
     Parameters
@@ -135,9 +145,13 @@ def run_lint(root: Path | str | None = None, *,
         Pass suite override (used by tests to isolate one pass).
     select:
         Convenience rule filter merged into the config.
+    project:
+        Already-parsed project to reuse (the CLI passes its own so the
+        tree is parsed once); when given, ``root`` is ignored.
     """
-    root = Path(root) if root is not None else default_root()
-    project = load_project(root)
+    if project is None:
+        root = Path(root) if root is not None else default_root()
+        project = load_project(root)
     if config is None:
         pyproject = (project.repo_root / "pyproject.toml"
                      if project.repo_root is not None else None)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from .api_parity import ApiParityPass
 from .base import LintPass, RuleSpec
 from .constants import PaperConstantsPass
+from .dataflow import ConcurrencyPass, KernelPurityPass
 from .error_taxonomy import ErrorTaxonomyPass
 from .obs_wiring import ObsWiringPass
 from .policy import PolicyThreadingPass
@@ -26,6 +27,8 @@ __all__ = [
     "PaperConstantsPass",
     "ApiParityPass",
     "ObsWiringPass",
+    "KernelPurityPass",
+    "ConcurrencyPass",
     "DEFAULT_PASSES",
 ]
 
@@ -37,4 +40,6 @@ DEFAULT_PASSES: tuple[LintPass, ...] = (
     PaperConstantsPass(),
     ApiParityPass(),
     ObsWiringPass(),
+    KernelPurityPass(),
+    ConcurrencyPass(),
 )

@@ -1,9 +1,10 @@
-"""Reporters — render a lint run as text or JSON.
+"""Reporters — render a lint run as text, JSON, or SARIF.
 
 The text form is the human default (``path:line: severity: RULE
 message``, grouped summary line at the end); the JSON form is the
 machine contract CI consumes (``--format json``), schema-versioned so
-downstream tooling can evolve.
+downstream tooling can evolve; the SARIF form (``--format sarif``)
+feeds GitHub code scanning so findings surface as PR annotations.
 """
 
 from __future__ import annotations
@@ -13,10 +14,14 @@ from collections import Counter
 
 from .findings import Finding, Severity
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 #: JSON report schema version.
 REPORT_VERSION = 1
+
+#: SARIF severity levels by finding severity.
+_SARIF_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning",
+                 Severity.NOTE: "note"}
 
 
 def render_text(findings: list[Finding], *, modules_scanned: int = 0,
@@ -55,5 +60,67 @@ def render_json(findings: list[Finding], *, modules_scanned: int = 0,
             "suppressed": suppressed,
         },
         "findings": [f.to_dict() for f in sorted(findings, key=Finding.sort_key)],
+    }
+    return json.dumps(document, indent=2, ensure_ascii=False)
+
+
+def render_sarif(findings: list[Finding], *, modules_scanned: int = 0,
+                 baselined: int = 0, suppressed: int = 0,
+                 rules: dict[str, str] | None = None) -> str:
+    """SARIF 2.1.0 report for GitHub code scanning.
+
+    ``rules`` maps rule id → one-line summary (used for the tool's rule
+    metadata); when omitted, the catalog is assembled from the findings
+    themselves. Finding paths are repo-root-relative already, which is
+    what the ``upload-sarif`` action expects. The lint fingerprint
+    (rule + path + message, line-independent) is carried as a partial
+    fingerprint so annotations track across unrelated edits.
+    """
+    ordered = sorted(findings, key=Finding.sort_key)
+    catalog = dict(rules or {})
+    for finding in ordered:
+        catalog.setdefault(finding.rule, finding.message)
+    results = []
+    for finding in ordered:
+        message = finding.message
+        if finding.suggestion:
+            message += f" [{finding.suggestion}]"
+        results.append({
+            "ruleId": finding.rule,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path,
+                                         "uriBaseId": "%SRCROOT%"},
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+            }],
+            "partialFingerprints": {
+                "reproLint/v1": finding.fingerprint,
+            },
+        })
+    document = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "rules": [
+                        {"id": rule,
+                         "shortDescription": {"text": summary}}
+                        for rule, summary in sorted(catalog.items())
+                    ],
+                },
+            },
+            "properties": {
+                "modules_scanned": modules_scanned,
+                "baselined": baselined,
+                "suppressed": suppressed,
+            },
+            "results": results,
+        }],
     }
     return json.dumps(document, indent=2, ensure_ascii=False)

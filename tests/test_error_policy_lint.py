@@ -15,11 +15,17 @@ import sys
 import textwrap
 from pathlib import Path
 
+import pytest
+
 REPO = Path(__file__).resolve().parent.parent
 
 sys.path.insert(0, str(REPO / "tools"))
 
 from check_error_policy import check_file, main  # noqa: E402
+
+# The shim intentionally warns on every call now; the dedicated
+# test_shim_emits_deprecation_warning still sees it via pytest.warns.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 def test_src_tree_is_clean():
@@ -98,3 +104,21 @@ def test_no_tracked_bytecode():
     offenders = [f for f in tracked
                  if f.endswith(".pyc") or "__pycache__" in f]
     assert offenders == []
+
+
+def test_pycache_under_src_is_gitignored():
+    """``.gitignore`` must keep future bytecode out, not just the index."""
+    for probe in ("src/repro/__pycache__/mod.cpython-312.pyc",
+                  "src/repro/engine/__pycache__/kernels.cpython-312.pyc",
+                  "tests/__pycache__/test_x.cpython-312.pyc"):
+        result = subprocess.run(["git", "check-ignore", "-q", probe],
+                                cwd=REPO, capture_output=True)
+        assert result.returncode == 0, f"{probe} is not ignored"
+
+
+def test_shim_emits_deprecation_warning(tmp_path):
+    """The old entry point still works but points at the framework CLI."""
+    path = tmp_path / "ok.py"
+    path.write_text("x = 1\n")
+    with pytest.warns(DeprecationWarning, match="repro.lint --select"):
+        assert check_file(path) == []

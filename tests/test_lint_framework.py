@@ -268,5 +268,51 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule in ("UNITS001", "ERR001", "POL001", "CONST001", "API001",
-                 "OBS001"):
+                 "OBS001", "PURE001", "CONC001"):
         assert rule in out
+
+
+# -- suppression × baseline edge cases -----------------------------------
+
+def test_suppressed_finding_also_in_baseline_not_double_counted(tmp_path,
+                                                                capsys):
+    # The suppression comment removes the finding before the baseline is
+    # consulted, so the baseline entry just sits stale — the report must
+    # show 1 suppressed and 0 baselined.
+    suppressed_src = VIOLATION.replace(
+        "return feature_cm * 1.0e4",
+        "return feature_cm * 1.0e4  # lint: disable=UNITS001")
+    root = make_tree(tmp_path, {"m.py": suppressed_src})
+    base = tmp_path / "baseline.json"
+    write_baseline(base, [Finding("UNITS001", Severity.ERROR, "m.py", 8,
+                                  "unit-conversion literal 1e4 inline",
+                                  "use repro.units")])
+    assert main(["--root", str(root), "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "1 suppressed" in out
+    assert "baselined" not in out
+
+
+def test_stale_baseline_entry_is_ignored(tmp_path, capsys):
+    # A baseline entry whose finding was fixed must not fail the run or
+    # resurrect anything: it is simply never matched.
+    root = make_tree(tmp_path, {"m.py": '"""Doc."""\n\n__all__ = []\n'})
+    base = tmp_path / "baseline.json"
+    write_baseline(base, [Finding("UNITS001", Severity.ERROR, "m.py", 8,
+                                  "long gone", "fix")])
+    assert main(["--root", str(root), "--baseline", str(base)]) == 0
+    out = capsys.readouterr().out
+    assert "clean" in out
+    assert "baselined" not in out
+
+
+def test_unknown_rule_in_disable_comment_is_inert(tmp_path):
+    # Disabling a rule id that does not exist neither crashes nor
+    # suppresses the real finding on that line.
+    src = VIOLATION.replace(
+        "return feature_cm * 1.0e4",
+        "return feature_cm * 1.0e4  # lint: disable=NOPE999")
+    root = make_tree(tmp_path, {"m.py": src})
+    result = run_lint(root, config=LintConfig(), passes=UNITS_ONLY)
+    assert [f.rule for f in result.findings] == ["UNITS001"]
+    assert result.suppressed == 0

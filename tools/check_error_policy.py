@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import ast
 import sys
+import warnings
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -36,6 +37,14 @@ from repro.lint.project import LintModule, LintProject, _suppressions  # noqa: E
 #: Kept for backward compatibility with older imports of this module.
 EXEMPT_FILES = set(LintConfig().error_exempt_modules)
 FORBIDDEN_RAISES = set(_FRAMEWORK_FORBIDDEN)
+
+_DEPRECATION_MESSAGE = (
+    "tools/check_error_policy.py is deprecated; use "
+    "'python -m repro.lint --select ERR001,ERR002,ERR003' instead")
+
+
+def _warn_deprecated() -> None:
+    warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=3)
 
 
 def _single_file_project(path: Path) -> LintProject:
@@ -60,6 +69,7 @@ def check_file(path: Path) -> list[str]:
     Same output contract as the pre-framework script: one formatted
     ``path:line: message — suggestion`` string per violation.
     """
+    _warn_deprecated()
     path = Path(path)
     project = _single_file_project(path)
     module = project.modules[0]
@@ -74,6 +84,7 @@ def check_file(path: Path) -> list[str]:
 
 def main() -> int:
     """Lint every python file under ``src/``; print violations."""
+    _warn_deprecated()
     violations = []
     for path in sorted(SRC.rglob("*.py")):
         if "__pycache__" in path.parts:
