@@ -76,6 +76,11 @@ def _loop_enabled_labeled_inc() -> None:
         obs.inc("bench_hot_total", labels=labels)
 
 
+def _loop_disabled_history_note() -> None:
+    for _ in range(CALLS):
+        obs.note_evaluation("numpy", 1024, False)
+
+
 def regenerate_overhead():
     obs.disable()
     rows = [
@@ -87,6 +92,8 @@ def regenerate_overhead():
          _ns_per_call(_loop_disabled_labeled_inc)),
         ("obs.capture_context() [disabled]",
          _ns_per_call(_loop_disabled_capture_context)),
+        ("obs.note_evaluation() [disabled]",
+         _ns_per_call(_loop_disabled_history_note)),
         ("DurationSketch.observe() [enabled]",
          _ns_per_call(_loop_sketch_observe)),
     ]
@@ -119,6 +126,9 @@ def test_obs_overhead(benchmark, save_artifact):
     # contract: one global read, no label freezing, no context capture.
     assert costs["obs.inc() labeled [disabled]"] < 2_000
     assert costs["obs.capture_context() [disabled]"] < 2_000
+    # The engine's history sink with no RunRecorder active: one module
+    # global read, no store, no lock.
+    assert costs["obs.note_evaluation() [disabled]"] < 2_000
     # The enabled sketch path is a log + dict update — well under 50µs.
     assert costs["DurationSketch.observe() [enabled]"] < 50_000
     # Enabled labeled inc: freeze + registry lookup + locked add. Loose

@@ -29,6 +29,12 @@ the bare report):
     telemetry snapshot bundle (``metrics.prom`` in Prometheus text
     format, ``spans.otlp.json``, ``provenance.json``) into ``DIR``
     — see :func:`repro.obs.write_snapshot`.
+``--history PATH``
+    Append this run (provenance + metric/sketch/supervision payload)
+    to the persistent run-history store at ``PATH`` — see
+    :mod:`repro.obs.history`. Defaults to ``$REPRO_HISTORY`` when the
+    variable is set; trend/drift reporting over the store lives under
+    ``python -m repro.obs``.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from __future__ import annotations
 import sys
 
 from . import engine, obs
+from .obs import history as obs_history
 from .api import Scenario, evaluate_many
 from .cost import PAPER_FIGURE4_MODEL
 from .data import DesignRegistry, load_itrs_1999
@@ -189,7 +196,7 @@ def _split_value_flag(argv: list[str], flag: str) -> tuple[list[str], str | None
 
 _USAGE = ("usage: python -m repro [report] [--trace] [--metrics] "
           "[--profile] [--permissive] [--backend auto|numpy|python] "
-          "[--telemetry DIR]")
+          "[--telemetry DIR] [--history PATH]")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -198,6 +205,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         argv, backend = _split_value_flag(argv, "--backend")
         argv, telemetry_dir = _split_value_flag(argv, "--telemetry")
+        argv, history_path = _split_value_flag(argv, "--history")
     except DomainError as exc:
         print(f"{exc}; {_USAGE}", file=sys.stderr)
         return 2
@@ -221,20 +229,35 @@ def main(argv: list[str] | None = None) -> int:
     policy = ErrorPolicy.MASK if permissive else ErrorPolicy.RAISE
     diagnostics: list = []
     obs_flags = [f for f in flags if f != "--permissive"]
+    if history_path is None:
+        history_default = obs_history.default_history_path()
+        if history_default is not None:
+            history_path = str(history_default)
     try:
-        if not obs_flags and telemetry_dir is None:
+        if not obs_flags and telemetry_dir is None and history_path is None:
             text = build_report(policy=policy, diagnostics=diagnostics)
             extra = ""
         else:
+            recorder = None
             with obs.enabled():
                 obs.reset()
-                text = build_report(policy=policy, diagnostics=diagnostics)
+                if history_path is not None:
+                    with obs_history.recording(history_path,
+                                               "repro.report") as recorder:
+                        text = build_report(policy=policy,
+                                            diagnostics=diagnostics)
+                else:
+                    text = build_report(policy=policy, diagnostics=diagnostics)
             extra = observability_sections(
                 "--trace" in flags, "--metrics" in flags, "--profile" in flags)
             if telemetry_dir is not None:
                 paths = obs.write_snapshot(telemetry_dir)
                 note = "telemetry snapshot: " + ", ".join(
                     str(paths[key]) for key in sorted(paths))
+                extra = (extra + "\n\n" + note) if extra else note
+            if recorder is not None and recorder.record is not None:
+                note = (f"history: run #{recorder.record.run_id} "
+                        f"-> {history_path}")
                 extra = (extra + "\n\n" + note) if extra else note
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

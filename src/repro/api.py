@@ -207,7 +207,7 @@ def evaluate_many(scenarios, policy: ErrorPolicy = ErrorPolicy.RAISE,
     if diagnostics is not None:
         diagnostics.extend(collected)
     guarded = policy is not ErrorPolicy.RAISE
-    obs_metrics.observe("api.evaluate_many.scenarios", float(n))
+    obs_metrics.observe("api_evaluate_many_scenarios", float(n))
     return [
         ScenarioResult(scenario=scn, cost_per_transistor_usd=float(costs[i]),
                        area_cm2=_area(scn, guarded), backend=backend)

@@ -73,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="after timing, run each bench once traced and "
                              "write bench_trace.jsonl, hot_spans.txt and "
                              "bench_flame.txt to the output dir")
+    parser.add_argument("--history", type=Path, default=None, metavar="PATH",
+                        help="also append this run (per-bench medians + "
+                             "provenance) to the persistent run-history "
+                             "store (default: $REPRO_HISTORY when set; "
+                             "see python -m repro.obs)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-bench progress lines")
     return parser
@@ -101,6 +106,24 @@ def _write_trace_artifacts(cases, output_dir: Path, echo) -> None:
     (output_dir / "bench_flame.txt").write_text(flame + "\n")
     (output_dir / "hot_spans.txt").write_text(hot + "\n")
     echo(f"traced pass -> {trace_path}, bench_flame.txt, hot_spans.txt")
+
+
+def _record_history(args, results, echo) -> None:
+    """Dual-write the suite's medians into the run-history store."""
+    from ..obs.history import HistoryStore, default_history_path
+    history_path = (args.history if args.history is not None
+                    else default_history_path())
+    if history_path is None:
+        return
+    samples = {}
+    for r in results:
+        samples[f"bench:{r.name}:median_s"] = r.median
+        samples[f"bench:{r.name}:min_s"] = r.min
+    with HistoryStore(history_path) as store:
+        record = store.record_run(
+            "repro.bench", wall_time_s=sum(sum(r.times) for r in results),
+            extra_samples=samples)
+    echo(f"history: run #{record.run_id} -> {history_path}")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -143,6 +166,8 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.trace:
             _write_trace_artifacts(cases, output_dir, echo)
+
+        _record_history(args, results, echo)
 
         if args.update_baseline or (args.compare is None
                                     and not baseline_path.exists()):

@@ -49,9 +49,9 @@ class DesignRegistry(Sequence[DesignRecord]):
         """The paper's Table A1 dataset (49 rows, cached after first load)."""
         rows = _TABLE_A1_CACHE.get(validate)
         if rows is not None:
-            obs_metrics.inc("data.table_a1.cache_hits")
+            obs_metrics.inc("data_table_a1_cache_hits_total")
         else:
-            obs_metrics.inc("data.table_a1.cache_misses")
+            obs_metrics.inc("data_table_a1_cache_misses_total")
             with span("data.registry.table_a1_load", validate=validate):
                 rows = tuple(load_table_a1(validate=validate))
             _TABLE_A1_CACHE[validate] = rows
@@ -71,14 +71,14 @@ class DesignRegistry(Sequence[DesignRecord]):
         malformed rows land in the report (line, column, cause) and
         every well-formed row still becomes part of the registry. The
         count of quarantined rows is exported on the
-        ``data.registry.from_csv.quarantined`` metric.
+        ``data_registry_quarantined_rows_total`` metric.
         """
         with span("data.registry.from_csv",
                   lenient=quarantine is not None, validate=validate):
             records = designs_from_csv(source, validate=validate,
                                        quarantine=quarantine)
         if quarantine is not None and quarantine:
-            obs_metrics.inc("data.registry.from_csv.quarantined", len(quarantine))
+            obs_metrics.inc("data_registry_quarantined_rows_total", len(quarantine))
         registry = cls(records)
         record_provenance("data.registry.DesignRegistry.from_csv", "table_a1",
                           {"validate": validate,

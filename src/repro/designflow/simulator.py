@@ -111,7 +111,7 @@ class DesignFlowSimulator:
         """Roll ``n_projects`` i.i.d. projects at one design point."""
         check_positive_int(n_projects, "n_projects")
         rng = np.random.default_rng(seed)
-        obs_metrics.inc("designflow.simulator.projects", n_projects)
+        obs_metrics.inc("designflow_simulator_projects_total", n_projects)
         return [
             self.simulate_project(n_transistors, sd, feature_um, regularity, rng)
             for _ in range(n_projects)

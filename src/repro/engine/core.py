@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ReproError
+from ..obs import history as obs_history
 from ..obs import metrics as obs_metrics
 from ..obs import trace as obs_trace
 from ..robust.policy import DiagnosticLog, ErrorPolicy
@@ -183,7 +184,7 @@ def _dispatch(kernel, xs: np.ndarray, policy: ErrorPolicy, mode: str,
     values = np.asarray(values, dtype=float)
     if use_cache:
         _cache.grid_cache.put(key, values)
-    obs_metrics.observe("engine.grid.points", float(xs.size))
+    obs_metrics.observe("engine_grid_points", float(xs.size))
     return GridEvaluation(values, (), "numpy", chunks=n_chunks,
                           supervision=supervision)
 
@@ -240,6 +241,8 @@ def evaluate_grid(kernel, grid, *, policy=ErrorPolicy.RAISE, where: str,
                         labels={"backend": result.backend})
         obs_metrics.inc("engine_chunks_total", float(result.chunks),
                         labels={"backend": result.backend})
+        obs_history.note_evaluation(result.backend, int(xs.size),
+                                    result.cache_hit)
         return result
 
 
@@ -278,5 +281,5 @@ def map_scalar(items, fn, *, policy=ErrorPolicy.RAISE, where: str,
                 results.append(on_error(item))
             continue
         results.append(result)
-    obs_metrics.observe("engine.map_scalar.points", float(len(items)))
+    obs_metrics.observe("engine_map_scalar_points", float(len(items)))
     return results, log

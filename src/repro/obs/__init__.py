@@ -34,6 +34,7 @@ from .export import (
 )
 from .exposition import (
     MetricsEndpoint,
+    health_payload,
     parse_prometheus,
     registry_from_records,
     render_prometheus,
@@ -94,6 +95,24 @@ from .trace import (
     span,
 )
 
+# history imports repro.robust.policy, which imports back into this
+# package — safe only once the submodules above are bound, so keep
+# this import last.
+from .history import (
+    HISTORY_SCHEMA_ID,
+    DriftReport,
+    DriftVerdict,
+    HistoryStore,
+    RunRecord,
+    RunRecorder,
+    SeriesPoint,
+    detect_drift,
+    format_trend_table,
+    note_evaluation,
+    recording,
+    render_html_dashboard,
+)
+
 __all__ = [
     # trace
     "Span",
@@ -132,6 +151,7 @@ __all__ = [
     "merge_payload",
     # exposition
     "MetricsEndpoint",
+    "health_payload",
     "parse_prometheus",
     "registry_from_records",
     "render_prometheus",
@@ -153,6 +173,19 @@ __all__ = [
     "provenance_of",
     "record_provenance",
     "summarize_value",
+    # history
+    "HISTORY_SCHEMA_ID",
+    "DriftReport",
+    "DriftVerdict",
+    "HistoryStore",
+    "RunRecord",
+    "RunRecorder",
+    "SeriesPoint",
+    "detect_drift",
+    "format_trend_table",
+    "note_evaluation",
+    "recording",
+    "render_html_dashboard",
     # export
     "export_jsonl",
     "format_metrics_table",

@@ -1,0 +1,185 @@
+"""Command-line driver: ``python -m repro.obs``.
+
+Front-end for the persistent run-history store
+(:mod:`repro.obs.history`)::
+
+    python -m repro.obs report --history runs.sqlite     # trend table + HTML
+    python -m repro.obs drift  --history runs.sqlite     # MAD-band drift check
+    python -m repro.obs runs   --history runs.sqlite     # stored run log
+
+``--history`` defaults to the ``$REPRO_HISTORY`` environment variable,
+so CI jobs configure the store once and every subcommand (and the
+``python -m repro``/``python -m repro.bench`` writers) agrees on it.
+
+Exit-code contract:
+
+* ``0`` — command ran; no drift flagged (or none checked);
+* ``1`` — the command itself failed (missing store, bad flag),
+  reported as one ``error:`` line on stderr;
+* ``2`` — the drift check flagged at least one series (``drift``
+  subcommand, and ``report`` when ``--strict`` is passed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..errors import ReproError
+from .history import (
+    HISTORY_ENV_VAR,
+    HistoryStore,
+    default_history_path,
+    detect_drift,
+    format_trend_table,
+    write_html_dashboard,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def _add_history_flag(parser) -> None:
+    parser.add_argument(
+        "--history", type=Path, default=None, metavar="PATH",
+        help=f"run-history database (default: ${HISTORY_ENV_VAR})")
+
+
+def _add_filter_flags(parser) -> None:
+    parser.add_argument("--command", default=None,
+                        help="only consider runs recorded under this command")
+    parser.add_argument("--backend", default=None,
+                        help="only consider runs of this engine backend")
+
+
+def _add_drift_flags(parser) -> None:
+    parser.add_argument("--window", type=int, default=10,
+                        help="trailing runs forming the noise band "
+                             "(default: 10)")
+    parser.add_argument("--min-runs", type=int, default=5,
+                        help="series shorter than this are 'insufficient', "
+                             "never flagged (default: 5)")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="minimum relative departure treated as real "
+                             "(default: 0.20)")
+    parser.add_argument("--mad-scale", type=float, default=3.0,
+                        help="band width in MAD-derived sigmas (default: 3.0)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for doc generation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run-history trend reporting and cross-run drift "
+                    "detection over a repro-history/1 store.")
+    sub = parser.add_subparsers(dest="subcommand", required=True)
+
+    report = sub.add_parser(
+        "report", help="text trend table + static HTML dashboard")
+    _add_history_flag(report)
+    _add_filter_flags(report)
+    _add_drift_flags(report)
+    report.add_argument("--last", type=int, default=12,
+                        help="runs shown per text sparkline (default: 12)")
+    report.add_argument("--html", type=Path, default=None, metavar="PATH",
+                        help="dashboard output path (default: "
+                             "<history>.html next to the store; "
+                             "'-' disables)")
+    report.add_argument("--strict", action="store_true",
+                        help="exit 2 when the embedded drift check flags "
+                             "a series")
+
+    drift = sub.add_parser(
+        "drift", help="MAD-band drift check over every stored series "
+                      "(exit 2 when flagged)")
+    _add_history_flag(drift)
+    _add_filter_flags(drift)
+    _add_drift_flags(drift)
+    drift.add_argument("--key", action="append", default=None, metavar="KEY",
+                       help="check only this sample key (repeatable)")
+
+    runs = sub.add_parser("runs", help="list stored runs with provenance")
+    _add_history_flag(runs)
+    _add_filter_flags(runs)
+    runs.add_argument("--limit", type=int, default=20,
+                      help="newest runs shown (default: 20)")
+    return parser
+
+
+def _open_store(args) -> HistoryStore:
+    path = args.history if args.history is not None else default_history_path()
+    if path is None:
+        raise ReproError(
+            f"no history store: pass --history PATH or set ${HISTORY_ENV_VAR}")
+    if not Path(path).exists():
+        raise ReproError(f"history store {path} does not exist")
+    return HistoryStore(path)
+
+
+def _run_report(args) -> int:
+    with _open_store(args) as store:
+        drift = detect_drift(
+            store, window=args.window, min_runs=args.min_runs,
+            mad_scale=args.mad_scale, min_rel=args.threshold,
+            command=args.command, backend=args.backend)
+        print(format_trend_table(
+            store, last=args.last, drift=drift,
+            command=args.command, backend=args.backend))
+        print()
+        print(drift.format())
+        if args.html is None or str(args.html) != "-":
+            html_path = (args.html if args.html is not None
+                         else store.path.with_suffix(".html"))
+            write_html_dashboard(html_path, store, drift=drift,
+                                 command=args.command, backend=args.backend)
+            print(f"dashboard -> {html_path}")
+        if args.strict and not drift.ok:
+            return 2
+    return 0
+
+
+def _run_drift(args) -> int:
+    with _open_store(args) as store:
+        report = detect_drift(
+            store, keys=args.key, window=args.window,
+            min_runs=args.min_runs, mad_scale=args.mad_scale,
+            min_rel=args.threshold, command=args.command,
+            backend=args.backend)
+        print(report.format())
+        return 2 if not report.ok else 0
+
+
+def _run_runs(args) -> int:
+    from ..report.tables import format_table
+    with _open_store(args) as store:
+        records = store.latest(max(args.limit, 1), command=args.command,
+                               backend=args.backend)
+        if not records:
+            print("(history store holds no runs)")
+            return 0
+        print(format_table(
+            ["run", "started", "command", "git", "backend", "wall_s",
+             "series"],
+            [(r.run_id, r.started, r.command, r.git_sha,
+              r.backend or "-", f"{r.wall_time_s:.3f}", len(r.samples))
+             for r in records],
+            title=f"run history ({len(store)} runs total)"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse exits 2 on bad flags already
+        return 1 if exc.code else 0
+    try:
+        if args.subcommand == "report":
+            return _run_report(args)
+        if args.subcommand == "drift":
+            return _run_drift(args)
+        return _run_runs(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

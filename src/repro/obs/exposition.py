@@ -39,10 +39,15 @@ from . import metrics as _metrics
 from . import provenance as _provenance
 from . import telemetry as _telemetry
 from . import trace as _trace
-from .metrics import HISTOGRAM_BUCKET_BOUNDS, MetricsRegistry
+from .metrics import (
+    HISTOGRAM_BUCKET_BOUNDS,
+    MetricsRegistry,
+    canonical_metric_name,
+)
 
 __all__ = [
     "MetricsEndpoint",
+    "health_payload",
     "parse_prometheus",
     "registry_from_records",
     "render_prometheus",
@@ -50,6 +55,32 @@ __all__ = [
     "start_metrics_endpoint",
     "write_snapshot",
 ]
+
+#: Process start reference for the ``/healthz`` uptime report.
+_PROCESS_START = time.monotonic()
+
+
+def health_payload() -> dict:
+    """The ``/healthz`` liveness body: provenance + schema contract.
+
+    One JSON-safe dict shared by the metrics endpoint and the future
+    serve layer: the running checkout's git sha, the schema versions a
+    client may rely on (run-history store, bench reports, the
+    Prometheus text format ``/metrics`` speaks), and process uptime in
+    seconds.
+    """
+    from ..bench.schema import SCHEMA_ID as BENCH_SCHEMA_ID
+    from .history import HISTORY_SCHEMA_ID, git_sha
+    return {
+        "status": "ok",
+        "git_sha": git_sha(),
+        "schemas": {
+            "history": HISTORY_SCHEMA_ID,
+            "bench": BENCH_SCHEMA_ID,
+            "prometheus_text": "0.0.4",
+        },
+        "uptime_s": round(time.monotonic() - _PROCESS_START, 3),
+    }
 
 #: Valid Prometheus metric-name shape.
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -176,6 +207,32 @@ def render_prometheus(registry: "MetricsRegistry | None" = None) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _unescape_label_value(value: str) -> str:
+    """Invert :func:`_escape_label_value` in one left-to-right pass.
+
+    Sequential ``str.replace`` chains mis-handle adjacent escapes —
+    ``\\\\n`` (an escaped backslash followed by a literal ``n``) must
+    decode to backslash + ``n``, not to a newline.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            if nxt == "n":
+                out.append("\n")
+                i += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                i += 2
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def _parse_label_block(block: str, line: str) -> dict[str, str]:
     """Parse ``{k="v",...}`` strictly; raise ``DomainError`` on junk."""
     inner = block[1:-1]
@@ -188,8 +245,7 @@ def _parse_label_block(block: str, line: str) -> dict[str, str]:
         key, value = m.group(1), m.group(2)
         if key in labels:
             raise DomainError(f"duplicate label {key!r} in line: {line!r}")
-        labels[key] = (value.replace("\\n", "\n").replace('\\"', '"')
-                       .replace("\\\\", "\\"))
+        labels[key] = _unescape_label_value(value)
         pos = m.end()
         if pos < len(inner):
             if inner[pos] != ",":
@@ -250,7 +306,10 @@ def registry_from_records(records: list[dict]) -> MetricsRegistry:
     :func:`~repro.obs.export.export_jsonl`'s metric lines — what
     ``tools/trace_report.py --prom`` uses to render a saved snapshot.
     Older exports without ``buckets`` reconstruct counts and sums but
-    lose bucket/quantile detail.
+    lose bucket/quantile detail. Legacy dotted metric names are mapped
+    to their canonical snake_case spellings on the way in
+    (:data:`~repro.obs.metrics.LEGACY_METRIC_RENAMES`), so snapshots
+    written before the rename keep feeding the current series.
     """
     reg = MetricsRegistry()
     for rec in records:
@@ -258,7 +317,7 @@ def registry_from_records(records: list[dict]) -> MetricsRegistry:
             continue
         kind = rec.get("kind")
         labels = [tuple(kv) for kv in rec.get("labels", [])]
-        name = rec["name"]
+        name = canonical_metric_name(rec["name"])
         if kind == "counter":
             reg.counter(name, labels).inc(rec.get("value") or 0.0)
         elif kind == "gauge":
@@ -388,8 +447,9 @@ def start_metrics_endpoint(host: str = "127.0.0.1", port: int = 0,
     """Serve ``GET /metrics`` and ``GET /healthz`` from a daemon thread.
 
     ``/metrics`` bridges engine-side state into the registry and
-    renders it live on every scrape; ``/healthz`` answers a JSON
-    liveness probe. ``port=0`` binds an ephemeral port — read it back
+    renders it live on every scrape; ``/healthz`` answers the
+    :func:`health_payload` JSON liveness probe (git sha, schema
+    versions, uptime). ``port=0`` binds an ephemeral port — read it back
     from :attr:`MetricsEndpoint.port`. The caller owns the returned
     endpoint and should :meth:`~MetricsEndpoint.close` it (or use it as
     a context manager).
@@ -406,7 +466,8 @@ def start_metrics_endpoint(host: str = "127.0.0.1", port: int = 0,
                 content_type = "text/plain; version=0.0.4; charset=utf-8"
                 status = 200
             elif self.path == "/healthz":
-                body = b'{"status": "ok"}\n'
+                body = (json.dumps(health_payload(), sort_keys=True)
+                        + "\n").encode("utf-8")
                 content_type = "application/json"
                 status = 200
             else:

@@ -120,7 +120,7 @@ def optimal_sd(
             )
         note_retry(solver, expansion, "bracket-clipped")
         hi *= retry.bracket_growth
-    obs_metrics.set_gauge("optimize.optimal_sd.iterations", iters)
+    obs_metrics.set_gauge("optimize_optimal_sd_iterations", iters)
     return OptimumResult(sd_opt=sd_opt, cost_opt=cost_opt, iterations=iters,
                          bracket=(lo, hi), attempts=attempts_used)
 
@@ -152,7 +152,7 @@ def optimal_sd_generalized(
     sd_opt, cost_opt, iters, attempts = retrying_golden_min(
         fn, lo, sd_max, tol, max_iter,
         solver="optimize.optimum.optimal_sd_generalized", retry=retry, lo_floor=sd0)
-    obs_metrics.set_gauge("optimize.optimal_sd.iterations", iters)
+    obs_metrics.set_gauge("optimize_optimal_sd_iterations", iters)
     return OptimumResult(sd_opt=sd_opt, cost_opt=cost_opt, iterations=iters,
                          bracket=(lo, sd_max), attempts=attempts)
 

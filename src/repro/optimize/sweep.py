@@ -141,7 +141,7 @@ def sd_sweep(
     if sd_values is None:
         sd_values = sd_grid(model.design_model.sd0)
     sd_values = np.asarray(sd_values, dtype=float)
-    obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
+    obs_metrics.observe("optimize_sweep_grid_points", sd_values.size)
     kernel = Eq4SdKernel(model, n_transistors, feature_um, n_wafers,
                          yield_fraction, cost_per_cm2)
     evaluation = evaluate_grid(kernel, sd_values, policy=policy,
@@ -180,7 +180,7 @@ def sd_sweep_generalized(
     if sd_values is None:
         sd_values = sd_grid(model.design_model.sd0)
     sd_values = np.asarray(sd_values, dtype=float)
-    obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
+    obs_metrics.observe("optimize_sweep_grid_points", sd_values.size)
     kernel = Eq7SdKernel(model, n_transistors, feature_um, n_wafers)
     evaluation = evaluate_grid(kernel, sd_values, policy=policy,
                                where="optimize.sweep.sd_sweep_generalized",
@@ -223,7 +223,7 @@ def volume_sweep(
     if n_wafers_values is None:
         n_wafers_values = np.geomspace(100, 1e6, 200)
     n_wafers_values = np.asarray(n_wafers_values, dtype=float)
-    obs_metrics.observe("optimize.sweep.grid_points", n_wafers_values.size)
+    obs_metrics.observe("optimize_sweep_grid_points", n_wafers_values.size)
     kernel = Eq4VolumeKernel(model, sd, n_transistors, feature_um,
                              yield_fraction, cost_per_cm2)
     evaluation = evaluate_grid(kernel, n_wafers_values, policy=policy,

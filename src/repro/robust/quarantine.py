@@ -85,7 +85,7 @@ class QuarantineReport:
             error_type=type(exc).__name__,
             raw=tuple(raw),
         ))
-        obs_metrics.inc("robust.quarantine.rows")
+        obs_metrics.inc("robust_quarantine_rows_total")
         span = obs_trace.current_span()
         if span is not None:
             span.set_attr("robust.quarantined", len(self.rows))

@@ -142,9 +142,9 @@ class WaferYieldExperiment:
             g, t = self.run_wafer(rng)
             good += g
             total += t
-        obs_metrics.inc("yieldmodels.simulation.wafers", n_wafers)
-        obs_metrics.inc("yieldmodels.simulation.dice", total)
-        obs_metrics.observe("yieldmodels.simulation.yield", good / total)
+        obs_metrics.inc("yieldmodels_simulation_wafers_total", n_wafers)
+        obs_metrics.inc("yieldmodels_simulation_dice_total", total)
+        obs_metrics.observe("yieldmodels_simulation_yield", good / total)
         return good / total
 
 

@@ -116,6 +116,69 @@ class TestRenderParse:
             parse_prometheus("???")
 
 
+class TestRoundTripEdgeCases:
+    """Satellite coverage: escaping, +Inf buckets, empty render."""
+
+    @pytest.mark.parametrize("value", [
+        "\n",                # bare newline
+        '"',                 # bare double quote
+        "\\",                # bare backslash
+        "ends with \\",      # trailing backslash (escape must not eat the quote)
+        "\\n",               # literal backslash-n, not a newline
+        'mix "of\n every\\thing"',
+        "",                  # empty label value round-trips as empty
+    ])
+    def test_label_value_escaping_round_trips(self, value):
+        reg = MetricsRegistry()
+        reg.counter("edge_total", {"path": value}).inc()
+        (sample,) = parse_prometheus(render_prometheus(reg))
+        assert sample["labels"]["path"] == value
+
+    def test_distinct_escaped_values_stay_distinct(self):
+        # "\\n" (backslash + n) and "\n" (newline) must not collapse
+        # into one series through the escape/unescape cycle.
+        reg = MetricsRegistry()
+        reg.counter("edge_total", {"path": "\\n"}).inc(1)
+        reg.counter("edge_total", {"path": "\n"}).inc(2)
+        samples = parse_prometheus(render_prometheus(reg))
+        assert {s["labels"]["path"]: s["value"] for s in samples} == \
+            {"\\n": 1.0, "\n": 2.0}
+
+    def test_histogram_inf_bucket_is_cumulative_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        # One observation beyond the largest finite bound lands only in
+        # the +Inf bucket; the closing bucket still equals the count.
+        h.observe(float(HISTOGRAM_BUCKET_BOUNDS[-1]) * 10.0)
+        h.observe(0.5)
+        samples = parse_prometheus(render_prometheus(reg))
+        buckets = [s for s in samples if s["name"] == "latency_bucket"]
+        assert buckets[-1]["labels"]["le"] == "+Inf"
+        assert buckets[-1]["value"] == 2.0
+        # The largest finite bound has seen only the in-range point.
+        assert buckets[-2]["value"] == 1.0
+        # Cumulative: monotone non-decreasing across the bucket ladder.
+        values = [s["value"] for s in buckets]
+        assert values == sorted(values)
+        (count,) = [s for s in samples if s["name"] == "latency_count"]
+        assert count["value"] == 2.0
+
+    def test_empty_histogram_renders_parseable_zero_buckets(self):
+        reg = MetricsRegistry()
+        reg.histogram("untouched")
+        samples = parse_prometheus(render_prometheus(reg))
+        by_name = {}
+        for s in samples:
+            by_name.setdefault(s["name"], []).append(s)
+        assert by_name["untouched_count"][0]["value"] == 0.0
+        assert all(s["value"] == 0.0 for s in by_name["untouched_bucket"])
+
+    def test_empty_registry_render_is_empty_and_reparses(self):
+        text = render_prometheus(MetricsRegistry())
+        assert text == ""
+        assert parse_prometheus(text) == []
+
+
 class TestRecordsRoundTrip:
     def test_jsonl_metric_records_rebuild_the_registry(self, tmp_path):
         obs.enable()
@@ -129,6 +192,25 @@ class TestRecordsRoundTrip:
         assert reg.counters['events_total{kind="hit"}'].value == 5.0
         assert reg.histograms["sizes"].count == 1
         parse_prometheus(render_prometheus(reg))
+
+    def test_legacy_dotted_names_rebuild_as_canonical(self):
+        # Compat shim: JSONL exports written before the OBS003 rename
+        # feed the current snake_case series on the read path.
+        records = [
+            {"type": "metric", "kind": "counter",
+             "name": "robust.quarantine.rows", "value": 4.0},
+            {"type": "metric", "kind": "histogram",
+             "name": "optimize.sweep.grid_points", "count": 2,
+             "sum": 10.0},
+            {"type": "metric", "kind": "gauge",
+             "name": "optimize.optimal_sd.iterations", "value": 31.0},
+        ]
+        reg = registry_from_records(records)
+        assert reg.counters["robust_quarantine_rows_total"].value == 4.0
+        assert reg.histograms["optimize_sweep_grid_points"].count == 2
+        assert reg.gauges["optimize_optimal_sd_iterations"].value == 31.0
+        # Current names pass through untouched.
+        assert "robust.quarantine.rows" not in reg.counters
 
 
 class TestOtlp:
@@ -182,6 +264,22 @@ class TestEndpoint:
             with pytest.raises(urllib.error.HTTPError) as err:
                 self._get(endpoint.url + "/nope")
             assert err.value.code == 404
+
+    def test_healthz_reports_provenance_contract(self):
+        from repro.bench.schema import SCHEMA_ID as BENCH_SCHEMA_ID
+        from repro.obs.history import HISTORY_SCHEMA_ID
+        with start_metrics_endpoint() as endpoint:
+            status, body = self._get(endpoint.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["git_sha"]  # "unknown" outside git, never empty
+        assert payload["schemas"] == {
+            "history": HISTORY_SCHEMA_ID,
+            "bench": BENCH_SCHEMA_ID,
+            "prometheus_text": "0.0.4",
+        }
+        assert payload["uptime_s"] >= 0.0
 
 
 class TestSnapshot:

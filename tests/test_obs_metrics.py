@@ -159,7 +159,7 @@ class TestInstrumentedPaths:
         from repro.optimize import sd_sweep
         with obs.enabled():
             sd_sweep(PAPER_FIGURE4_MODEL, 1e7, 0.18, 5000, 0.4, 8.0)
-        hist = obs.get_registry().histogram("optimize.sweep.grid_points")
+        hist = obs.get_registry().histogram("optimize_sweep_grid_points")
         assert hist.count == 1
         assert hist.min == 400  # the default sd_grid size
 
@@ -169,8 +169,8 @@ class TestInstrumentedPaths:
             DesignRegistry.table_a1()
             DesignRegistry.table_a1()
         reg = obs.get_registry()
-        hits = reg.counter("data.table_a1.cache_hits").value
-        misses = reg.counter("data.table_a1.cache_misses").value
+        hits = reg.counter("data_table_a1_cache_hits_total").value
+        misses = reg.counter("data_table_a1_cache_misses_total").value
         assert hits + misses == 2
         assert hits >= 1  # second call is always served from the cache
 

@@ -143,3 +143,20 @@ def test_snapshot_bundle_without_numpy(nobs, tmp_path):
     paths = nobs.write_snapshot(tmp_path / "bundle")
     assert all(p.exists() for p in paths.values())
     assert "bundle_total 1" in paths["metrics"].read_text()
+
+
+def test_run_history_store_without_numpy(nobs, tmp_path):
+    # The persistence substrate is sqlite3 + json: record, query, drift,
+    # and dashboard rendering must all run on a stdlib-only interpreter.
+    with nobs.HistoryStore(tmp_path / "runs.sqlite") as store:
+        for i in range(6):
+            reg = nobs.MetricsRegistry()
+            reg.counter("scrapes_total").inc(10 if i < 5 else 100)
+            store.record_run("nonumpy", wall_time_s=0.5, backend="python",
+                             registry=reg, supervision={})
+        series = store.series("scrapes_total")
+        assert [p.value for p in series][-1] == 100.0
+        report = nobs.detect_drift(store, min_runs=5)
+        assert {v.key for v in report.flagged} >= {"scrapes_total"}
+        html = nobs.render_html_dashboard(store, drift=report)
+        assert "<svg" in html and 'class="drift"' in html

@@ -41,7 +41,7 @@ def seed_equivalent_sweep(model, n_transistors, feature_um, n_wafers,
     if sd_values is None:
         sd_values = sd_grid(model.design_model.sd0)
     sd_values = np.asarray(sd_values, dtype=float)
-    obs_metrics.observe("optimize.sweep.grid_points", sd_values.size)
+    obs_metrics.observe("optimize_sweep_grid_points", sd_values.size)
     cost = model.transistor_cost(
         sd_values, n_transistors, feature_um, n_wafers, yield_fraction, cost_per_cm2)
     return SweepResult(

@@ -35,6 +35,7 @@ SUBPACKAGES = [
     "repro.economics",
     "repro.analysis",
     "repro.obs",
+    "repro.obs.history",
     "repro.obs.perf",
     "repro.robust",
     "repro.constants",

@@ -11,6 +11,7 @@ Usage:  python tools/trace_report.py <trace.jsonl>
         python tools/trace_report.py --flame <trace.jsonl>
         python tools/trace_report.py --hot [N] <trace.jsonl>
         python tools/trace_report.py --prom <trace.jsonl>
+        python tools/trace_report.py --history <runs.sqlite>
 
 ``--flame`` emits the span tree in collapsed-stack format
 (``outer;inner self_microseconds`` lines) ready for any flamegraph
@@ -18,6 +19,9 @@ renderer (e.g. ``flamegraph.pl`` or speedscope). ``--hot`` prints the
 top-N spans ranked by self time (default 15). ``--prom`` renders the
 export's metric records in Prometheus text exposition format (the
 same output a live ``/metrics`` scrape of that run would have given).
+``--history`` takes a ``repro-history/1`` SQLite store instead of a
+JSONL export and prints the stored run log plus the cross-run trend
+table (``python -m repro.obs report`` renders the same data as HTML).
 """
 
 from __future__ import annotations
@@ -43,8 +47,25 @@ from repro.obs import (  # noqa: E402
 )
 from repro.report import format_table  # noqa: E402
 
-USAGE = ("usage: python tools/trace_report.py [--flame | --hot [N] | --prom] "
-         "<trace.jsonl>")
+USAGE = ("usage: python tools/trace_report.py "
+         "[--flame | --hot [N] | --prom] <trace.jsonl>\n"
+         "       python tools/trace_report.py --history <runs.sqlite>")
+
+
+def render_history(path: Path) -> str:
+    """The run log + trend table of a run-history store."""
+    from repro.obs.history import (
+        HistoryStore, detect_drift, format_trend_table)
+    with HistoryStore(path) as store:
+        records = store.latest(20)
+        runs_table = format_table(
+            ["run", "started", "command", "git", "backend", "wall_s"],
+            [(r.run_id, r.started, r.command, r.git_sha, r.backend or "-",
+              f"{r.wall_time_s:.3f}") for r in records],
+            title=f"runs ({len(store)} total, newest 20)")
+        drift = detect_drift(store)
+        trend = format_trend_table(store, drift=drift)
+        return f"{runs_table}\n\n{trend}\n\n{drift.format()}"
 
 
 def render(records: list[dict]) -> str:
@@ -82,6 +103,9 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "--flame":
         mode = "flame"
         argv = argv[1:]
+    elif argv and argv[0] == "--history":
+        mode = "history"
+        argv = argv[1:]
     elif argv and argv[0] == "--prom":
         mode = "prom"
         argv = argv[1:]
@@ -102,6 +126,14 @@ def main(argv: list[str] | None = None) -> int:
     if not path.exists():
         print(f"no such file: {path}", file=sys.stderr)
         return 2
+    if mode == "history":
+        from repro.errors import ReproError
+        try:
+            print(render_history(path))
+        except ReproError as exc:
+            print(f"not a history store: {path} ({exc})", file=sys.stderr)
+            return 2
+        return 0
     try:
         records = read_jsonl(path)
     except ValueError as exc:  # json.JSONDecodeError is a ValueError
