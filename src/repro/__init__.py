@@ -63,6 +63,10 @@ Subpackages
 ``repro.robust``
     Robustness: error policies for sweeps (RAISE/MASK/COLLECT), solver
     retry budgets, quarantine CSV loading, and fault injection.
+``repro.serve``
+    Cost-model-as-a-service: the HTTP/JSON layer over the facade
+    (``python -m repro.serve``), with micro-batching, a shared memo
+    cache, rate limiting, and the error-policy → status-code contract.
 ``repro.constants``
     The paper-sourced numeric anchors (Eq. (6) fit, Table A1 / ITRS
     cost figures) every other module imports instead of re-typing.
@@ -94,6 +98,7 @@ from . import (  # noqa: F401
     report,
     roadmap,
     robust,
+    serve,
     wafer,
     yieldmodels,
 )
@@ -136,6 +141,7 @@ __all__ = [
     "report",
     "obs",
     "robust",
+    "serve",
     "constants",
     "lint",
     "bench",

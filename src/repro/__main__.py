@@ -49,7 +49,6 @@ from .data import DesignRegistry, load_itrs_1999
 from .density import sd_vs_feature_fit
 from .errors import DomainError, ReproError
 from .obs.instrument import traced
-from .optimize import optimal_sd
 from .report import format_table
 from .roadmap import constant_cost_series
 from .robust import DEFAULT_RETRY_BUDGET, Diagnostic, ErrorPolicy
@@ -105,10 +104,12 @@ def build_report(policy: ErrorPolicy = ErrorPolicy.RAISE,
                  f"{results[0].backend} backend): {priced}")
 
     def fig4_opt(n_wafers: float, yield_fraction: float) -> str:
+        scenario = Scenario(n_transistors=1e7, feature_um=0.18,
+                            n_wafers=n_wafers, yield_fraction=yield_fraction,
+                            cost_per_cm2=8.0, model=PAPER_FIGURE4_MODEL)
         try:
-            res = optimal_sd(PAPER_FIGURE4_MODEL, 1e7, 0.18, n_wafers,
-                             yield_fraction, 8.0,
-                             retry=DEFAULT_RETRY_BUDGET if permissive else None)
+            res = scenario.optimal_sd(
+                retry=DEFAULT_RETRY_BUDGET if permissive else None)
         except ReproError as exc:
             if not permissive:
                 raise

@@ -27,19 +27,58 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from ._compat import renamed_kwargs
 from .constants import ASSUMED_YIELD, MANUFACTURING_COST_PER_CM2_USD
 from .cost.total import PAPER_FIGURE4_MODEL, TotalCostModel
 from .data.records import RoadmapNode
 from .density.metrics import area_from_sd
 from .engine import evaluate_grid, map_scalar
 from .engine.kernels import OperatingPointsKernel
-from .errors import ReproError
+from .errors import DomainError, ReproError
 from .obs import metrics as obs_metrics
 from .obs.instrument import traced
 from .robust.policy import ErrorPolicy
+from .serve.schemas import (
+    DiagnosticPayload,
+    ErrorResponse,
+    EvaluatedPoint,
+    EvaluateRequest,
+    EvaluateResponse,
+    OptimalSdRequest,
+    OptimalSdResponse,
+    ParetoPoint,
+    ParetoRequest,
+    ParetoResponse,
+    ScenarioPayload,
+    SensitivityRequest,
+    SensitivityResponse,
+    SweepRequest,
+    SweepResponse,
+)
 from .wafer.specs import WaferSpec
 
-__all__ = ["Scenario", "ScenarioResult", "evaluate", "evaluate_many"]
+__all__ = [
+    "Scenario",
+    "ScenarioResult",
+    "evaluate",
+    "evaluate_many",
+    # wire schemas (one surface with the HTTP layer; see repro.serve)
+    "DiagnosticPayload",
+    "ErrorResponse",
+    "EvaluatedPoint",
+    "EvaluateRequest",
+    "EvaluateResponse",
+    "OptimalSdRequest",
+    "OptimalSdResponse",
+    "ParetoPoint",
+    "ParetoRequest",
+    "ParetoResponse",
+    "ScenarioPayload",
+    "SensitivityRequest",
+    "SensitivityResponse",
+    "SweepRequest",
+    "SweepResponse",
+]
 
 
 @dataclass(frozen=True)
@@ -109,9 +148,110 @@ class Scenario:
         values.update(overrides)
         return cls(**values)
 
+    @renamed_kwargs(cm_sq="cost_per_cm2")
     def replace(self, **changes) -> "Scenario":
-        """A copy with the given fields changed (sweep construction aid)."""
+        """A copy with the given fields changed (sweep construction aid).
+
+        Deprecated keyword spellings (``cm_sq``) are normalised through
+        the same :func:`repro._compat.renamed_kwargs` shim as the rest
+        of the public API, so the replace path honours the
+        ``DeprecationWarning`` contract too.
+        """
         return replace(self, **changes)
+
+    # -- analysis methods (one per HTTP route; see repro.serve) ----------
+    #
+    # Each method delegates to the matching repro.optimize free function
+    # with this scenario's operating point filled in. The parameter
+    # names mirror the repro.serve request schemas field for field —
+    # the API006 lint rule enforces the parity.
+
+    def evaluate(self) -> "ScenarioResult":
+        """Price this scenario (always ``RAISE``; failures propagate)."""
+        return evaluate(self)
+
+    def sweep(self, parameter: str = "sd", values=None,
+              policy: ErrorPolicy = ErrorPolicy.RAISE):
+        """Sweep one parameter's cost curve through this operating point.
+
+        ``parameter="sd"`` runs :func:`repro.optimize.sd_sweep` over
+        candidate densities (``values`` or the auto grid);
+        ``parameter="n_wafers"`` runs
+        :func:`repro.optimize.volume_sweep` over production volumes.
+        Returns the :class:`repro.optimize.SweepResult`.
+        """
+        from .optimize import sd_sweep, volume_sweep
+        if parameter == "sd":
+            return sd_sweep(self.cost_model, self.n_transistors,
+                            self.feature_um, self.n_wafers,
+                            self.yield_fraction, self.cost_per_cm2,
+                            sd_values=values, policy=policy)
+        if parameter == "n_wafers":
+            return volume_sweep(self.cost_model, self.sd, self.n_transistors,
+                                self.feature_um, self.yield_fraction,
+                                self.cost_per_cm2, n_wafers_values=values,
+                                policy=policy)
+        raise DomainError(
+            f"cannot sweep parameter {parameter!r}; "
+            "known: 'sd', 'n_wafers'")
+
+    def pareto(self, values=None, policy: ErrorPolicy = ErrorPolicy.RAISE,
+               diagnostics: list | None = None):
+        """The non-dominated (area, cost, design budget) front.
+
+        Evaluates candidate ``s_d`` values (``values`` or the auto
+        grid) at this operating point and returns the Pareto front as a
+        list of :class:`repro.optimize.DesignPoint` — empty when every
+        candidate was infeasible under ``MASK`` (each dropped candidate
+        lands in the optional ``diagnostics`` list).
+        """
+        from .optimize import evaluate_points, pareto_front
+        points = evaluate_points(self.cost_model, self.n_transistors,
+                                 self.feature_um, self.n_wafers,
+                                 self.yield_fraction, self.cost_per_cm2,
+                                 sd_values=values, policy=policy,
+                                 diagnostics=diagnostics)
+        if not points:
+            return []
+        return pareto_front(points)
+
+    def sensitivity(self, parameters=None, rel_step: float = 0.05,
+                    sd_max: float = 5000.0,
+                    policy: ErrorPolicy = ErrorPolicy.RAISE) -> dict:
+        """Optimal-cost elasticities of this operating point.
+
+        Delegates to :func:`repro.optimize.parameter_elasticities`: for
+        each parameter (default: all of them), the relative change of
+        the *optimal* transistor cost per relative change of that
+        parameter. NaN entries mark perturbed solves that failed under
+        ``MASK``.
+        """
+        from .optimize import parameter_elasticities
+        point = {"n_transistors": self.n_transistors,
+                 "feature_um": self.feature_um, "n_wafers": self.n_wafers,
+                 "yield_fraction": self.yield_fraction,
+                 "cost_per_cm2": self.cost_per_cm2}
+        return parameter_elasticities(self.cost_model, point,
+                                      parameters=parameters,
+                                      rel_step=rel_step, sd_max=sd_max,
+                                      policy=policy)
+
+    def optimal_sd(self, sd_max: float = 5000.0, tol: float = 1e-10,
+                   max_iter: int = 500, retry=None):
+        """The cost-minimising density ``s_d`` at this operating point.
+
+        Delegates to :func:`repro.optimize.optimal_sd` (golden-section
+        over eq. 4) and returns its
+        :class:`repro.optimize.OptimumResult`. Pass a
+        :class:`repro.robust.RetryBudget` as ``retry`` to widen the
+        bracket on :class:`repro.errors.ConvergenceError`.
+        """
+        from .optimize import optimal_sd
+        return optimal_sd(self.cost_model, self.n_transistors,
+                          self.feature_um, self.n_wafers,
+                          self.yield_fraction, self.cost_per_cm2,
+                          sd_max=sd_max, tol=tol, max_iter=max_iter,
+                          retry=retry)
 
 
 @dataclass(frozen=True)

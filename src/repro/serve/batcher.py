@@ -1,0 +1,156 @@
+"""Micro-batching: coalesce concurrent single-point evaluations.
+
+Concurrent ``POST /evaluate`` requests each price one scenario; paying
+one engine dispatch per request wastes the vectorized backend. The
+:class:`MicroBatcher` puts every pending scenario on one queue and a
+single worker thread drains it in batches — up to ``max_batch`` items
+or ``max_wait_s`` of extra latency, whichever comes first — so a burst
+of N requests becomes one ``evaluate_many`` call.
+
+Coalescing is exact, not approximate: the engine's batch kernel is
+elementwise over float64 arrays, so each scenario's cost in a
+coalesced batch is bit-identical to what a sequential
+``Scenario.evaluate`` call produces (asserted by the serve test
+suite). Failure isolation matches too: when a batch raises (one
+infeasible scenario aborts a RAISE-policy batch), the worker falls
+back to evaluating each queued scenario individually, so innocent
+requests still succeed and only the offending one carries the error.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+
+from ..errors import ExecutionError, ReproError
+
+__all__ = ["MicroBatcher"]
+
+#: Queue sentinel that tells the worker thread to drain and exit.
+_STOP = object()
+
+
+class MicroBatcher:
+    """Coalesce queued items into batched ``evaluate(items)`` calls.
+
+    ``evaluate`` is called from the worker thread with a list of items
+    and must return one result per item, in order. :meth:`submit`
+    returns a :class:`~concurrent.futures.Future` resolving to that
+    item's result (or raising its individual :class:`ReproError`).
+    """
+
+    def __init__(self, evaluate, *, max_batch: int = 64,
+                 max_wait_s: float = 0.002) -> None:
+        if max_batch < 1:
+            raise ExecutionError(f"max_batch must be >= 1; got {max_batch}")
+        if max_wait_s < 0:
+            raise ExecutionError(f"max_wait_s must be >= 0; got {max_wait_s}")
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self._evaluate = evaluate
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = threading.Event()
+        self._stats_lock = threading.Lock()
+        self._batches = 0
+        self._items = 0
+        self._largest = 0
+        self._fallbacks = 0
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-serve-batcher",
+                                        daemon=True)
+        self._thread.start()
+
+    def submit(self, item) -> Future:
+        """Queue one item; resolve its future when its batch lands."""
+        if self._closed.is_set():
+            raise ExecutionError("micro-batcher is closed")
+        if not self._thread.is_alive():
+            raise ExecutionError("micro-batcher worker thread died")
+        future: Future = Future()
+        self._queue.put((item, future))
+        return future
+
+    def close(self) -> None:
+        """Drain the queue and stop the worker thread (idempotent)."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(_STOP)
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Lifetime counters: batches flushed, items, largest, fallbacks."""
+        with self._stats_lock:
+            return {"batches": self._batches, "items": self._items,
+                    "largest": self._largest, "fallbacks": self._fallbacks}
+
+    # -- worker side ----------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            entry = self._queue.get()
+            if entry is _STOP:
+                return
+            batch = [entry]
+            deadline = time.monotonic() + self.max_wait_s
+            stop_after = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if entry is _STOP:
+                    stop_after = True
+                    break
+                batch.append(entry)
+            self._flush(batch)
+            if stop_after:
+                return
+
+    def _flush(self, batch) -> None:
+        live = [(item, future) for item, future in batch
+                if future.set_running_or_notify_cancel()]
+        if not live:
+            return
+        with self._stats_lock:
+            self._batches += 1
+            self._items += len(live)
+            self._largest = max(self._largest, len(live))
+        try:
+            results = self._evaluate([item for item, _ in live])
+        except ReproError:
+            # One bad item aborts a RAISE-policy batch; isolate it by
+            # evaluating each queued item individually (the exact
+            # sequential path), so only the offender fails.
+            with self._stats_lock:
+                self._fallbacks += 1
+            self._fall_back(live)
+            return
+        except BaseException as exc:
+            # A programming error kills this worker thread; resolve the
+            # in-flight futures first so no request hangs forever.
+            for _, future in live:
+                future.set_exception(exc)
+            raise
+        for (_, future), result in zip(live, results):
+            future.set_result(result)
+
+    def _fall_back(self, live) -> None:
+        for item, future in live:
+            try:
+                result = self._evaluate([item])[0]
+            except ReproError as exc:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)

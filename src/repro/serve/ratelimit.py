@@ -1,0 +1,74 @@
+"""Token-bucket rate limiting for the serve layer.
+
+One :class:`TokenBucket` guards the evaluation routes: each request
+takes one token; tokens refill continuously at ``rate`` per second up
+to ``burst``. An empty bucket yields the seconds-until-next-token,
+which the HTTP layer surfaces as a ``429`` with a ``Retry-After``
+header — clients get a machine-readable backoff instead of queueing
+unbounded work behind the evaluation engine.
+
+The clock is injectable (monotonic by default) so the refill
+arithmetic is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..errors import DomainError
+
+__all__ = ["TokenBucket"]
+
+
+class TokenBucket:
+    """A thread-safe token bucket: ``rate`` tokens/s, capacity ``burst``.
+
+    >>> bucket = TokenBucket(rate=100.0, burst=2)
+    >>> bucket.try_acquire(), bucket.try_acquire()
+    (0.0, 0.0)
+    """
+
+    def __init__(self, rate: float, burst: int,
+                 clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise DomainError(f"rate must be > 0 tokens/s; got {rate}")
+        if burst < 1:
+            raise DomainError(f"burst must be >= 1 token; got {burst}")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+        self._lock = threading.Lock()
+        self._granted = 0
+        self._throttled = 0
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(float(self.burst),
+                           self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self) -> float:
+        """Take one token; ``0.0`` on success, else seconds to wait.
+
+        The returned wait is the time until one full token has
+        refilled — the value a ``Retry-After`` header should carry.
+        """
+        now = self._clock()
+        with self._lock:
+            self._refill(now)
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                self._granted += 1
+                return 0.0
+            self._throttled += 1
+            return (1.0 - self._tokens) / self.rate
+
+    def stats(self) -> dict:
+        """Lifetime grant/throttle counters plus the current fill."""
+        with self._lock:
+            return {"granted": self._granted, "throttled": self._throttled,
+                    "tokens": self._tokens, "rate": self.rate,
+                    "burst": self.burst}

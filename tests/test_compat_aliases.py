@@ -102,6 +102,25 @@ class TestRenamedKwargs:
         assert DEPRECATED_KWARG_ALIASES == {"cm_sq": "cost_per_cm2",
                                             "die_area_cm2": "area_cm2"}
 
+    def test_scenario_replace_honours_the_alias(self):
+        # Regression: Scenario.replace() took **overrides verbatim, so
+        # the deprecated spelling silently became an unknown field
+        # instead of routing through the rename shim.
+        from repro.api import Scenario
+
+        scenario = Scenario(n_transistors=1e7, feature_um=0.18)
+        with pytest.warns(DeprecationWarning, match="'cm_sq' is deprecated"):
+            replaced = scenario.replace(cm_sq=9.0)
+        assert replaced.cost_per_cm2 == 9.0
+        assert replaced == scenario.replace(cost_per_cm2=9.0)
+
+    def test_scenario_replace_rejects_both_spellings(self):
+        from repro.api import Scenario
+
+        scenario = Scenario(n_transistors=1e7, feature_um=0.18)
+        with pytest.raises(DomainError, match="both 'cm_sq'"):
+            scenario.replace(cm_sq=9.0, cost_per_cm2=9.0)
+
 
 _SHIMMED_SOURCE = textwrap.dedent('''\
     """Synthetic module for the API005 rule."""

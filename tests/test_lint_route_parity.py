@@ -1,0 +1,165 @@
+"""API006: the ``Scenario`` facade and the serve wire schemas agree.
+
+The rule reads both sides statically — the ``Scenario`` class body in
+``api.py`` and the literal ``SCENARIO_ROUTES`` table plus request
+dataclasses in ``serve/schemas.py`` — and reports every drift kind:
+facade methods without a route, routes without a method, facade
+parameters missing from the mapped request class, mappings to
+undefined classes, and a route table that is not a plain literal.
+Each scenario here builds a tiny synthetic tree; the last test
+dogfoods the rule against the real source tree.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint.config import LintConfig
+from repro.lint.passes.api_parity import ApiParityPass
+from repro.lint.project import load_project
+
+_API = textwrap.dedent('''\
+    """Facade module."""
+
+    __all__ = ["Scenario"]
+
+
+    class Scenario:
+        """Facade."""
+
+        def evaluate(self):
+            """Doc."""
+
+        def sweep(self, parameter="sd", values=None):
+            """Doc."""
+    {extra_methods}
+''')
+
+_SCHEMAS = textwrap.dedent('''\
+    """Wire module."""
+
+    __all__ = ["SCENARIO_ROUTES"]
+
+    SCENARIO_ROUTES = {routes}
+
+
+    class EvaluateRequest:
+        """Doc."""
+
+        scenarios: tuple = ()
+        policy: str = "raise"
+
+
+    class SweepRequest:
+        """Doc."""
+
+        scenario: object = None
+        parameter: str = "sd"
+        values: object = None
+        policy: str = "raise"
+    {extra_classes}
+''')
+
+_ROUTES = '{"evaluate": "EvaluateRequest", "sweep": "SweepRequest"}'
+
+
+def _tree(tmp_path, api_extra="", routes=_ROUTES, schemas_extra=""):
+    (tmp_path / "api.py").write_text(
+        _API.format(extra_methods=api_extra))
+    serve = tmp_path / "serve"
+    serve.mkdir()
+    (serve / "schemas.py").write_text(
+        _SCHEMAS.format(routes=routes, extra_classes=schemas_extra))
+    return tmp_path
+
+
+def _api006(tree_root):
+    project = load_project(tree_root, repo_root=tree_root)
+    findings = ApiParityPass().run(project, LintConfig())
+    return [f for f in findings if f.rule == "API006"]
+
+
+def test_matched_surfaces_are_clean(tmp_path):
+    assert _api006(_tree(tmp_path)) == []
+
+
+def test_method_without_route_is_flagged(tmp_path):
+    extra = "\n    def pareto(self, values=None):\n        \"\"\"Doc.\"\"\"\n"
+    findings = _api006(_tree(tmp_path, api_extra=extra))
+    assert len(findings) == 1
+    assert "'pareto' has no serve route schema" in findings[0].message
+    assert findings[0].path == "api.py"
+
+
+def test_route_without_method_is_flagged(tmp_path):
+    routes = ('{"evaluate": "EvaluateRequest", "sweep": "SweepRequest", '
+              '"pareto": "SweepRequest"}')
+    findings = _api006(_tree(tmp_path, routes=routes))
+    assert len(findings) == 1
+    assert "lists 'pareto' but Scenario has no such" in findings[0].message
+    assert findings[0].path == "serve/schemas.py"
+
+
+def test_parameter_missing_from_request_fields(tmp_path):
+    extra = ("\n    def pareto(self, granularity=10):\n"
+             "        \"\"\"Doc.\"\"\"\n")
+    routes = ('{"evaluate": "EvaluateRequest", "sweep": "SweepRequest", '
+              '"pareto": "SweepRequest"}')
+    findings = _api006(_tree(tmp_path, api_extra=extra, routes=routes))
+    assert len(findings) == 1
+    assert "parameter 'granularity' is not a field of SweepRequest" \
+        in findings[0].message
+    assert "one surface" in findings[0].suggestion
+
+
+def test_diagnostics_out_parameter_is_exempt(tmp_path):
+    # ``diagnostics`` is a python-side out-parameter: HTTP responses
+    # carry diagnostics in the response body instead, so the request
+    # schema legitimately has no such field.
+    extra = ("\n    def pareto(self, values=None, diagnostics=None):\n"
+             "        \"\"\"Doc.\"\"\"\n")
+    routes = ('{"evaluate": "EvaluateRequest", "sweep": "SweepRequest", '
+              '"pareto": "SweepRequest"}')
+    assert _api006(_tree(tmp_path, api_extra=extra, routes=routes)) == []
+
+
+def test_constructors_and_properties_are_exempt(tmp_path):
+    extra = textwrap.dedent('''
+        @classmethod
+        def from_node(cls, node):
+            """Doc."""
+
+        def replace(self, **overrides):
+            """Doc."""
+
+        @property
+        def resolved_label(self):
+            """Doc."""
+    ''')
+    extra = textwrap.indent(extra, "    ")
+    assert _api006(_tree(tmp_path, api_extra=extra)) == []
+
+
+def test_mapping_to_undefined_class_is_flagged(tmp_path):
+    routes = ('{"evaluate": "EvaluateRequest", "sweep": "GhostRequest"}')
+    findings = _api006(_tree(tmp_path, routes=routes))
+    assert len(findings) == 1
+    assert "maps 'sweep' to 'GhostRequest'" in findings[0].message
+    assert "does not define" in findings[0].message
+
+
+def test_non_literal_route_table_is_flagged(tmp_path):
+    findings = _api006(_tree(
+        tmp_path, routes='dict(evaluate="EvaluateRequest")'))
+    assert len(findings) == 1
+    assert "no literal SCENARIO_ROUTES" in findings[0].message
+    assert "plain {str: str} literal" in findings[0].suggestion
+
+
+def test_rule_skips_trees_without_both_surfaces(tmp_path):
+    (tmp_path / "api.py").write_text(_API.format(extra_methods=""))
+    assert _api006(tmp_path) == []
+
+
+def test_real_tree_is_clean():
+    repo = Path(__file__).resolve().parent.parent
+    assert _api006(repo / "src" / "repro") == []

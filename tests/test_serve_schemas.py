@@ -1,0 +1,212 @@
+"""Wire schemas: strict parsing, canonical JSON, lossless round trips.
+
+The frozen dataclasses in ``repro.serve.schemas`` are the entire HTTP
+contract — the server parses requests and renders responses with the
+very same classes the client uses. These tests pin the parse rules
+(unknown fields rejected, types checked, policy spellings validated,
+the single-``scenario`` sugar) and that ``to_json`` → ``from_json`` is
+the identity for every request/response class.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.api import Scenario
+from repro.errors import DomainError
+from repro.robust import Diagnostic
+from repro.serve.schemas import (
+    SCENARIO_ROUTES,
+    DiagnosticPayload,
+    ErrorResponse,
+    EvaluatedPoint,
+    EvaluateRequest,
+    EvaluateResponse,
+    OptimalSdRequest,
+    OptimalSdResponse,
+    ParetoPoint,
+    ParetoRequest,
+    ParetoResponse,
+    ScenarioPayload,
+    SensitivityRequest,
+    SensitivityResponse,
+    SweepRequest,
+    SweepResponse,
+)
+
+POINT = ScenarioPayload(n_transistors=1e7, feature_um=0.18, sd=300.0,
+                        n_wafers=5_000.0, yield_fraction=0.4,
+                        cost_per_cm2=8.0, label="fig4")
+
+
+class TestScenarioPayload:
+    def test_round_trip(self):
+        assert ScenarioPayload.from_json(POINT.to_json()) == POINT
+
+    def test_defaults_match_the_facade(self):
+        payload = ScenarioPayload(n_transistors=1e7, feature_um=0.18)
+        scenario = Scenario(n_transistors=1e7, feature_um=0.18)
+        for name in ("sd", "n_wafers", "yield_fraction", "cost_per_cm2",
+                     "label"):
+            assert getattr(payload, name) == getattr(scenario, name)
+
+    def test_facade_round_trip(self):
+        scenario = POINT.to_scenario()
+        assert isinstance(scenario, Scenario)
+        assert ScenarioPayload.from_scenario(scenario) == POINT
+
+    def test_unknown_field_rejected(self):
+        data = {**POINT.to_dict(), "frequency_ghz": 3.0}
+        with pytest.raises(DomainError, match="unknown field.*frequency_ghz"):
+            ScenarioPayload.from_dict(data)
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(DomainError, match="missing required field "
+                                              "'feature_um'"):
+            ScenarioPayload.from_dict({"n_transistors": 1e7})
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(DomainError, match="'sd' must be a number"):
+            ScenarioPayload.from_dict({"n_transistors": 1e7,
+                                       "feature_um": 0.18, "sd": "300"})
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(DomainError, match="must be a number"):
+            ScenarioPayload.from_dict({"n_transistors": True,
+                                       "feature_um": 0.18})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(DomainError, match="expected a JSON object"):
+            ScenarioPayload.from_json("[1, 2]")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(DomainError, match="invalid JSON"):
+            ScenarioPayload.from_json("{not json")
+
+
+class TestEvaluateRequest:
+    def test_round_trip(self):
+        request = EvaluateRequest(scenarios=(POINT,), policy="mask")
+        assert EvaluateRequest.from_json(request.to_json()) == request
+
+    def test_single_scenario_sugar(self):
+        request = EvaluateRequest.from_dict({"scenario": POINT.to_dict()})
+        assert request.scenarios == (POINT,)
+        assert request.policy == "raise"
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(DomainError, match="either 'scenario' or"):
+            EvaluateRequest.from_dict({"scenario": POINT.to_dict(),
+                                       "scenarios": [POINT.to_dict()]})
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(DomainError, match="unknown error policy"):
+            EvaluateRequest.from_dict({"scenarios": [POINT.to_dict()],
+                                       "policy": "explode"})
+
+    def test_policy_case_normalised(self):
+        request = EvaluateRequest.from_dict(
+            {"scenarios": [POINT.to_dict()], "policy": "COLLECT"})
+        assert request.policy == "collect"
+
+
+class TestRequestRoundTrips:
+    def test_sweep(self):
+        request = SweepRequest(scenario=POINT, parameter="n_wafers",
+                               values=(1e3, 1e4), policy="mask")
+        assert SweepRequest.from_json(request.to_json()) == request
+
+    def test_pareto(self):
+        request = ParetoRequest(scenario=POINT, values=(100.0, 300.0))
+        assert ParetoRequest.from_json(request.to_json()) == request
+
+    def test_sensitivity(self):
+        request = SensitivityRequest(scenario=POINT,
+                                     parameters=("n_wafers",),
+                                     rel_step=0.1, sd_max=2000.0)
+        assert SensitivityRequest.from_json(request.to_json()) == request
+
+    def test_optimal_sd(self):
+        request = OptimalSdRequest(scenario=POINT, sd_max=2000.0, tol=1e-8,
+                                   max_iter=100, retry=True)
+        assert OptimalSdRequest.from_json(request.to_json()) == request
+
+    def test_route_table_covers_every_request_class(self):
+        classes = {"EvaluateRequest", "SweepRequest", "ParetoRequest",
+                   "SensitivityRequest", "OptimalSdRequest"}
+        assert set(SCENARIO_ROUTES.values()) == classes
+
+
+class TestResponseRoundTrips:
+    def test_evaluate(self):
+        response = EvaluateResponse(
+            results=(EvaluatedPoint(label="a", cost_per_transistor_usd=1e-6,
+                                    area_cm2=0.97, die_cost_usd=10.0,
+                                    ok=True),),
+            backend="numpy",
+            diagnostics=(DiagnosticPayload(
+                where="w", equation="4", parameter="sd", value=None,
+                index=0, error_type="DomainError", message="bad"),))
+        assert EvaluateResponse.from_json(response.to_json()) == response
+
+    def test_sweep(self):
+        response = SweepResponse(parameter="sd", x=(100.0, 200.0),
+                                 cost=(1e-6, None), x_opt=100.0,
+                                 cost_opt=1e-6, n_masked=1)
+        assert SweepResponse.from_json(response.to_json()) == response
+
+    def test_pareto(self):
+        point = ParetoPoint(sd=150.0, die_area_cm2=1.0,
+                            transistor_cost_usd=1e-6, design_cost_usd=2e5)
+        response = ParetoResponse(front=(point,), knee=point)
+        assert ParetoResponse.from_json(response.to_json()) == response
+
+    def test_pareto_empty_front(self):
+        response = ParetoResponse(front=(), knee=None)
+        assert ParetoResponse.from_json(response.to_json()) == response
+
+    def test_sensitivity(self):
+        response = SensitivityResponse(
+            elasticities={"n_wafers": -0.35, "yield_fraction": None})
+        assert SensitivityResponse.from_json(response.to_json()) == response
+
+    def test_optimal_sd(self):
+        response = OptimalSdResponse(sd_opt=310.0, cost_opt=4.6e-6,
+                                     iterations=53,
+                                     bracket=(5.0, 5000.0), attempts=2)
+        assert OptimalSdResponse.from_json(response.to_json()) == response
+
+    def test_error(self):
+        response = ErrorResponse(code="DomainError", message="bad yield",
+                                 retry_after_s=1.5)
+        assert ErrorResponse.from_json(response.to_json()) == response
+
+    def test_nan_serialises_as_null(self):
+        response = SweepResponse(parameter="sd", x=(1.0,), cost=(math.nan,),
+                                 x_opt=None, cost_opt=None)
+        data = json.loads(response.to_json())
+        assert data["cost"] == [None]
+
+    def test_json_is_canonical(self):
+        data = json.loads(POINT.to_json())
+        assert list(data) == sorted(data)
+
+
+class TestDiagnosticPayload:
+    def test_from_diagnostic_preserves_fields(self):
+        diag = Diagnostic(where="api.evaluate_many", equation="4",
+                          parameter="scenario", value=-1.0, index=2,
+                          error_type="DomainError", message="bad")
+        payload = DiagnosticPayload.from_diagnostic(diag)
+        assert payload.where == diag.where
+        assert payload.value == -1.0
+        assert payload.index == 2
+
+    def test_non_json_value_stringified(self):
+        diag = Diagnostic(where="w", equation="4", parameter="p",
+                          value=object(), index=None,
+                          error_type="TypeError", message="m")
+        payload = DiagnosticPayload.from_diagnostic(diag)
+        assert isinstance(payload.value, str)
+        json.dumps(payload.to_dict())  # must be serialisable

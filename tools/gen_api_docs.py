@@ -38,6 +38,7 @@ SUBPACKAGES = [
     "repro.obs.history",
     "repro.obs.perf",
     "repro.robust",
+    "repro.serve",
     "repro.constants",
     "repro.lint",
     "repro.bench",
